@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Regenerate every experiment table (E1-E13) in one run.
+
+Usage:  python benchmarks/run_all.py [> tables.txt]
+
+This is what EXPERIMENTS.md's tables are produced from; the run is
+fully deterministic (seed in benchmarks/common.py).
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, ".")
+
+from benchmarks import (
+    bench_bounded_weight,
+    bench_covering_ablation,
+    bench_cycle,
+    bench_histogram,
+    bench_distance_oracle,
+    bench_grid,
+    bench_lower_bound_paths,
+    bench_matching,
+    bench_mst,
+    bench_path_hierarchy,
+    bench_privacy_validation,
+    bench_private_paths,
+    bench_scaling,
+    bench_tree_all_pairs,
+    bench_tree_single_source,
+)
+
+EXPERIMENTS = [
+    ("E1", bench_distance_oracle),
+    ("E2", bench_tree_single_source),
+    ("E3", bench_tree_all_pairs),
+    ("E4", bench_path_hierarchy),
+    ("E5", bench_bounded_weight),
+    ("E6", bench_grid),
+    ("E7", bench_private_paths),
+    ("E8", bench_lower_bound_paths),
+    ("E9", bench_mst),
+    ("E10", bench_matching),
+    ("E11", bench_privacy_validation),
+    ("E12", bench_scaling),
+    ("E13", bench_cycle),
+    ("E14", bench_histogram),
+    ("E15", bench_covering_ablation),
+]
+
+
+def main() -> None:
+    only = set(sys.argv[1:])
+    for tag, module in EXPERIMENTS:
+        if only and tag not in only:
+            continue
+        print(f"==== {tag} " + "=" * 60)
+        print(module.run_experiment())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Appendix B in action: private infrastructure planning.
+
+Scenario: a regional agency plans (a) a backbone fiber network — a
+spanning tree over candidate links — and (b) a pairing of depots for a
+mutual-backup scheme — a perfect matching.  Link costs derive from
+privately negotiated right-of-way prices, so the released *structures*
+must be differentially private in the edge-weight model.
+
+This exercises both Appendix B mechanisms end to end:
+
+* Theorem B.3: the released spanning tree costs at most
+  ``2(V-1)/eps · log(E/gamma)`` more than the optimum;
+* Theorem B.6: the released perfect matching costs at most
+  ``(V/eps) · log(E/gamma)`` more than the optimum;
+
+and compares against the Theorem B.1/B.4 lower-bound floors to show
+how close the simple Laplace mechanisms sit to what is achievable.
+
+Run with:  python examples/infrastructure_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Rng, release_private_matching, release_private_mst
+from repro.algorithms import (
+    hungarian_min_cost_perfect_matching,
+    kruskal_mst,
+    matching_weight,
+    spanning_tree_weight,
+)
+from repro.analysis import render_table
+from repro.dp import bounds
+from repro.graphs import WeightedGraph, generators
+
+
+def main() -> None:
+    rng = Rng(seed=11)
+    eps, gamma = 1.0, 0.05
+
+    # ------------------------------------------------------------------
+    # (a) Backbone: 60 sites, candidate links from a geometric graph,
+    #     per-km right-of-way costs are the private weights.
+    # ------------------------------------------------------------------
+    sites, _ = generators.random_geometric_graph(60, 0.25, rng)
+    cost = {
+        (u, v): w * rng.uniform(80.0, 120.0)  # cost per km varies privately
+        for u, v, w in sites.edges()
+    }
+    network = sites.with_weights(cost)
+    optimum = spanning_tree_weight(network, kruskal_mst(network))
+
+    release = release_private_mst(network, eps=eps, rng=rng)
+    released_cost = release.true_weight(network)
+    bound = bounds.mst_error(
+        network.num_vertices, network.num_edges, eps, gamma
+    )
+    print("backbone (Theorem B.3):")
+    print(f"  candidate links          : {network.num_edges}")
+    print(f"  optimal tree cost        : {optimum:10.1f}")
+    print(f"  released tree cost       : {released_cost:10.1f}")
+    print(f"  overrun                  : {released_cost - optimum:10.1f}"
+          f"   (bound {bound:.1f})")
+
+    # ------------------------------------------------------------------
+    # (b) Depot pairing: 16 depots, pairwise transfer costs private.
+    # ------------------------------------------------------------------
+    depots = WeightedGraph()
+    for i in range(16):
+        for j in range(16):
+            if i < j:
+                depots.add_edge(("depot", i), ("depot", j), rng.uniform(5, 50))
+    left = [("depot", i) for i in range(16) if i % 2 == 0]
+    right = [("depot", i) for i in range(16) if i % 2 == 1]
+    # Restrict to a bipartite even/odd pairing policy for the example.
+    bipartite = WeightedGraph()
+    for a in left:
+        for b in right:
+            bipartite.add_edge(a, b, depots.weight(a, b))
+    optimum_matching = matching_weight(
+        bipartite, hungarian_min_cost_perfect_matching(bipartite)
+    )
+    pairing = release_private_matching(
+        bipartite, eps=eps, rng=rng, engine="hungarian"
+    )
+    released_matching = pairing.true_weight(bipartite)
+    matching_bound = bounds.matching_error(
+        bipartite.num_vertices, bipartite.num_edges, eps, gamma
+    )
+    print("\ndepot pairing (Theorem B.6):")
+    rows = [
+        [f"{u[1]}<->{v[1]}", f"{bipartite.weight(u, v):.1f}"]
+        for u, v in pairing.matching_edges
+    ]
+    print(render_table(["pair", "cost"], rows))
+    print(f"  optimal pairing cost     : {optimum_matching:10.1f}")
+    print(f"  released pairing cost    : {released_matching:10.1f}")
+    print(
+        f"  overrun                  : "
+        f"{released_matching - optimum_matching:10.1f}"
+        f"   (bound {matching_bound:.1f})"
+    )
+
+    # ------------------------------------------------------------------
+    # Context: the lower-bound floors say some overrun is unavoidable.
+    # ------------------------------------------------------------------
+    mst_floor = bounds.mst_lower_bound(network.num_vertices, eps, 0.0)
+    matching_floor = bounds.matching_lower_bound(
+        bipartite.num_vertices, eps, 0.0
+    )
+    print(
+        "\nlower bounds (Thms B.1/B.4): any eps=1 mechanism must incur "
+        f"expected overrun >= {mst_floor:.1f} (tree, worst case) and "
+        f">= {matching_floor:.1f} (matching, worst case) on hard "
+        "instances — the Laplace releases above are within a log factor."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: the private edge-weight model in five minutes.
+
+Walks through the paper's core workflow:
+
+1. build a public topology with private weights,
+2. release private shortest paths (Algorithm 3) — one budget, all pairs,
+3. release a private distance estimate (Laplace mechanism),
+4. release all-pairs distances on a tree (Algorithm 1),
+5. check everything against the paper's error bounds.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Rng,
+    private_distance,
+    release_private_paths,
+    release_tree_all_pairs,
+)
+from repro.algorithms import dijkstra_path
+from repro.dp import bounds
+from repro.graphs import RootedTree, generators
+
+
+def main() -> None:
+    rng = Rng(seed=0)
+
+    # ------------------------------------------------------------------
+    # 1. A city grid.  The *topology* is public (it is just the map);
+    #    the *weights* (travel times) are private.
+    # ------------------------------------------------------------------
+    graph = generators.grid_graph(8, 8)
+    graph = generators.assign_random_weights(graph, rng, low=1.0, high=5.0)
+    print(f"city: {graph.num_vertices} intersections, {graph.num_edges} roads")
+
+    # ------------------------------------------------------------------
+    # 2. Algorithm 3: release private shortest paths.  A single
+    #    eps-DP release answers every pair.
+    # ------------------------------------------------------------------
+    eps, gamma = 1.0, 0.05
+    release = release_private_paths(graph, eps=eps, gamma=gamma, rng=rng)
+    source, target = (0, 0), (7, 7)
+    path = release.path(source, target)
+    true_path, true_distance = dijkstra_path(graph, source, target)
+    error = graph.path_weight(path) - true_distance
+    bound = bounds.shortest_path_error(
+        len(true_path) - 1, graph.num_edges, eps, gamma
+    )
+    print(f"\nprivate route {source} -> {target}: {len(path) - 1} hops")
+    print(f"  true shortest distance : {true_distance:.2f}")
+    print(f"  released path's length : {graph.path_weight(path):.2f}")
+    print(f"  additive error         : {error:.2f}  (Thm 5.5 bound {bound:.1f})")
+
+    # ------------------------------------------------------------------
+    # 3. A single private distance estimate: Laplace with scale 1/eps.
+    # ------------------------------------------------------------------
+    estimate = private_distance(graph, source, target, eps=1.0, rng=rng)
+    print(f"\nprivate distance estimate  : {estimate:.2f} (true {true_distance:.2f})")
+
+    # ------------------------------------------------------------------
+    # 4. Trees: all-pairs distances with polylog error (Theorem 4.2).
+    # ------------------------------------------------------------------
+    tree = generators.random_tree(100, rng)
+    tree = generators.assign_random_weights(tree, rng, 1.0, 10.0)
+    rooted = RootedTree(tree, 0)
+    tree_release = release_tree_all_pairs(rooted, eps=1.0, rng=rng)
+    x, y = 10, 90
+    print(
+        f"\ntree distance d({x},{y})     : released "
+        f"{tree_release.distance(x, y):.2f}, true {rooted.distance(x, y):.2f}"
+    )
+    print(
+        "  Thm 4.2 simultaneous bound:"
+        f" {bounds.tree_all_pairs_error(100, 1.0, 0.05):.1f}"
+        "  (polylog in V: overtakes the naive ~(V/eps) log(E) baseline"
+        " bound as V grows)"
+    )
+
+    print("\nEverything above consumed eps = 1.0 per release, delta = 0.")
+
+
+if __name__ == "__main__":
+    main()

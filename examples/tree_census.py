@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Private distances on hierarchies: a utility-network census.
+
+Scenario: a water utility operates a tree-shaped distribution network
+(trees are the natural topology for distribution systems).  Edge
+weights are *flow-weighted* maintenance costs derived from per-customer
+consumption — private data.  A regulator wants the full matrix of
+inter-station "cost distances" published.
+
+This is exactly Section 4.1 of the paper: all-pairs distances on a tree
+with polylog error (Theorem 4.2), versus the ~V/eps error any naive
+release pays.  The example also shows the Appendix A hub hierarchy on
+the trunk line (a path), and validates both against their bounds.
+
+Run with:  python examples/tree_census.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Rng,
+    release_path_hierarchy,
+    release_synthetic_graph,
+    release_tree_all_pairs,
+)
+from repro.analysis import render_table, summarize_errors
+from repro.dp import bounds
+from repro.graphs import RootedTree, generators
+
+
+def main() -> None:
+    rng = Rng(seed=2016)
+    eps = 1.0
+
+    # ------------------------------------------------------------------
+    # The network: a 300-station tree (random topology, costs 1-20).
+    # ------------------------------------------------------------------
+    n = 300
+    tree = generators.random_tree(n, rng)
+    tree = generators.assign_random_weights(tree, rng, 1.0, 20.0)
+    rooted = RootedTree(tree, 0)
+    print(f"network: {n} stations, tree topology, private per-edge costs")
+
+    # ------------------------------------------------------------------
+    # Release all-pairs distances two ways and compare.
+    # ------------------------------------------------------------------
+    smart = release_tree_all_pairs(rooted, eps=eps, rng=rng)
+    naive = release_synthetic_graph(tree, eps=eps, rng=rng)
+
+    sample = [(i, j) for i in range(0, n, 23) for j in range(i + 23, n, 23)]
+    smart_errors, naive_errors = [], []
+    for x, y in sample:
+        true = rooted.distance(x, y)
+        smart_errors.append(abs(smart.distance(x, y) - true))
+        naive_errors.append(
+            abs(naive.graph.path_weight(rooted.path(x, y)) - true)
+        )
+    rows = [
+        ["Algorithm 1 + LCA (Thm 4.2)"]
+        + [f"{v:.2f}" for v in summarize_errors(smart_errors).as_row()[1:]],
+        ["naive noisy graph"]
+        + [f"{v:.2f}" for v in summarize_errors(naive_errors).as_row()[1:]],
+    ]
+    print()
+    print(
+        render_table(
+            ["mechanism", "mean", "median", "p95", "p99", "max"],
+            rows,
+            title=f"all-pairs cost-distance error over {len(sample)} pairs, eps={eps}",
+        )
+    )
+    print(
+        "  guaranteed simultaneous bounds: "
+        f"Thm 4.2 = {bounds.tree_all_pairs_error(n, eps, 0.05):.0f}, "
+        f"naive = {bounds.synthetic_graph_distance_error(n, n - 1, eps, 0.05):.0f}"
+    )
+
+    # ------------------------------------------------------------------
+    # The trunk line: the root-to-deepest-station path, released with
+    # the Appendix A hub hierarchy.
+    # ------------------------------------------------------------------
+    deepest = max(tree.vertices(), key=rooted.depth)
+    trunk_vertices = rooted.path(0, deepest)
+    trunk = tree.subgraph(trunk_vertices)
+    hierarchy = release_path_hierarchy(trunk, eps=eps, rng=rng)
+    errs = []
+    for v in trunk_vertices:
+        true = rooted.distance(0, v)
+        errs.append(abs(hierarchy.distance(0, v) - true))
+    print(
+        f"\ntrunk line ({len(trunk_vertices)} stations, Appendix A "
+        f"hierarchy): mean error {np.mean(errs):.2f}, "
+        f"max {np.max(errs):.2f}, levels {hierarchy.num_levels}"
+    )
+
+    print(
+        "\nboth releases are eps-DP in the edge-weight model; every "
+        "query above is post-processing of a single release."
+    )
+
+
+if __name__ == "__main__":
+    main()

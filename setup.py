@@ -1,0 +1,9 @@
+"""Setup shim for environments without the wheel package.
+
+``pip install -e .`` requires ``wheel`` for PEP 517 editable installs;
+offline environments can instead run ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

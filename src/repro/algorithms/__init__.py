@@ -1,0 +1,59 @@
+"""Exact (non-private) graph algorithms.
+
+These are the substrates the paper's mechanisms post-process with:
+Dijkstra for shortest paths (Algorithm 3 and the synthetic-graph
+baseline run Dijkstra on noised weights), BFS for hop distances
+(k-coverings are defined via hop distance), Kruskal/Prim for the MST
+release of Theorem B.3, and exact matching for Theorem B.6.
+"""
+
+from .traversal import (
+    bfs_hop_distances,
+    connected_components,
+    is_connected,
+)
+from .shortest_paths import (
+    dijkstra,
+    dijkstra_path,
+    all_pairs_dijkstra,
+    bellman_ford,
+    path_hops,
+)
+from .spanning_tree import UnionFind, kruskal_mst, prim_mst, spanning_tree_weight
+from .matching import (
+    hungarian_min_cost_perfect_matching,
+    exact_min_weight_perfect_matching,
+    greedy_perfect_matching,
+    matching_weight,
+    is_perfect_matching,
+)
+from .covering import (
+    is_k_covering,
+    meir_moon_k_covering,
+    grid_covering,
+    nearest_in_set,
+)
+
+__all__ = [
+    "bfs_hop_distances",
+    "connected_components",
+    "is_connected",
+    "dijkstra",
+    "dijkstra_path",
+    "all_pairs_dijkstra",
+    "bellman_ford",
+    "path_hops",
+    "UnionFind",
+    "kruskal_mst",
+    "prim_mst",
+    "spanning_tree_weight",
+    "hungarian_min_cost_perfect_matching",
+    "exact_min_weight_perfect_matching",
+    "greedy_perfect_matching",
+    "matching_weight",
+    "is_perfect_matching",
+    "is_k_covering",
+    "meir_moon_k_covering",
+    "grid_covering",
+    "nearest_in_set",
+]

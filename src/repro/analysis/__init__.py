@@ -1,0 +1,22 @@
+"""Analysis utilities: error metrics, experiment running, and table
+rendering for the benchmark harness and EXPERIMENTS.md."""
+
+from .errors import (
+    ErrorSummary,
+    summarize_errors,
+    distance_errors,
+    path_error,
+)
+from .tables import render_table
+from .experiments import ExperimentResult, run_trials, sweep
+
+__all__ = [
+    "ErrorSummary",
+    "summarize_errors",
+    "distance_errors",
+    "path_error",
+    "render_table",
+    "ExperimentResult",
+    "run_trials",
+    "sweep",
+]

@@ -1,0 +1,105 @@
+"""Additive-error metrics (Definitions 2.3 and 2.4).
+
+* Distance error (Definition 2.4): ``|released - d_w(x, y)|``.
+* Path error (Definition 2.3): ``w(P) - d_w(x, y)`` — the released
+  path's true weight minus the true shortest distance; nonnegative by
+  optimality of ``d_w``.
+
+Structure errors for Appendix B (spanning tree / matching) follow the
+same shape: released structure's true weight minus the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.shortest_paths import dijkstra_path
+from ..graphs.graph import Vertex, WeightedGraph
+
+__all__ = [
+    "ErrorSummary",
+    "summarize_errors",
+    "distance_errors",
+    "path_error",
+    "path_errors",
+]
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics of a collection of additive errors."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_row(self) -> List[float]:
+        """The summary as a list (for table rendering)."""
+        return [
+            self.count,
+            self.mean,
+            self.median,
+            self.p95,
+            self.p99,
+            self.maximum,
+        ]
+
+    @staticmethod
+    def headers() -> List[str]:
+        """Column headers matching :meth:`as_row`."""
+        return ["n", "mean", "median", "p95", "p99", "max"]
+
+
+def summarize_errors(errors: Iterable[float]) -> ErrorSummary:
+    """Summarize a non-empty collection of errors."""
+    values = np.asarray(list(errors), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty error collection")
+    return ErrorSummary(
+        count=int(values.size),
+        mean=float(values.mean()),
+        median=float(np.median(values)),
+        p95=float(np.percentile(values, 95)),
+        p99=float(np.percentile(values, 99)),
+        maximum=float(values.max()),
+    )
+
+
+def distance_errors(
+    graph: WeightedGraph,
+    pairs: Sequence[Tuple[Vertex, Vertex]],
+    released_distance: Callable[[Vertex, Vertex], float],
+) -> List[float]:
+    """Definition 2.4 errors for a pair workload: the absolute gap
+    between each released distance and the exact one."""
+    errors = []
+    for s, t in pairs:
+        _, exact = dijkstra_path(graph, s, t)
+        errors.append(abs(released_distance(s, t) - exact))
+    return errors
+
+
+def path_error(
+    graph: WeightedGraph, path: Sequence[Vertex]
+) -> float:
+    """Definition 2.3 error of one released path: its true weight minus
+    the true shortest distance between its endpoints."""
+    path = list(path)
+    true_weight = graph.path_weight(path)
+    _, exact = dijkstra_path(graph, path[0], path[-1])
+    return true_weight - exact
+
+
+def path_errors(
+    graph: WeightedGraph,
+    pairs: Sequence[Tuple[Vertex, Vertex]],
+    released_path: Callable[[Vertex, Vertex], Sequence[Vertex]],
+) -> List[float]:
+    """Definition 2.3 errors for a pair workload."""
+    return [path_error(graph, released_path(s, t)) for s, t in pairs]

@@ -1,0 +1,107 @@
+"""Experiment running: repeated trials and parameter sweeps.
+
+Every benchmark in ``benchmarks/`` follows the same shape — sweep a
+parameter (``V``, ``M``, ``eps``), run several seeded trials per
+setting, summarize errors, and print a table next to the paper's
+predicted bound.  These helpers implement that shape once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+from ..rng import Rng
+from .errors import ErrorSummary, summarize_errors
+from .tables import render_table
+
+__all__ = ["ExperimentResult", "run_trials", "sweep"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment setting."""
+
+    setting: Dict[str, Any]
+    summary: ErrorSummary
+    predicted_bound: float | None = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def within_bound(self) -> bool | None:
+        """Whether the measured max error respects the predicted bound
+        (``None`` when no bound was supplied)."""
+        if self.predicted_bound is None:
+            return None
+        return self.summary.maximum <= self.predicted_bound
+
+
+def run_trials(
+    trial: Callable[[Rng], Iterable[float]],
+    trials: int,
+    seed: int,
+) -> List[float]:
+    """Run ``trials`` seeded repetitions of a trial function and pool
+    the per-trial error collections.
+
+    Each trial receives its own child generator derived from ``seed``,
+    so the pooled collection is reproducible yet the trials are
+    independent.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    parent = Rng(seed)
+    pooled: List[float] = []
+    for _ in range(trials):
+        pooled.extend(trial(parent.spawn()))
+    return pooled
+
+
+def sweep(
+    settings: Sequence[Dict[str, Any]],
+    trial_factory: Callable[[Dict[str, Any]], Callable[[Rng], Iterable[float]]],
+    trials: int,
+    seed: int,
+    bound: Callable[[Dict[str, Any]], float] | None = None,
+) -> List[ExperimentResult]:
+    """Run an experiment across a sequence of parameter settings.
+
+    ``trial_factory(setting)`` builds the per-setting trial function;
+    ``bound(setting)`` (optional) computes the paper's predicted error
+    bound for that setting.
+    """
+    results = []
+    for setting in settings:
+        errors = run_trials(trial_factory(setting), trials, seed)
+        results.append(
+            ExperimentResult(
+                setting=dict(setting),
+                summary=summarize_errors(errors),
+                predicted_bound=bound(setting) if bound else None,
+            )
+        )
+    return results
+
+
+def results_table(
+    results: Sequence[ExperimentResult],
+    setting_keys: Sequence[str],
+    title: str | None = None,
+) -> str:
+    """Render sweep results as a table: one row per setting with the
+    error summary and (if present) the predicted bound."""
+    headers = list(setting_keys) + ErrorSummary.headers()
+    has_bound = any(r.predicted_bound is not None for r in results)
+    if has_bound:
+        headers += ["bound", "within"]
+    rows = []
+    for r in results:
+        row: List[object] = [r.setting.get(k, "") for k in setting_keys]
+        row += r.summary.as_row()
+        if has_bound:
+            row += [
+                r.predicted_bound if r.predicted_bound is not None else "",
+                r.within_bound if r.within_bound is not None else "",
+            ]
+        rows.append(row)
+    return render_table(headers, rows, title=title)

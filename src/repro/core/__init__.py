@@ -1,0 +1,70 @@
+"""The paper's private mechanisms.
+
+Each module implements one algorithm or construction from the paper:
+
+* :mod:`repro.core.distance_oracle` — single-pair and all-pairs
+  distance baselines (Section 4 intro).
+* :mod:`repro.core.synthetic_graph` — the noisy-graph release
+  (Section 4 intro / basis of Algorithm 3).
+* :mod:`repro.core.private_paths` — Algorithm 3 (Theorem 5.5).
+* :mod:`repro.core.tree_distances` — Algorithm 1 (Theorems 4.1, 4.2).
+* :mod:`repro.core.path_hierarchy` — Appendix A (Theorem A.1).
+* :mod:`repro.core.bounded_weight` — Algorithm 2 (Theorems 4.3–4.7).
+* :mod:`repro.core.mst` — Appendix B.1 (Theorem B.3).
+* :mod:`repro.core.matching` — Appendix B.2 (Theorem B.6).
+* :mod:`repro.core.lower_bounds` — the reconstruction lower bounds
+  (Theorems 5.1, B.1, B.4 and Figures 2–3).
+"""
+
+from .distance_oracle import (
+    private_distance,
+    AllPairsBasicRelease,
+    AllPairsAdvancedRelease,
+)
+from .synthetic_graph import SyntheticGraphRelease, release_synthetic_graph
+from .private_paths import PrivatePathsRelease, release_private_paths
+from .tree_distances import (
+    TreeSingleSourceRelease,
+    TreeAllPairsRelease,
+    release_tree_single_source,
+    release_tree_all_pairs,
+)
+from .path_hierarchy import PathHierarchyRelease, release_path_hierarchy
+from .bounded_weight import (
+    BoundedWeightRelease,
+    release_bounded_weight,
+    release_grid_bounded_weight,
+)
+from .cycle_distances import CycleRelease, release_cycle_distances
+from .histogram_release import HistogramRelease, release_histogram_distances
+from .mst import MstRelease, release_private_mst
+from .matching import MatchingRelease, release_private_matching
+from . import lower_bounds
+
+__all__ = [
+    "private_distance",
+    "AllPairsBasicRelease",
+    "AllPairsAdvancedRelease",
+    "SyntheticGraphRelease",
+    "release_synthetic_graph",
+    "PrivatePathsRelease",
+    "release_private_paths",
+    "TreeSingleSourceRelease",
+    "TreeAllPairsRelease",
+    "release_tree_single_source",
+    "release_tree_all_pairs",
+    "PathHierarchyRelease",
+    "release_path_hierarchy",
+    "BoundedWeightRelease",
+    "release_bounded_weight",
+    "release_grid_bounded_weight",
+    "CycleRelease",
+    "release_cycle_distances",
+    "HistogramRelease",
+    "release_histogram_distances",
+    "MstRelease",
+    "release_private_mst",
+    "MatchingRelease",
+    "release_private_matching",
+    "lower_bounds",
+]

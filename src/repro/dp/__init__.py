@@ -1,0 +1,37 @@
+"""Differential-privacy substrate.
+
+Implements the paper's privacy model (Section 2), the Laplace mechanism
+(Lemma 3.2), composition theorems (Lemmas 3.3 and 3.4), a budget
+accountant, and every closed-form error bound the paper states
+(:mod:`repro.dp.bounds`).
+"""
+
+from .params import (
+    PrivacyParams,
+    l1_distance,
+    weights_are_neighboring,
+)
+from .mechanisms import LaplaceMechanism, laplace_noise_scale
+from .composition import (
+    basic_composition,
+    advanced_composition,
+    advanced_composition_epsilon_per_query,
+)
+from .accountant import Accountant
+from .exponential import ExponentialMechanism, exponential_mechanism_utility_bound
+from . import bounds
+
+__all__ = [
+    "PrivacyParams",
+    "l1_distance",
+    "weights_are_neighboring",
+    "LaplaceMechanism",
+    "laplace_noise_scale",
+    "basic_composition",
+    "advanced_composition",
+    "advanced_composition_epsilon_per_query",
+    "Accountant",
+    "ExponentialMechanism",
+    "exponential_mechanism_utility_bound",
+    "bounds",
+]

@@ -1,0 +1,101 @@
+"""A privacy-budget accountant.
+
+Tracks a sequence of releases against a total budget under basic
+composition (Lemma 3.3).  The paper's algorithms each spend their budget
+in a single Laplace-mechanism release, but example applications (a
+navigation service answering many kinds of queries over time) need to
+account across releases — the accountant makes that explicit and fails
+closed when the budget would be exceeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..exceptions import BudgetExceededError, PrivacyError
+from .params import PrivacyParams
+
+__all__ = ["Accountant", "SpendRecord"]
+
+
+@dataclass(frozen=True)
+class SpendRecord:
+    """One recorded budget expenditure."""
+
+    label: str
+    params: PrivacyParams
+
+
+class Accountant:
+    """Tracks cumulative ``(eps, delta)`` spending under basic
+    composition.
+
+    Parameters
+    ----------
+    budget:
+        The total guarantee the caller promises downstream.  Spends that
+        would push the running totals past it raise
+        :class:`~repro.exceptions.BudgetExceededError` *before* any
+        noise is drawn, so a failed spend leaks nothing.
+    """
+
+    def __init__(self, budget: PrivacyParams) -> None:
+        self._budget = budget
+        self._spent_eps = 0.0
+        self._spent_delta = 0.0
+        self._records: List[SpendRecord] = []
+
+    @property
+    def budget(self) -> PrivacyParams:
+        """The total budget."""
+        return self._budget
+
+    @property
+    def spent(self) -> PrivacyParams | None:
+        """The total spent so far (``None`` if nothing spent)."""
+        if not self._records:
+            return None
+        return PrivacyParams(self._spent_eps, self._spent_delta)
+
+    @property
+    def records(self) -> List[SpendRecord]:
+        """All recorded expenditures, in order."""
+        return list(self._records)
+
+    def remaining_eps(self) -> float:
+        """Budget eps not yet spent."""
+        return self._budget.eps - self._spent_eps
+
+    def remaining_delta(self) -> float:
+        """Budget delta not yet spent."""
+        return self._budget.delta - self._spent_delta
+
+    def can_spend(self, params: PrivacyParams) -> bool:
+        """Whether a spend of ``params`` fits in the remaining budget."""
+        tolerance = 1e-12
+        return (
+            self._spent_eps + params.eps <= self._budget.eps + tolerance
+            and self._spent_delta + params.delta
+            <= self._budget.delta + tolerance
+        )
+
+    def spend(self, params: PrivacyParams, label: str = "") -> None:
+        """Record an expenditure, failing closed if over budget."""
+        if not self.can_spend(params):
+            raise BudgetExceededError(
+                f"spend {params} (label={label!r}) exceeds remaining budget "
+                f"eps={self.remaining_eps():g}, "
+                f"delta={self.remaining_delta():g}"
+            )
+        self._spent_eps += params.eps
+        self._spent_delta += params.delta
+        self._records.append(SpendRecord(label=label, params=params))
+
+    def __repr__(self) -> str:
+        return (
+            f"Accountant(budget={self._budget}, "
+            f"spent_eps={self._spent_eps:g}, "
+            f"spent_delta={self._spent_delta:g}, "
+            f"releases={len(self._records)})"
+        )

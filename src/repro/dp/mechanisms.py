@@ -1,0 +1,99 @@
+"""The Laplace mechanism (Lemma 3.2).
+
+Given a function ``f : X -> R^k`` with L1 sensitivity ``Delta_f``
+(Definition 3.2), the Laplace mechanism adds i.i.d. ``Lap(Delta_f/eps)``
+noise to each coordinate and is ``eps``-differentially private.  Every
+algorithm in the paper is the Laplace mechanism applied to a carefully
+chosen query vector, followed by post-processing — so this class is the
+single point where privacy is actually enforced in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import PrivacyError
+from ..rng import Rng
+from .params import PrivacyParams
+
+__all__ = ["laplace_noise_scale", "LaplaceMechanism"]
+
+
+def laplace_noise_scale(sensitivity: float, eps: float) -> float:
+    """The noise scale ``Delta_f / eps`` of Lemma 3.2."""
+    if sensitivity <= 0:
+        raise PrivacyError(
+            f"sensitivity must be positive, got {sensitivity}"
+        )
+    if eps <= 0:
+        raise PrivacyError(f"eps must be positive, got {eps}")
+    return sensitivity / eps
+
+
+class LaplaceMechanism:
+    """A reusable Laplace mechanism with fixed sensitivity and budget.
+
+    Parameters
+    ----------
+    sensitivity:
+        The global L1 sensitivity ``Delta_f`` of the query vector that
+        will be released.  Stating it explicitly (rather than inferring
+        it) keeps the privacy argument local to the calling algorithm,
+        which is where the paper's proofs establish it.
+    eps:
+        The privacy budget for the release.
+    rng:
+        Source of randomness.
+    """
+
+    def __init__(self, sensitivity: float, eps: float, rng: Rng) -> None:
+        self._scale = laplace_noise_scale(sensitivity, eps)
+        self._sensitivity = float(sensitivity)
+        self._params = PrivacyParams(eps)
+        self._rng = rng
+
+    @property
+    def scale(self) -> float:
+        """The Laplace scale ``b = Delta_f / eps``."""
+        return self._scale
+
+    @property
+    def sensitivity(self) -> float:
+        """The declared sensitivity ``Delta_f``."""
+        return self._sensitivity
+
+    @property
+    def params(self) -> PrivacyParams:
+        """The privacy guarantee of one full release through this
+        mechanism."""
+        return self._params
+
+    def release_scalar(self, true_value: float) -> float:
+        """Release a single real value."""
+        return float(true_value) + self._rng.laplace(self._scale)
+
+    def release_vector(
+        self, true_values: Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """Release a vector of values (one draw per coordinate).
+
+        The declared sensitivity must bound the L1 sensitivity of the
+        whole vector, exactly as in Lemma 3.2.
+        """
+        values = np.asarray(true_values, dtype=float)
+        noise = self._rng.laplace_vector(self._scale, values.size)
+        return values + noise.reshape(values.shape)
+
+    def release_function(
+        self, f: Callable[[], Sequence[float]]
+    ) -> np.ndarray:
+        """Evaluate a query function and release its noisy value."""
+        return self.release_vector(list(f()))
+
+    def __repr__(self) -> str:
+        return (
+            f"LaplaceMechanism(sensitivity={self._sensitivity:g}, "
+            f"eps={self._params.eps:g}, scale={self._scale:g})"
+        )

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  More specific subclasses distinguish structural graph
+problems from privacy-accounting problems, mirroring the two halves of the
+paper's model: the public topology and the private weights.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a graph (bad vertex, bad edge, ...)."""
+
+
+class VertexNotFoundError(GraphError):
+    """A vertex referenced by the caller does not exist in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge referenced by the caller does not exist in the graph."""
+
+    def __init__(self, edge: object) -> None:
+        super().__init__(f"edge {edge!r} is not in the graph")
+        self.edge = edge
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation requiring connectivity was attempted on a
+    disconnected graph (e.g. exact distance between unreachable
+    vertices, spanning tree of a disconnected graph)."""
+
+
+class NotATreeError(GraphError):
+    """An operation specific to trees was attempted on a non-tree graph.
+
+    The tree algorithms of Section 4.1 of the paper require the public
+    topology to be a tree; this error signals a violated precondition.
+    """
+
+
+class WeightError(ReproError):
+    """An edge-weight function violates a precondition.
+
+    Examples: negative weights passed to an algorithm that assumes
+    ``w : E -> R+`` (Definition 2.1), or weights exceeding the bound ``M``
+    required by the bounded-weight algorithms of Section 4.2.
+    """
+
+
+class PrivacyError(ReproError):
+    """A privacy parameter or budget constraint is violated.
+
+    Raised for non-positive ``eps``, ``delta`` outside ``[0, 1)``, or an
+    exhausted privacy budget in :class:`repro.dp.accountant.Accountant`.
+    """
+
+
+class BudgetExceededError(PrivacyError):
+    """The privacy budget tracked by an accountant has been exhausted."""
+
+
+class MatchingError(ReproError):
+    """A perfect matching was requested on a graph that has none, or a
+    released matching fails validation."""

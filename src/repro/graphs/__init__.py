@@ -1,0 +1,22 @@
+"""Graph substrate: data structures and generators.
+
+The paper's model (Section 2) separates a *public* topology
+``G = (V, E)`` from *private* edge weights ``w : E -> R+``.  The classes
+here hold both, but every private mechanism in :mod:`repro.core` treats
+the topology as public knowledge and only ever protects the weights.
+"""
+
+from .graph import Edge, WeightedGraph
+from .multigraph import MultiEdge, WeightedMultiGraph
+from .tree import RootedTree
+from . import generators, io
+
+__all__ = [
+    "Edge",
+    "WeightedGraph",
+    "MultiEdge",
+    "WeightedMultiGraph",
+    "RootedTree",
+    "generators",
+    "io",
+]

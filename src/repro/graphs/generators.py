@@ -1,0 +1,302 @@
+"""Graph generators for the workloads in the benchmark harness.
+
+Each generator produces a :class:`~repro.graphs.graph.WeightedGraph`
+with unit weights; random weights are layered on separately with
+:func:`assign_random_weights` (or the congestion models in
+:mod:`repro.workloads.traffic`) so topology and private weights stay
+independent, matching the paper's public-topology model.
+
+Families covered:
+
+* paths, cycles, stars, complete graphs — the paper's worked examples
+  (the path graph of Appendix A, the cycle of Section 1.3),
+* ``sqrt(V) x sqrt(V)`` grids — Theorem 4.7's family,
+* balanced / random / caterpillar trees — Section 4.1's family,
+* Erdős–Rényi and random geometric graphs — generic bounded-weight
+  workloads for Section 4.2 and road-like networks for Section 5.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+from ..exceptions import GraphError
+from ..rng import Rng
+from .graph import Vertex, WeightedGraph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "balanced_tree",
+    "random_tree",
+    "caterpillar_tree",
+    "spider_tree",
+    "erdos_renyi_graph",
+    "random_geometric_graph",
+    "assign_random_weights",
+]
+
+
+def _require_positive(n: int, what: str = "number of vertices") -> None:
+    if n <= 0:
+        raise GraphError(f"{what} must be positive, got {n}")
+
+
+def path_graph(n: int) -> WeightedGraph:
+    """The path graph ``P`` on vertices ``0..n-1`` (Appendix A)."""
+    _require_positive(n)
+    graph = WeightedGraph()
+    graph.add_vertex(0)
+    for i in range(1, n):
+        graph.add_edge(i - 1, i, 1.0)
+    return graph
+
+
+def cycle_graph(n: int) -> WeightedGraph:
+    """The cycle graph ``C`` on ``n >= 3`` vertices (Section 1.3's
+    example of why edge-DP cannot release distances)."""
+    if n < 3:
+        raise GraphError(f"a cycle needs at least 3 vertices, got {n}")
+    graph = path_graph(n)
+    graph.add_edge(n - 1, 0, 1.0)
+    return graph
+
+
+def star_graph(n: int) -> WeightedGraph:
+    """A star: hub ``0`` joined to leaves ``1..n-1``."""
+    _require_positive(n)
+    graph = WeightedGraph()
+    graph.add_vertex(0)
+    for i in range(1, n):
+        graph.add_edge(0, i, 1.0)
+    return graph
+
+
+def complete_graph(n: int) -> WeightedGraph:
+    """The complete graph ``K_n``."""
+    _require_positive(n)
+    graph = WeightedGraph()
+    for i in range(n):
+        graph.add_vertex(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            graph.add_edge(i, j, 1.0)
+    return graph
+
+
+def grid_graph(rows: int, cols: int | None = None) -> WeightedGraph:
+    """The ``rows x cols`` grid with vertices ``(r, c)`` (Theorem 4.7).
+
+    With ``cols`` omitted the grid is square, i.e. the paper's
+    ``sqrt(V) x sqrt(V)`` family.
+    """
+    if cols is None:
+        cols = rows
+    _require_positive(rows, "rows")
+    _require_positive(cols, "cols")
+    graph = WeightedGraph()
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_vertex((r, c))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c), 1.0)
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1), 1.0)
+    return graph
+
+
+def balanced_tree(branching: int, height: int) -> WeightedGraph:
+    """A complete ``branching``-ary tree of the given height, rooted
+    at vertex ``0``."""
+    if branching < 1:
+        raise GraphError(f"branching factor must be >= 1, got {branching}")
+    if height < 0:
+        raise GraphError(f"height must be >= 0, got {height}")
+    graph = WeightedGraph()
+    graph.add_vertex(0)
+    frontier = [0]
+    next_id = 1
+    for _ in range(height):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                graph.add_edge(parent, next_id, 1.0)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return graph
+
+
+def random_tree(n: int, rng: Rng) -> WeightedGraph:
+    """A uniformly random labelled tree on ``n`` vertices via a random
+    Prüfer sequence."""
+    _require_positive(n)
+    graph = WeightedGraph()
+    for i in range(n):
+        graph.add_vertex(i)
+    if n == 1:
+        return graph
+    if n == 2:
+        graph.add_edge(0, 1, 1.0)
+        return graph
+    sequence = [rng.integer(0, n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in sequence:
+        degree[v] += 1
+    # Standard Prüfer decoding with a pointer-and-leaf scan.
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in sequence:
+        leaf = heapq.heappop(leaves)
+        graph.add_edge(leaf, v, 1.0)
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    graph.add_edge(u, v, 1.0)
+    return graph
+
+
+def caterpillar_tree(spine: int, legs_per_vertex: int) -> WeightedGraph:
+    """A caterpillar: a path of ``spine`` vertices, each with
+    ``legs_per_vertex`` pendant leaves.
+
+    Caterpillars stress Algorithm 1's recursion differently from
+    balanced trees (long diameter plus high degree).
+    """
+    _require_positive(spine, "spine length")
+    if legs_per_vertex < 0:
+        raise GraphError(f"legs must be >= 0, got {legs_per_vertex}")
+    graph = path_graph(spine)
+    next_id = spine
+    for s in range(spine):
+        for _ in range(legs_per_vertex):
+            graph.add_edge(s, next_id, 1.0)
+            next_id += 1
+    return graph
+
+
+def spider_tree(legs: int, leg_length: int) -> WeightedGraph:
+    """A spider: ``legs`` paths of ``leg_length`` edges sharing hub 0."""
+    _require_positive(legs, "legs")
+    _require_positive(leg_length, "leg length")
+    graph = WeightedGraph()
+    graph.add_vertex(0)
+    next_id = 1
+    for _ in range(legs):
+        previous = 0
+        for _ in range(leg_length):
+            graph.add_edge(previous, next_id, 1.0)
+            previous = next_id
+            next_id += 1
+    return graph
+
+
+def erdos_renyi_graph(
+    n: int, p: float, rng: Rng, ensure_connected: bool = True
+) -> WeightedGraph:
+    """An Erdős–Rényi graph ``G(n, p)``.
+
+    With ``ensure_connected`` (the default) a random spanning tree is
+    added first so distance queries are always finite; the extra edges
+    only shorten distances, preserving the G(n, p) character for the
+    bounded-weight experiments.
+    """
+    _require_positive(n)
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability must be in [0, 1], got {p}")
+    graph = WeightedGraph()
+    for i in range(n):
+        graph.add_vertex(i)
+    if ensure_connected and n > 1:
+        order = rng.permutation(n)
+        for i in range(1, n):
+            attach = order[rng.integer(0, i)]
+            graph.add_edge(order[i], attach, 1.0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if not graph.has_edge(i, j) and rng.uniform() < p:
+                graph.add_edge(i, j, 1.0)
+    return graph
+
+
+def random_geometric_graph(
+    n: int, radius: float, rng: Rng, ensure_connected: bool = True
+) -> Tuple[WeightedGraph, dict]:
+    """A random geometric graph on the unit square.
+
+    Vertices are random points; edges join pairs within ``radius``, with
+    weight equal to Euclidean distance.  This is the library's stand-in
+    for real road networks (see DESIGN.md substitution #1): sparse,
+    low-diameter-per-hop, and spatially local, which is what makes the
+    hop-dependent bound of Theorem 5.5 bite.
+
+    Returns the graph and the vertex -> (x, y) position map.
+    """
+    _require_positive(n)
+    if radius <= 0:
+        raise GraphError(f"radius must be positive, got {radius}")
+    points = {
+        i: (rng.uniform(), rng.uniform()) for i in range(n)
+    }
+    graph = WeightedGraph()
+    for i in range(n):
+        graph.add_vertex(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            xi, yi = points[i]
+            xj, yj = points[j]
+            dist = math.hypot(xi - xj, yi - yj)
+            if dist <= radius:
+                graph.add_edge(i, j, dist)
+    if ensure_connected:
+        _connect_nearest(graph, points)
+    return graph, points
+
+
+def _connect_nearest(graph: WeightedGraph, points: dict) -> None:
+    """Join connected components by their geometrically nearest pair."""
+    from ..algorithms.traversal import connected_components
+
+    while True:
+        components = connected_components(graph)
+        if len(components) <= 1:
+            return
+        base = components[0]
+        best = None
+        for other in components[1:]:
+            for u in base:
+                for v in other:
+                    xu, yu = points[u]
+                    xv, yv = points[v]
+                    dist = math.hypot(xu - xv, yu - yv)
+                    if best is None or dist < best[0]:
+                        best = (dist, u, v)
+        assert best is not None
+        graph.add_edge(best[1], best[2], best[0])
+
+
+def assign_random_weights(
+    graph: WeightedGraph,
+    rng: Rng,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> WeightedGraph:
+    """Return a copy of ``graph`` with i.i.d. uniform weights in
+    ``[low, high]`` — the generic bounded-weight workload of
+    Section 4.2 with ``M = high``."""
+    if low < 0:
+        raise GraphError(f"weights must be nonnegative, got low={low}")
+    if high < low:
+        raise GraphError(f"need high >= low, got [{low}, {high}]")
+    values = rng.uniform_vector(low, high, graph.num_edges)
+    return graph.with_weights(values)

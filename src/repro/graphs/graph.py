@@ -1,0 +1,361 @@
+"""A weighted graph with public topology and mutable edge weights.
+
+This is the central substrate of the library.  :class:`WeightedGraph`
+stores an undirected (or optionally directed) simple graph together with
+a weight function ``w : E -> R``.  In the paper's privacy model
+(Definition 2.1) the topology is public and only the weights are
+private, so the class exposes the weight function as a detachable
+object: :meth:`weights` extracts it, :meth:`with_weights` produces a
+copy of the same public topology carrying different private weights.
+
+Vertices may be any hashable value (ints, strings, ``(row, col)``
+tuples for grids).  Edges of an undirected graph are identified by an
+unordered pair; the canonical orientation is the one used at insertion
+time, and all lookup methods accept either orientation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
+
+import numpy as np
+
+from ..exceptions import (
+    EdgeNotFoundError,
+    GraphError,
+    VertexNotFoundError,
+    WeightError,
+)
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+__all__ = ["Vertex", "Edge", "WeightedGraph"]
+
+
+class WeightedGraph:
+    """A simple weighted graph.
+
+    Parameters
+    ----------
+    directed:
+        If ``True``, edges are ordered pairs.  The distance algorithms of
+        Section 4 of the paper are stated for undirected graphs; the
+        shortest-path results of Section 5 also apply to directed graphs,
+        and this class supports both.
+    """
+
+    def __init__(self, directed: bool = False) -> None:
+        self._directed = bool(directed)
+        # Adjacency: vertex -> neighbor -> weight.  For directed graphs
+        # ``_adj`` holds successors and ``_pred`` holds predecessors; for
+        # undirected graphs ``_pred`` aliases ``_adj``.
+        self._adj: Dict[Vertex, Dict[Vertex, float]] = {}
+        self._pred: Dict[Vertex, Dict[Vertex, float]] = (
+            {} if directed else self._adj
+        )
+        # Canonical edge orientations, in insertion order.
+        self._edges: Dict[Edge, float] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Vertex, Vertex] | Tuple[Vertex, Vertex, float]],
+        directed: bool = False,
+        default_weight: float = 1.0,
+    ) -> "WeightedGraph":
+        """Build a graph from an iterable of ``(u, v)`` or ``(u, v, w)``."""
+        graph = cls(directed=directed)
+        for item in edges:
+            if len(item) == 2:
+                u, v = item  # type: ignore[misc]
+                weight = default_weight
+            elif len(item) == 3:
+                u, v, weight = item  # type: ignore[misc]
+            else:
+                raise GraphError(f"edge tuple must have 2 or 3 items, got {item!r}")
+            graph.add_edge(u, v, float(weight))
+        return graph
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex (no-op if it already exists)."""
+        if v not in self._adj:
+            self._adj[v] = {}
+            if self._directed:
+                self._pred[v] = {}
+
+    def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0) -> Edge:
+        """Add an edge with the given weight and return its canonical key.
+
+        Adding an edge that already exists overwrites its weight.
+        Self-loops are rejected: they never appear on a shortest path,
+        spanning tree or matching, and permitting them would complicate
+        the sensitivity accounting for no benefit.
+        """
+        if u == v:
+            raise GraphError(f"self-loops are not supported (vertex {u!r})")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        existing = self.edge_key(u, v, missing_ok=True)
+        key = existing if existing is not None else (u, v)
+        weight = float(weight)
+        self._edges[key] = weight
+        self._adj[u][v] = weight
+        if self._directed:
+            self._pred[v][u] = weight
+        else:
+            self._adj[v][u] = weight
+        return key
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge between ``u`` and ``v``."""
+        key = self.edge_key(u, v)
+        del self._edges[key]
+        del self._adj[u][v]
+        if self._directed:
+            del self._pred[v][u]
+        else:
+            del self._adj[v][u]
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def directed(self) -> bool:
+        """Whether the graph is directed."""
+        return self._directed
+
+    @property
+    def num_vertices(self) -> int:
+        """``|V|`` — the paper's ``V``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """``|E|`` — the paper's ``E``."""
+        return len(self._edges)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over vertices in insertion order."""
+        return iter(self._adj)
+
+    def vertex_list(self) -> list[Vertex]:
+        """Vertices as a list, in insertion order."""
+        return list(self._adj)
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex, float]]:
+        """Iterate over ``(u, v, weight)`` in canonical orientation."""
+        for (u, v), w in self._edges.items():
+            yield u, v, w
+
+    def edge_list(self) -> list[Edge]:
+        """Canonical edge keys as a list, in insertion order."""
+        return list(self._edges)
+
+    def has_vertex(self, v: Vertex) -> bool:
+        """Whether ``v`` is a vertex of the graph."""
+        return v in self._adj
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Whether an edge joins ``u`` and ``v`` (either orientation if
+        undirected)."""
+        return u in self._adj and v in self._adj[u]
+
+    def edge_key(
+        self, u: Vertex, v: Vertex, missing_ok: bool = False
+    ) -> Edge | None:
+        """Return the canonical key of the edge between ``u`` and ``v``.
+
+        For undirected graphs the canonical key is whichever orientation
+        was used at insertion.  Raises
+        :class:`~repro.exceptions.EdgeNotFoundError` unless
+        ``missing_ok`` is set.
+        """
+        if (u, v) in self._edges:
+            return (u, v)
+        if not self._directed and (v, u) in self._edges:
+            return (v, u)
+        if missing_ok:
+            return None
+        raise EdgeNotFoundError((u, v))
+
+    def neighbors(self, v: Vertex) -> Iterator[Tuple[Vertex, float]]:
+        """Iterate ``(neighbor, weight)`` pairs.
+
+        For directed graphs this iterates successors.
+        """
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        return iter(self._adj[v].items())
+
+    def predecessors(self, v: Vertex) -> Iterator[Tuple[Vertex, float]]:
+        """Iterate ``(predecessor, weight)`` pairs (directed graphs)."""
+        if v not in self._pred:
+            raise VertexNotFoundError(v)
+        return iter(self._pred[v].items())
+
+    def degree(self, v: Vertex) -> int:
+        """Number of incident edges (out-degree for directed graphs)."""
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        return len(self._adj[v])
+
+    # ------------------------------------------------------------------
+    # The weight function w : E -> R (the private data)
+    # ------------------------------------------------------------------
+
+    def weight(self, u: Vertex, v: Vertex) -> float:
+        """The weight of the edge between ``u`` and ``v``."""
+        key = self.edge_key(u, v)
+        assert key is not None
+        return self._edges[key]
+
+    def set_weight(self, u: Vertex, v: Vertex, weight: float) -> None:
+        """Overwrite the weight of an existing edge."""
+        key = self.edge_key(u, v)
+        assert key is not None
+        weight = float(weight)
+        self._edges[key] = weight
+        a, b = key
+        self._adj[a][b] = weight
+        if self._directed:
+            self._pred[b][a] = weight
+        else:
+            self._adj[b][a] = weight
+
+    def weights(self) -> Dict[Edge, float]:
+        """The weight function as a dict keyed by canonical edge."""
+        return dict(self._edges)
+
+    def weight_vector(self, order: Iterable[Edge] | None = None) -> np.ndarray:
+        """The weight function as a vector.
+
+        The paper's histogram formulation (Section 1.3) views ``w`` as a
+        point in ``R^{|E|}``; this method realizes that view.  The
+        default order is canonical insertion order
+        (:meth:`edge_list`).
+        """
+        keys = list(order) if order is not None else self.edge_list()
+        values = []
+        for key in keys:
+            canonical = self.edge_key(*key)
+            assert canonical is not None
+            values.append(self._edges[canonical])
+        return np.asarray(values, dtype=float)
+
+    def with_weights(
+        self, new_weights: Mapping[Edge, float] | np.ndarray | Iterable[float]
+    ) -> "WeightedGraph":
+        """Return a copy of this topology carrying different weights.
+
+        ``new_weights`` may be a mapping from edges (either orientation)
+        to weights, or a sequence aligned with :meth:`edge_list`.  This
+        is how mechanisms release synthetic graphs: same public
+        topology, freshly noised private weights.
+        """
+        clone = self.copy()
+        if isinstance(new_weights, Mapping):
+            for (u, v), weight in new_weights.items():
+                clone.set_weight(u, v, weight)
+        else:
+            values = list(new_weights)
+            keys = clone.edge_list()
+            if len(values) != len(keys):
+                raise WeightError(
+                    f"expected {len(keys)} weights, got {len(values)}"
+                )
+            for key, weight in zip(keys, values):
+                clone.set_weight(*key, float(weight))
+        return clone
+
+    def total_weight(self) -> float:
+        """``||w||_1`` — the sum of all edge weights."""
+        return float(sum(self._edges.values()))
+
+    def check_nonnegative(self) -> None:
+        """Raise :class:`~repro.exceptions.WeightError` if any weight is
+        negative (Definition 2.1 requires ``w : E -> R+``)."""
+        for (u, v), weight in self._edges.items():
+            if weight < 0:
+                raise WeightError(
+                    f"edge ({u!r}, {v!r}) has negative weight {weight}"
+                )
+
+    def check_bounded(self, bound: float) -> None:
+        """Raise :class:`~repro.exceptions.WeightError` unless all
+        weights lie in ``[0, bound]`` (Section 4.2's precondition)."""
+        self.check_nonnegative()
+        for (u, v), weight in self._edges.items():
+            if weight > bound:
+                raise WeightError(
+                    f"edge ({u!r}, {v!r}) has weight {weight} > bound {bound}"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "WeightedGraph":
+        """An independent deep copy."""
+        clone = WeightedGraph(directed=self._directed)
+        for v in self._adj:
+            clone.add_vertex(v)
+        for (u, v), weight in self._edges.items():
+            clone.add_edge(u, v, weight)
+        return clone
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "WeightedGraph":
+        """The induced subgraph on the given vertex set."""
+        keep_set = set(keep)
+        missing = keep_set - set(self._adj)
+        if missing:
+            raise VertexNotFoundError(next(iter(missing)))
+        sub = WeightedGraph(directed=self._directed)
+        for v in self._adj:
+            if v in keep_set:
+                sub.add_vertex(v)
+        for (u, v), weight in self._edges.items():
+            if u in keep_set and v in keep_set:
+                sub.add_edge(u, v, weight)
+        return sub
+
+    def path_weight(self, path: Iterable[Vertex]) -> float:
+        """The weight ``w(P)`` of a path given as a vertex sequence.
+
+        Raises if consecutive vertices are not adjacent, so a released
+        path can be validated against the public topology.
+        """
+        vertices = list(path)
+        total = 0.0
+        for u, v in zip(vertices, vertices[1:]):
+            total += self.weight(u, v)
+        return total
+
+    def is_path(self, path: Iterable[Vertex]) -> bool:
+        """Whether the vertex sequence is a walk in the graph."""
+        vertices = list(path)
+        if not vertices:
+            return False
+        if any(v not in self._adj for v in vertices):
+            return False
+        return all(
+            self.has_edge(u, v) for u, v in zip(vertices, vertices[1:])
+        )
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:
+        kind = "directed" if self._directed else "undirected"
+        return (
+            f"WeightedGraph({kind}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges})"
+        )

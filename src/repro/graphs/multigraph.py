@@ -1,0 +1,232 @@
+"""Weighted multigraphs (parallel edges allowed).
+
+The lower-bound constructions of the paper are multigraphs:
+
+* Figure 2 (Section 5.1): the ``(n+1)``-vertex graph with two parallel
+  edges ``e_i^(0)`` and ``e_i^(1)`` between consecutive vertices,
+* Figure 3 left (Appendix B.1): a star with two parallel edges from the
+  hub to each leaf,
+
+and the paper notes each can be converted to a simple graph by adding
+``n`` extra vertices at a factor-2 cost in the bound.  This module
+implements multigraphs directly and also provides that conversion
+(:meth:`WeightedMultiGraph.to_simple`), so both forms are testable.
+
+Edges are identified by an explicit *key* (any hashable; auto-assigned
+integers by default), since an endpoint pair no longer identifies an
+edge uniquely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
+
+from ..exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+from .graph import Vertex, WeightedGraph
+
+MultiEdge = Hashable
+
+__all__ = ["MultiEdge", "WeightedMultiGraph"]
+
+
+class WeightedMultiGraph:
+    """An undirected weighted multigraph with keyed parallel edges."""
+
+    def __init__(self) -> None:
+        # vertex -> neighbor -> set of edge keys
+        self._adj: Dict[Vertex, Dict[Vertex, set]] = {}
+        # key -> (u, v, weight)
+        self._edges: Dict[MultiEdge, Tuple[Vertex, Vertex, float]] = {}
+        self._next_key = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex (no-op if present)."""
+        if v not in self._adj:
+            self._adj[v] = {}
+
+    def add_edge(
+        self,
+        u: Vertex,
+        v: Vertex,
+        weight: float = 1.0,
+        key: MultiEdge | None = None,
+    ) -> MultiEdge:
+        """Add an edge and return its key.
+
+        Distinct keys may join the same endpoints (parallel edges).
+        Passing an existing key is an error — weights are updated through
+        :meth:`set_weight` to keep intent explicit.
+        """
+        if u == v:
+            raise GraphError(f"self-loops are not supported (vertex {u!r})")
+        if key is None:
+            key = self._next_key
+            self._next_key += 1
+        elif key in self._edges:
+            raise GraphError(f"edge key {key!r} already exists")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._edges[key] = (u, v, float(weight))
+        self._adj[u].setdefault(v, set()).add(key)
+        self._adj[v].setdefault(u, set()).add(key)
+        return key
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """``|V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """``|E|`` counting parallel edges separately."""
+        return len(self._edges)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate vertices in insertion order."""
+        return iter(self._adj)
+
+    def edge_keys(self) -> list[MultiEdge]:
+        """All edge keys in insertion order."""
+        return list(self._edges)
+
+    def edges(self) -> Iterator[Tuple[MultiEdge, Vertex, Vertex, float]]:
+        """Iterate ``(key, u, v, weight)``."""
+        for key, (u, v, w) in self._edges.items():
+            yield key, u, v, w
+
+    def endpoints(self, key: MultiEdge) -> Tuple[Vertex, Vertex]:
+        """The endpoints of the edge with the given key."""
+        if key not in self._edges:
+            raise EdgeNotFoundError(key)
+        u, v, _ = self._edges[key]
+        return u, v
+
+    def weight(self, key: MultiEdge) -> float:
+        """The weight of the edge with the given key."""
+        if key not in self._edges:
+            raise EdgeNotFoundError(key)
+        return self._edges[key][2]
+
+    def set_weight(self, key: MultiEdge, weight: float) -> None:
+        """Overwrite the weight of an existing edge."""
+        if key not in self._edges:
+            raise EdgeNotFoundError(key)
+        u, v, _ = self._edges[key]
+        self._edges[key] = (u, v, float(weight))
+
+    def weights(self) -> Dict[MultiEdge, float]:
+        """The weight function keyed by edge key."""
+        return {key: w for key, (_, _, w) in self._edges.items()}
+
+    def with_weights(
+        self, new_weights: Mapping[MultiEdge, float]
+    ) -> "WeightedMultiGraph":
+        """A copy of the topology carrying different weights."""
+        clone = self.copy()
+        for key, weight in new_weights.items():
+            clone.set_weight(key, weight)
+        return clone
+
+    def parallel_keys(self, u: Vertex, v: Vertex) -> list[MultiEdge]:
+        """All keys of edges joining ``u`` and ``v``."""
+        if u not in self._adj:
+            raise VertexNotFoundError(u)
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        return sorted(self._adj[u].get(v, set()), key=repr)
+
+    def neighbors(self, v: Vertex) -> Iterator[Vertex]:
+        """Iterate distinct neighboring vertices."""
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        return iter(self._adj[v])
+
+    def copy(self) -> "WeightedMultiGraph":
+        """An independent deep copy preserving keys."""
+        clone = WeightedMultiGraph()
+        for v in self._adj:
+            clone.add_vertex(v)
+        for key, (u, v, w) in self._edges.items():
+            clone.add_edge(u, v, w, key=key)
+        clone._next_key = self._next_key
+        return clone
+
+    def path_weight(self, edge_path: Iterable[MultiEdge]) -> float:
+        """Total weight of a path given as a sequence of edge keys."""
+        return float(sum(self.weight(key) for key in edge_path))
+
+    def min_weight_projection(
+        self,
+    ) -> tuple[WeightedGraph, Dict[Tuple[Vertex, Vertex], MultiEdge]]:
+        """Project to a simple graph keeping the lightest parallel edge.
+
+        A shortest path in a multigraph always takes the cheapest of any
+        parallel bundle, so shortest-path queries reduce to this simple
+        graph.  Returns the graph and a map from each kept simple edge
+        (canonical orientation) to the multigraph key it represents —
+        the reconstruction adversaries of Section 5.1 need those keys to
+        read off which of ``e_i^(0)``, ``e_i^(1)`` the path used.
+        """
+        simple = WeightedGraph(directed=False)
+        chosen: Dict[Tuple[Vertex, Vertex], MultiEdge] = {}
+        for v in self._adj:
+            simple.add_vertex(v)
+        for u in self._adj:
+            for v, keys in self._adj[u].items():
+                pair_done = simple.has_edge(u, v)
+                if pair_done:
+                    continue
+                best_key = min(keys, key=lambda k: (self._edges[k][2], repr(k)))
+                canonical = simple.add_edge(u, v, self._edges[best_key][2])
+                chosen[canonical] = best_key
+        return simple, chosen
+
+    # ------------------------------------------------------------------
+    # Conversion to a simple graph (the paper's factor-2 remark)
+    # ------------------------------------------------------------------
+
+    def to_simple(self) -> tuple[WeightedGraph, Dict[MultiEdge, list]]:
+        """Convert to a simple graph by subdividing parallel edges.
+
+        Every edge beyond the first between a pair of endpoints is
+        subdivided: edge ``key`` from ``u`` to ``v`` becomes
+        ``u -- ("sub", key) -- v`` with the original weight on the first
+        half and zero on the second.  Returns the simple graph and a map
+        from each original key to the list of simple edges representing
+        it.  Path weights are preserved exactly; hop counts at most
+        double, which is the paper's factor-2 remark after Theorem 5.1.
+        """
+        simple = WeightedGraph(directed=False)
+        mapping: Dict[MultiEdge, list] = {}
+        seen_pairs: set = set()
+        for v in self._adj:
+            simple.add_vertex(v)
+        for key, (u, v, w) in self._edges.items():
+            pair = frozenset((u, v))
+            if pair not in seen_pairs:
+                seen_pairs.add(pair)
+                simple.add_edge(u, v, w)
+                mapping[key] = [(u, v)]
+            else:
+                mid = ("sub", key)
+                simple.add_edge(u, mid, w)
+                simple.add_edge(mid, v, 0.0)
+                mapping[key] = [(u, mid), (mid, v)]
+        return simple, mapping
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedMultiGraph(|V|={self.num_vertices}, "
+            f"|E|={self.num_edges})"
+        )

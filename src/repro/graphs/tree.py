@@ -1,0 +1,304 @@
+"""Rooted trees: the substrate for Algorithm 1 (Section 4.1).
+
+:class:`RootedTree` wraps a :class:`~repro.graphs.graph.WeightedGraph`
+that is a tree, fixes a root, and precomputes the structures the paper's
+tree-distance algorithm needs:
+
+* subtree sizes, for locating the splitter vertex ``v*`` of Algorithm 1
+  (the unique vertex whose subtree exceeds ``V/2`` vertices while every
+  child subtree has at most ``V/2`` — Figure 1's partition),
+* depth and parents for binary-lifting lowest common ancestors, used by
+  the all-pairs reduction of Theorem 4.2
+  (``d(x, y) = d(v0, x) + d(v0, y) - 2 d(v0, lca(x, y))``),
+* exact root-to-vertex distances, used as the ground truth in tests and
+  benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..exceptions import NotATreeError, VertexNotFoundError
+from .graph import Vertex, WeightedGraph
+
+__all__ = ["RootedTree"]
+
+
+class RootedTree:
+    """A rooted view of a tree-shaped :class:`WeightedGraph`.
+
+    Parameters
+    ----------
+    graph:
+        An undirected, connected graph with ``|E| = |V| - 1`` (a tree).
+    root:
+        The root vertex ``v0``.
+
+    Raises
+    ------
+    NotATreeError
+        If the graph is directed, disconnected, or contains a cycle.
+    VertexNotFoundError
+        If the root is not a vertex of the graph.
+    """
+
+    def __init__(self, graph: WeightedGraph, root: Vertex) -> None:
+        if graph.directed:
+            raise NotATreeError("rooted trees require an undirected graph")
+        if not graph.has_vertex(root):
+            raise VertexNotFoundError(root)
+        if graph.num_edges != graph.num_vertices - 1:
+            raise NotATreeError(
+                f"a tree on {graph.num_vertices} vertices must have "
+                f"{graph.num_vertices - 1} edges, got {graph.num_edges}"
+            )
+        self._graph = graph
+        self._root = root
+        self._parent: Dict[Vertex, Vertex | None] = {root: None}
+        self._children: Dict[Vertex, List[Vertex]] = {}
+        self._depth: Dict[Vertex, int] = {root: 0}
+        self._distance: Dict[Vertex, float] = {root: 0.0}
+        self._order: List[Vertex] = []  # preorder (parents before children)
+        self._build()
+        if len(self._order) != graph.num_vertices:
+            raise NotATreeError(
+                "graph is disconnected: "
+                f"reached {len(self._order)} of {graph.num_vertices} vertices"
+            )
+        self._subtree_size: Dict[Vertex, int] = {}
+        self._compute_subtree_sizes()
+        self._lift: List[Dict[Vertex, Vertex]] = []
+        self._build_lifting()
+
+    def _build(self) -> None:
+        stack = [self._root]
+        visited = {self._root}
+        while stack:
+            v = stack.pop()
+            self._order.append(v)
+            self._children[v] = []
+            for u, weight in self._graph.neighbors(v):
+                if u in visited:
+                    continue
+                visited.add(u)
+                self._parent[u] = v
+                self._children[v].append(u)
+                self._depth[u] = self._depth[v] + 1
+                self._distance[u] = self._distance[v] + weight
+                stack.append(u)
+
+    def _compute_subtree_sizes(self) -> None:
+        for v in reversed(self._order):
+            self._subtree_size[v] = 1 + sum(
+                self._subtree_size[c] for c in self._children[v]
+            )
+
+    def _build_lifting(self) -> None:
+        # lift[j][v] = the 2^j-th ancestor of v (absent once past root).
+        level: Dict[Vertex, Vertex] = {
+            v: p for v, p in self._parent.items() if p is not None
+        }
+        while level:
+            self._lift.append(level)
+            nxt: Dict[Vertex, Vertex] = {}
+            for v, anc in level.items():
+                if anc in level:
+                    nxt[v] = level[anc]
+            level = nxt
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> WeightedGraph:
+        """The underlying tree graph."""
+        return self._graph
+
+    @property
+    def root(self) -> Vertex:
+        """The root vertex ``v0``."""
+        return self._root
+
+    @property
+    def num_vertices(self) -> int:
+        """``|V|``."""
+        return self._graph.num_vertices
+
+    def parent(self, v: Vertex) -> Vertex | None:
+        """The parent of ``v`` (``None`` for the root)."""
+        if v not in self._parent:
+            raise VertexNotFoundError(v)
+        return self._parent[v]
+
+    def children(self, v: Vertex) -> List[Vertex]:
+        """The children of ``v`` in root-away order."""
+        if v not in self._children:
+            raise VertexNotFoundError(v)
+        return list(self._children[v])
+
+    def depth(self, v: Vertex) -> int:
+        """Hop distance from the root to ``v``."""
+        if v not in self._depth:
+            raise VertexNotFoundError(v)
+        return self._depth[v]
+
+    def subtree_size(self, v: Vertex) -> int:
+        """Number of vertices in the subtree rooted at ``v``."""
+        if v not in self._subtree_size:
+            raise VertexNotFoundError(v)
+        return self._subtree_size[v]
+
+    def subtree_vertices(self, v: Vertex) -> List[Vertex]:
+        """All vertices of the subtree rooted at ``v`` (preorder)."""
+        if v not in self._children:
+            raise VertexNotFoundError(v)
+        result = []
+        stack = [v]
+        while stack:
+            u = stack.pop()
+            result.append(u)
+            stack.extend(self._children[u])
+        return result
+
+    def preorder(self) -> List[Vertex]:
+        """All vertices, parents before children."""
+        return list(self._order)
+
+    def is_leaf(self, v: Vertex) -> bool:
+        """Whether ``v`` has no children."""
+        return not self._children.get(v, [])
+
+    # ------------------------------------------------------------------
+    # Exact distances (non-private ground truth)
+    # ------------------------------------------------------------------
+
+    def distance_from_root(self, v: Vertex) -> float:
+        """Exact weighted distance ``d_w(v0, v)``."""
+        if v not in self._distance:
+            raise VertexNotFoundError(v)
+        return self._distance[v]
+
+    def distance(self, x: Vertex, y: Vertex) -> float:
+        """Exact weighted distance ``d_w(x, y)`` via the LCA identity of
+        Theorem 4.2."""
+        z = self.lca(x, y)
+        return (
+            self.distance_from_root(x)
+            + self.distance_from_root(y)
+            - 2.0 * self.distance_from_root(z)
+        )
+
+    def path(self, x: Vertex, y: Vertex) -> List[Vertex]:
+        """The unique path from ``x`` to ``y`` as a vertex list."""
+        z = self.lca(x, y)
+        up: List[Vertex] = []
+        v = x
+        while v != z:
+            up.append(v)
+            parent = self._parent[v]
+            assert parent is not None
+            v = parent
+        down: List[Vertex] = []
+        v = y
+        while v != z:
+            down.append(v)
+            parent = self._parent[v]
+            assert parent is not None
+            v = parent
+        return up + [z] + list(reversed(down))
+
+    def path_to_root(self, v: Vertex) -> List[Vertex]:
+        """The path from ``v`` up to the root."""
+        if v not in self._parent:
+            raise VertexNotFoundError(v)
+        result = [v]
+        while True:
+            parent = self._parent[result[-1]]
+            if parent is None:
+                return result
+            result.append(parent)
+
+    # ------------------------------------------------------------------
+    # Lowest common ancestor (binary lifting)
+    # ------------------------------------------------------------------
+
+    def ancestor(self, v: Vertex, hops: int) -> Vertex:
+        """The ancestor of ``v`` that is ``hops`` levels above it."""
+        if v not in self._depth:
+            raise VertexNotFoundError(v)
+        if hops > self._depth[v]:
+            raise ValueError(
+                f"vertex {v!r} has depth {self._depth[v]} < {hops}"
+            )
+        j = 0
+        while hops:
+            if hops & 1:
+                v = self._lift[j][v]
+            hops >>= 1
+            j += 1
+        return v
+
+    def lca(self, x: Vertex, y: Vertex) -> Vertex:
+        """The lowest common ancestor of ``x`` and ``y``."""
+        if x not in self._depth:
+            raise VertexNotFoundError(x)
+        if y not in self._depth:
+            raise VertexNotFoundError(y)
+        dx, dy = self._depth[x], self._depth[y]
+        if dx > dy:
+            x = self.ancestor(x, dx - dy)
+        elif dy > dx:
+            y = self.ancestor(y, dy - dx)
+        if x == y:
+            return x
+        for level in reversed(self._lift):
+            ax, ay = level.get(x), level.get(y)
+            if ax is not None and ay is not None and ax != ay:
+                x, y = ax, ay
+        parent = self._parent[x]
+        assert parent is not None
+        return parent
+
+    # ------------------------------------------------------------------
+    # The Algorithm 1 splitter (Figure 1)
+    # ------------------------------------------------------------------
+
+    def splitter(self) -> Vertex:
+        """The splitter vertex ``v*`` of Algorithm 1.
+
+        ``v*`` is the unique vertex whose subtree contains more than
+        ``V/2`` vertices while the subtree rooted at each of its children
+        contains at most ``V/2``.  It is found by walking down from the
+        root, always descending into a child whose subtree is still too
+        large.  (Uniqueness: heavy subtrees form a root-down chain.)
+        """
+        half = self.num_vertices / 2.0
+        v = self._root
+        while True:
+            heavy = [
+                c for c in self._children[v] if self._subtree_size[c] > half
+            ]
+            if not heavy:
+                return v
+            # At most one child subtree can exceed half the vertices.
+            assert len(heavy) == 1
+            v = heavy[0]
+
+    def split_at(
+        self, v_star: Vertex
+    ) -> Tuple[List[Vertex], List[List[Vertex]]]:
+        """Partition the vertex set as in Figure 1.
+
+        Returns ``(T0, [T1, ..., Tt])`` where ``Ti`` is the vertex set of
+        the subtree rooted at the ``i``-th child of ``v_star`` and ``T0``
+        is everything else (the component containing the root, including
+        ``v_star`` itself).
+        """
+        subtrees = [self.subtree_vertices(c) for c in self.children(v_star)]
+        removed = set().union(*subtrees) if subtrees else set()
+        t0 = [v for v in self._order if v not in removed]
+        return t0, subtrees
+
+    def __repr__(self) -> str:
+        return f"RootedTree(root={self._root!r}, |V|={self.num_vertices})"

@@ -1,0 +1,33 @@
+"""Workload generators: synthetic road networks, traffic weights, and
+query distributions for the benchmark harness.
+
+The paper motivates its model with navigation systems (Section 1.1) and
+lists "actual road networks and traffic data" as future work; since no
+public traffic dataset ships with this reproduction, these modules
+provide the synthetic equivalents documented in DESIGN.md substitution
+#1.
+"""
+
+from .traffic import (
+    RoadNetwork,
+    grid_road_network,
+    geometric_road_network,
+    congestion_weights,
+    rush_hour_scenario,
+)
+from .queries import (
+    uniform_pairs,
+    fixed_source_pairs,
+    pairs_by_hop_bucket,
+)
+
+__all__ = [
+    "RoadNetwork",
+    "grid_road_network",
+    "geometric_road_network",
+    "congestion_weights",
+    "rush_hour_scenario",
+    "uniform_pairs",
+    "fixed_source_pairs",
+    "pairs_by_hop_bucket",
+]

@@ -1,0 +1,88 @@
+"""Query workloads: which vertex pairs to ask about.
+
+The accuracy of Algorithm 3 depends on the *hop count* of the best
+path, not on ``V`` (Theorem 5.5), so the benchmarks need pair workloads
+stratified by hops — :func:`pairs_by_hop_bucket` provides them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..algorithms.traversal import bfs_hop_distances
+from ..exceptions import GraphError
+from ..graphs.graph import Vertex, WeightedGraph
+from ..rng import Rng
+
+__all__ = ["uniform_pairs", "fixed_source_pairs", "pairs_by_hop_bucket"]
+
+
+def uniform_pairs(
+    graph: WeightedGraph, count: int, rng: Rng
+) -> List[Tuple[Vertex, Vertex]]:
+    """``count`` uniformly random distinct-vertex pairs (with
+    replacement across pairs)."""
+    vertices = graph.vertex_list()
+    if len(vertices) < 2:
+        raise GraphError("need at least 2 vertices to form pairs")
+    pairs = []
+    for _ in range(count):
+        s = rng.choice(vertices)
+        t = rng.choice(vertices)
+        while t == s:
+            t = rng.choice(vertices)
+        pairs.append((s, t))
+    return pairs
+
+
+def fixed_source_pairs(
+    graph: WeightedGraph, source: Vertex, count: int | None = None, rng: Rng | None = None
+) -> List[Tuple[Vertex, Vertex]]:
+    """Pairs from one source to (a sample of) all other vertices —
+    the single-source workload of Theorem 4.1."""
+    others = [v for v in graph.vertices() if v != source]
+    if count is not None:
+        if rng is None:
+            raise GraphError("sampling fixed-source pairs requires an rng")
+        others = rng.sample(others, min(count, len(others)))
+    return [(source, t) for t in others]
+
+
+def pairs_by_hop_bucket(
+    graph: WeightedGraph,
+    rng: Rng,
+    per_bucket: int,
+    buckets: List[Tuple[int, int]],
+) -> Dict[Tuple[int, int], List[Tuple[Vertex, Vertex]]]:
+    """Sample ``per_bucket`` pairs whose *hop* distance falls in each
+    ``[lo, hi]`` bucket.
+
+    Buckets that the graph cannot populate (no pair at those hop
+    distances) come back with fewer pairs, possibly empty — callers
+    should check.  Uses BFS from a sample of sources, so it is
+    approximate for very large graphs but exact per sampled source.
+    """
+    for lo, hi in buckets:
+        if lo < 1 or hi < lo:
+            raise GraphError(f"bad hop bucket [{lo}, {hi}]")
+    vertices = graph.vertex_list()
+    result: Dict[Tuple[int, int], List[Tuple[Vertex, Vertex]]] = {
+        bucket: [] for bucket in buckets
+    }
+    # Sample sources in random order; fill buckets until satisfied.
+    order = list(vertices)
+    rng.shuffle(order)
+    for source in order:
+        if all(len(result[b]) >= per_bucket for b in buckets):
+            break
+        hops = bfs_hop_distances(graph, source)
+        for bucket in buckets:
+            lo, hi = bucket
+            if len(result[bucket]) >= per_bucket:
+                continue
+            candidates = [
+                t for t, h in hops.items() if lo <= h <= hi and t != source
+            ]
+            if candidates:
+                result[bucket].append((source, rng.choice(candidates)))
+    return result

@@ -1,0 +1,169 @@
+"""Synthetic road networks with congestion-style private weights.
+
+The paper's model: road topology is public (a static map), travel times
+are private (aggregated from individual GPS traces, each contributing a
+bounded amount — exactly the L1-neighboring relation of Definition 2.1).
+These generators produce plausible stand-ins:
+
+* :func:`grid_road_network` — a Manhattan-style grid with a few diagonal
+  shortcuts removed/perturbed, the classic road-network abstraction;
+* :func:`geometric_road_network` — a random geometric graph whose edge
+  base-times equal Euclidean length, resembling an inter-city network;
+* :func:`congestion_weights` — turns base travel times into congested
+  travel times with multiplicative and additive noise;
+* :func:`rush_hour_scenario` — overlays a congestion hot-spot on a
+  region, the kind of localized pattern a navigation provider must not
+  leak.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..exceptions import GraphError
+from ..graphs.generators import grid_graph, random_geometric_graph
+from ..graphs.graph import Vertex, WeightedGraph
+from ..rng import Rng
+
+__all__ = [
+    "RoadNetwork",
+    "grid_road_network",
+    "geometric_road_network",
+    "congestion_weights",
+    "rush_hour_scenario",
+]
+
+
+@dataclass
+class RoadNetwork:
+    """A road network: public topology plus vertex coordinates.
+
+    ``graph`` carries the current (private) travel-time weights;
+    ``positions`` maps each vertex to planar coordinates (public — part
+    of the topology) used to place congestion hot-spots.
+    """
+
+    graph: WeightedGraph
+    positions: Dict[Vertex, Tuple[float, float]]
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+
+def grid_road_network(
+    rows: int,
+    cols: int,
+    rng: Rng,
+    block_minutes: float = 2.0,
+    irregularity: float = 0.3,
+) -> RoadNetwork:
+    """A Manhattan-style grid road network.
+
+    Every block takes ``block_minutes`` at free flow, perturbed by up to
+    ``irregularity`` (relative) to model differing street qualities.
+    """
+    if block_minutes <= 0:
+        raise GraphError(f"block_minutes must be positive, got {block_minutes}")
+    if not 0.0 <= irregularity < 1.0:
+        raise GraphError(
+            f"irregularity must be in [0, 1), got {irregularity}"
+        )
+    graph = grid_graph(rows, cols)
+    weights = {}
+    for u, v, _ in graph.edges():
+        factor = 1.0 + rng.uniform(-irregularity, irregularity)
+        weights[(u, v)] = block_minutes * factor
+    positions = {(r, c): (float(c), float(r)) for r in range(rows) for c in range(cols)}
+    return RoadNetwork(graph=graph.with_weights(weights), positions=positions)
+
+
+def geometric_road_network(
+    n: int,
+    rng: Rng,
+    radius: float | None = None,
+    speed: float = 1.0,
+) -> RoadNetwork:
+    """An inter-city style network from a random geometric graph.
+
+    ``radius`` defaults to the standard connectivity threshold
+    ``~sqrt(2 ln n / n)``; weights are travel times = length / speed.
+    """
+    if n < 2:
+        raise GraphError(f"need at least 2 cities, got {n}")
+    if speed <= 0:
+        raise GraphError(f"speed must be positive, got {speed}")
+    if radius is None:
+        radius = math.sqrt(2.0 * math.log(n) / n)
+    graph, positions = random_geometric_graph(n, radius, rng)
+    weights = {}
+    for u, v, w in graph.edges():
+        weights[(u, v)] = w / speed
+    return RoadNetwork(graph=graph.with_weights(weights), positions=positions)
+
+
+def congestion_weights(
+    network: RoadNetwork,
+    rng: Rng,
+    congestion_level: float = 0.5,
+    cap: float | None = None,
+) -> WeightedGraph:
+    """Congested travel times: each edge's time is multiplied by
+    ``1 + congestion_level * U`` with ``U`` uniform in [0, 1].
+
+    With ``cap`` set, times are clipped to it — producing a valid input
+    for the bounded-weight algorithms of Section 4.2 with ``M = cap``.
+    """
+    if congestion_level < 0:
+        raise GraphError(
+            f"congestion_level must be nonnegative, got {congestion_level}"
+        )
+    weights = {}
+    for u, v, w in network.graph.edges():
+        congested = w * (1.0 + congestion_level * rng.uniform())
+        if cap is not None:
+            congested = min(congested, cap)
+        weights[(u, v)] = congested
+    return network.graph.with_weights(weights)
+
+
+def rush_hour_scenario(
+    network: RoadNetwork,
+    rng: Rng,
+    center: Tuple[float, float],
+    hot_radius: float,
+    slowdown: float = 3.0,
+) -> WeightedGraph:
+    """Overlay a congestion hot-spot: edges with both endpoints within
+    ``hot_radius`` of ``center`` are slowed by factor ``slowdown``
+    (jittered ±10%).
+
+    This is the private signal of the motivating example — the release
+    mechanisms must provide useful routes without revealing *where* the
+    hot-spot is beyond what the noise allows.
+    """
+    if hot_radius <= 0:
+        raise GraphError(f"hot_radius must be positive, got {hot_radius}")
+    if slowdown < 1.0:
+        raise GraphError(f"slowdown must be >= 1, got {slowdown}")
+    cx, cy = center
+    weights = {}
+    for u, v, w in network.graph.edges():
+        ux, uy = network.positions[u]
+        vx, vy = network.positions[v]
+        inside = (
+            math.hypot(ux - cx, uy - cy) <= hot_radius
+            and math.hypot(vx - cx, vy - cy) <= hot_radius
+        )
+        if inside:
+            jitter = 1.0 + rng.uniform(-0.1, 0.1)
+            weights[(u, v)] = w * slowdown * jitter
+        else:
+            weights[(u, v)] = w
+    return network.graph.with_weights(weights)

@@ -1,0 +1,149 @@
+"""Unit tests for :mod:`repro.algorithms.covering` (Definition 4.1,
+Lemma 4.4, Theorem 4.7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DisconnectedGraphError, GraphError, WeightedGraph
+from repro.algorithms import (
+    grid_covering,
+    is_k_covering,
+    meir_moon_k_covering,
+    nearest_in_set,
+)
+from repro.algorithms.covering import greedy_k_covering
+from repro.graphs import generators
+
+
+class TestIsKCovering:
+    def test_full_vertex_set_is_0_covering(self, grid5):
+        assert is_k_covering(grid5, grid5.vertex_list(), 0)
+
+    def test_center_covers_grid(self, grid5):
+        assert is_k_covering(grid5, [(2, 2)], 4)
+        assert not is_k_covering(grid5, [(2, 2)], 3)
+
+    def test_empty_candidate(self, grid5):
+        assert not is_k_covering(grid5, [], 1)
+        assert is_k_covering(WeightedGraph(), [], 1)
+
+    def test_negative_k_rejected(self, grid5):
+        with pytest.raises(GraphError):
+            is_k_covering(grid5, [(0, 0)], -1)
+
+    def test_unknown_vertex_rejected(self, grid5):
+        with pytest.raises(GraphError):
+            is_k_covering(grid5, [(9, 9)], 1)
+
+
+class TestNearestInSet:
+    def test_assignment_within_cutoff(self, grid5):
+        targets = [(0, 0), (4, 4)]
+        assignment = nearest_in_set(grid5, targets)
+        assert assignment[(0, 0)] == ((0, 0), 0)
+        assert assignment[(4, 3)] == ((4, 4), 1)
+        # (1, 1) is 2 hops from (0,0), 6 from (4,4).
+        origin, hops = assignment[(1, 1)]
+        assert origin == (0, 0) and hops == 2
+
+    def test_cutoff_limits_reach(self, grid5):
+        assignment = nearest_in_set(grid5, [(0, 0)], cutoff=2)
+        assert (2, 2) not in assignment
+        assert (1, 1) in assignment
+
+    def test_every_vertex_assigned_without_cutoff(self, grid5):
+        assignment = nearest_in_set(grid5, [(2, 2)])
+        assert len(assignment) == 25
+
+
+class TestMeirMoon:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_size_bound_on_random_graphs(self, rng, k):
+        """Lemma 4.4: |Z| <= floor(V / (k+1)) for V >= k+1."""
+        for _ in range(3):
+            g = generators.erdos_renyi_graph(40, 0.08, rng)
+            covering = meir_moon_k_covering(g, k)
+            assert is_k_covering(g, covering, k)
+            assert len(covering) <= 40 // (k + 1)
+
+    def test_path_graph(self):
+        g = generators.path_graph(20)
+        covering = meir_moon_k_covering(g, 3)
+        assert is_k_covering(g, covering, 3)
+        assert len(covering) <= 5
+
+    def test_star_with_large_k(self):
+        """Eccentricity < k: a single vertex must suffice."""
+        g = generators.star_graph(10)
+        covering = meir_moon_k_covering(g, 5)
+        assert is_k_covering(g, covering, 5)
+        assert len(covering) == 1
+
+    def test_k_zero_returns_all(self, grid5):
+        covering = meir_moon_k_covering(grid5, 0)
+        assert sorted(covering) == sorted(grid5.vertex_list())
+
+    def test_too_small_graph_rejected(self):
+        g = generators.path_graph(3)
+        with pytest.raises(GraphError):
+            meir_moon_k_covering(g, 5)
+
+    def test_disconnected_rejected(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            meir_moon_k_covering(g, 1)
+
+    def test_trees(self, rng):
+        for _ in range(3):
+            g = generators.random_tree(30, rng)
+            covering = meir_moon_k_covering(g, 2)
+            assert is_k_covering(g, covering, 2)
+            assert len(covering) <= 10
+
+
+class TestGreedyCovering:
+    def test_valid_covering(self, grid5):
+        covering = greedy_k_covering(grid5, 2)
+        assert is_k_covering(grid5, covering, 2)
+
+    def test_never_larger_than_needed_much(self, grid5):
+        # Greedy on the 5x5 grid with k=4: one center vertex suffices.
+        covering = greedy_k_covering(grid5, 4)
+        assert len(covering) == 1
+
+    def test_disconnected_covered_per_component(self):
+        """Greedy covering works component-wise (unlike Lemma 4.4,
+        which requires connectivity)."""
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        covering = greedy_k_covering(g, 1)
+        assert is_k_covering(g, covering, 1)
+        assert len(covering) == 2
+
+
+class TestGridCovering:
+    def test_theorem_47_parameters(self):
+        """On the sqrt(V) x sqrt(V) grid with spacing s = V^(1/3): the
+        lattice is a 2s-covering of size <= ~V^(1/3)."""
+        side = 16  # V = 256, V^(1/3) ~ 6.35
+        g = generators.grid_graph(side, side)
+        spacing = round((side * side) ** (1 / 3))
+        covering = grid_covering(side, side, spacing)
+        assert is_k_covering(g, covering, 2 * spacing)
+        assert len(covering) <= (side // spacing + 1) ** 2
+
+    def test_covering_positions(self):
+        covering = grid_covering(10, 10, 5)
+        assert set(covering) == {(4, 4), (4, 9), (9, 4), (9, 9)}
+
+    def test_small_grid_fallback(self):
+        covering = grid_covering(2, 2, 10)
+        assert covering == [(1, 1)]
+        g = generators.grid_graph(2, 2)
+        assert is_k_covering(g, covering, 2)
+
+    def test_invalid_args(self):
+        with pytest.raises(GraphError):
+            grid_covering(0, 5, 2)
+        with pytest.raises(GraphError):
+            grid_covering(5, 5, 0)

@@ -1,0 +1,254 @@
+"""Unit tests for :mod:`repro.algorithms.matching`."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro import GraphError, MatchingError, WeightedGraph
+from repro.algorithms import (
+    exact_min_weight_perfect_matching,
+    greedy_perfect_matching,
+    hungarian_min_cost_perfect_matching,
+    is_perfect_matching,
+    matching_weight,
+)
+from repro.algorithms.matching import (
+    bipartition,
+    hungarian_min_cost_assignment,
+)
+from repro.graphs import generators
+
+
+def brute_force_min_perfect_matching(graph: WeightedGraph) -> float:
+    """Exponential reference: try all perfect matchings."""
+    vertices = graph.vertex_list()
+    best = float("inf")
+
+    def recurse(remaining: tuple, acc: float) -> None:
+        nonlocal best
+        if not remaining:
+            best = min(best, acc)
+            return
+        u = remaining[0]
+        rest = remaining[1:]
+        for v in rest:
+            if graph.has_edge(u, v):
+                recurse(
+                    tuple(x for x in rest if x != v),
+                    acc + graph.weight(u, v),
+                )
+
+    recurse(tuple(vertices), 0.0)
+    return best
+
+
+class TestHungarianAssignment:
+    def test_identity_optimal(self):
+        cost = [[0.0, 5.0], [5.0, 0.0]]
+        assignment, total = hungarian_min_cost_assignment(cost)
+        assert assignment == [0, 1]
+        assert total == 0.0
+
+    def test_cross_optimal(self):
+        cost = [[5.0, 0.0], [0.0, 5.0]]
+        assignment, total = hungarian_min_cost_assignment(cost)
+        assert assignment == [1, 0]
+        assert total == 0.0
+
+    def test_negative_costs(self):
+        cost = [[-2.0, 1.0], [1.0, -3.0]]
+        _, total = hungarian_min_cost_assignment(cost)
+        assert total == -5.0
+
+    def test_empty(self):
+        assert hungarian_min_cost_assignment([]) == ([], 0.0)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian_min_cost_assignment([[1.0, 2.0]])
+
+    def test_against_brute_force(self, rng):
+        for _ in range(10):
+            n = 5
+            cost = [
+                [rng.uniform(-3, 3) for _ in range(n)] for _ in range(n)
+            ]
+            _, total = hungarian_min_cost_assignment(cost)
+            brute = min(
+                sum(cost[i][p[i]] for i in range(n))
+                for p in itertools.permutations(range(n))
+            )
+            assert total == pytest.approx(brute)
+
+
+class TestBipartition:
+    def test_even_cycle(self):
+        g = generators.cycle_graph(6)
+        left, right = bipartition(g)
+        assert len(left) == len(right) == 3
+        for u, v, _ in g.edges():
+            assert (u in left) != (v in left)
+
+    def test_odd_cycle_rejected(self):
+        g = generators.cycle_graph(5)
+        with pytest.raises(GraphError):
+            bipartition(g)
+
+    def test_disconnected_components(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        left, right = bipartition(g)
+        assert len(left) + len(right) == 4
+
+
+class TestHungarianMatching:
+    def test_simple_bipartite(self):
+        g = WeightedGraph.from_edges(
+            [("l0", "r0", 1.0), ("l0", "r1", 5.0), ("l1", "r0", 5.0), ("l1", "r1", 1.0)]
+        )
+        matching = hungarian_min_cost_perfect_matching(g)
+        assert is_perfect_matching(g, matching)
+        assert matching_weight(g, matching) == 2.0
+
+    def test_no_perfect_matching(self):
+        # Two left vertices forced onto the same right vertex.
+        g = WeightedGraph.from_edges(
+            [
+                ("l0", "r0", 1.0),
+                ("l1", "r0", 1.0),
+                ("l2", "r1", 1.0),
+                ("l2", "r2", 1.0),
+            ]
+        )
+        with pytest.raises(MatchingError):
+            hungarian_min_cost_perfect_matching(
+                g, left=["l0", "l1", "l2"], right=["r0", "r1", "r2"]
+            )
+
+    def test_unequal_sides(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (0, 3, 1.0)])
+        with pytest.raises(MatchingError):
+            hungarian_min_cost_perfect_matching(g, left=[0], right=[1, 3])
+
+    def test_matches_brute_force_random_bipartite(self, rng):
+        for _ in range(5):
+            n = 4
+            g = WeightedGraph()
+            for i in range(n):
+                for j in range(n):
+                    if rng.uniform() < 0.8:
+                        g.add_edge(("L", i), ("R", j), rng.uniform(-2, 5))
+            for i in range(n):
+                g.add_vertex(("L", i))
+                g.add_vertex(("R", i))
+            try:
+                matching = hungarian_min_cost_perfect_matching(
+                    g,
+                    left=[("L", i) for i in range(n)],
+                    right=[("R", j) for j in range(n)],
+                )
+            except MatchingError:
+                assert brute_force_min_perfect_matching(g) == float("inf")
+                continue
+            assert is_perfect_matching(g, matching)
+            assert matching_weight(g, matching) == pytest.approx(
+                brute_force_min_perfect_matching(g)
+            )
+
+
+class TestExactGeneralMatching:
+    def test_square_cycle(self):
+        g = generators.cycle_graph(4)
+        g.set_weight(0, 1, 1.0)
+        g.set_weight(1, 2, 10.0)
+        g.set_weight(2, 3, 1.0)
+        g.set_weight(3, 0, 10.0)
+        matching = exact_min_weight_perfect_matching(g)
+        assert matching_weight(g, matching) == 2.0
+
+    def test_odd_component_rejected(self):
+        g = generators.cycle_graph(3)
+        with pytest.raises(MatchingError):
+            exact_min_weight_perfect_matching(g)
+
+    def test_component_without_matching(self):
+        g = generators.star_graph(4)  # hub + 3 leaves: even but no PM
+        with pytest.raises(MatchingError):
+            exact_min_weight_perfect_matching(g)
+
+    def test_too_large_component_rejected(self):
+        g = generators.cycle_graph(24)
+        with pytest.raises(MatchingError):
+            exact_min_weight_perfect_matching(g)
+
+    def test_per_component_solving(self):
+        """Disjoint 4-cycles are solved independently (the hourglass
+        instance pattern)."""
+        g = WeightedGraph()
+        for c in range(6):
+            g.add_edge((c, 0), (c, 1), 1.0)
+            g.add_edge((c, 1), (c, 2), 9.0)
+            g.add_edge((c, 2), (c, 3), 1.0)
+            g.add_edge((c, 3), (c, 0), 9.0)
+        matching = exact_min_weight_perfect_matching(g)
+        assert is_perfect_matching(g, matching)
+        assert matching_weight(g, matching) == 12.0
+
+    def test_matches_networkx_on_general_graphs(self, rng):
+        """Oracle check on non-bipartite graphs."""
+        for _ in range(5):
+            n = 8
+            g = generators.erdos_renyi_graph(n, 0.6, rng)
+            g = generators.assign_random_weights(g, rng, 0.1, 4.0)
+            nxg = nx.Graph()
+            for u, v, w in g.edges():
+                nxg.add_edge(u, v, weight=w)
+            expected = nx.min_weight_matching(nxg)
+            if len(expected) * 2 != n:
+                continue  # no perfect matching; skip
+            expected_weight = sum(
+                nxg[u][v]["weight"] for u, v in expected
+            )
+            matching = exact_min_weight_perfect_matching(g)
+            assert is_perfect_matching(g, matching)
+            assert matching_weight(g, matching) == pytest.approx(
+                expected_weight
+            )
+
+    def test_negative_weights(self):
+        g = WeightedGraph.from_edges(
+            [(0, 1, -4.0), (1, 2, -10.0), (2, 3, -4.0), (3, 0, -1.0)]
+        )
+        matching = exact_min_weight_perfect_matching(g)
+        assert matching_weight(g, matching) == -11.0
+
+
+class TestGreedyAndValidation:
+    def test_greedy_valid_on_complete_even(self, rng):
+        g = generators.complete_graph(8)
+        g = generators.assign_random_weights(g, rng, 0.0, 1.0)
+        matching = greedy_perfect_matching(g)
+        assert is_perfect_matching(g, matching)
+
+    def test_greedy_failure(self):
+        # Path on 4 vertices with a tempting middle edge.
+        g = WeightedGraph.from_edges(
+            [(0, 1, 5.0), (1, 2, 1.0), (2, 3, 5.0)]
+        )
+        with pytest.raises(MatchingError):
+            greedy_perfect_matching(g)
+
+    def test_is_perfect_matching_rejects_overlap(self, triangle):
+        assert not is_perfect_matching(
+            triangle, [(0, 1), (1, 2)]
+        )
+
+    def test_is_perfect_matching_rejects_non_edge(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        assert not is_perfect_matching(g, [(0, 2), (1, 3)])
+
+    def test_is_perfect_matching_accepts(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        assert is_perfect_matching(g, [(0, 1), (2, 3)])

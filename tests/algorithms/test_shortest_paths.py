@@ -1,0 +1,149 @@
+"""Unit tests for :mod:`repro.algorithms.shortest_paths`, including
+networkx as an oracle."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import (
+    DisconnectedGraphError,
+    GraphError,
+    VertexNotFoundError,
+    WeightedGraph,
+    WeightError,
+)
+from repro.algorithms import (
+    all_pairs_dijkstra,
+    bellman_ford,
+    dijkstra,
+    dijkstra_path,
+    path_hops,
+)
+from repro.graphs import generators
+
+
+def to_networkx(graph: WeightedGraph) -> nx.Graph:
+    nxg = nx.DiGraph() if graph.directed else nx.Graph()
+    nxg.add_nodes_from(graph.vertices())
+    for u, v, w in graph.edges():
+        nxg.add_edge(u, v, weight=w)
+    return nxg
+
+
+class TestDijkstra:
+    def test_triangle(self, triangle):
+        distances, _ = dijkstra(triangle, 0)
+        assert distances == {0: 0.0, 1: 1.0, 2: 3.0}
+
+    def test_path_recovery(self, triangle):
+        path, weight = dijkstra_path(triangle, 0, 2)
+        assert path == [0, 1, 2]
+        assert weight == 3.0
+
+    def test_direct_edge_not_always_shortest(self, triangle):
+        # Edge (0, 2) has weight 4 but the two-hop path weighs 3.
+        path, weight = dijkstra_path(triangle, 0, 2)
+        assert len(path) == 3
+
+    def test_early_exit_with_target(self, grid5):
+        distances, _ = dijkstra(grid5, (0, 0), target=(0, 1))
+        assert distances[(0, 1)] == 1.0
+        # Early exit means far corners may be unsettled.
+        assert len(distances) < grid5.num_vertices
+
+    def test_negative_weight_rejected(self):
+        g = WeightedGraph.from_edges([(0, 1, -1.0)])
+        with pytest.raises(WeightError):
+            dijkstra(g, 0)
+
+    def test_missing_vertices(self, triangle):
+        with pytest.raises(VertexNotFoundError):
+            dijkstra(triangle, 99)
+        with pytest.raises(VertexNotFoundError):
+            dijkstra(triangle, 0, target=99)
+
+    def test_unreachable_target(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            dijkstra_path(g, 0, 3)
+
+    def test_directed_asymmetry(self):
+        g = WeightedGraph(directed=True)
+        g.add_edge(0, 1, 1.0)
+        distances, _ = dijkstra(g, 1)
+        assert 0 not in distances
+
+    def test_zero_weight_edges(self):
+        g = WeightedGraph.from_edges([(0, 1, 0.0), (1, 2, 0.0)])
+        _, weight = dijkstra_path(g, 0, 2)
+        assert weight == 0.0
+
+    def test_against_networkx_random(self, rng):
+        for _ in range(5):
+            g = generators.erdos_renyi_graph(25, 0.15, rng)
+            g = generators.assign_random_weights(g, rng, 0.1, 10.0)
+            nxg = to_networkx(g)
+            expected = dict(nx.single_source_dijkstra_path_length(nxg, 0))
+            actual, _ = dijkstra(g, 0)
+            assert set(actual) == set(expected)
+            for v in expected:
+                assert actual[v] == pytest.approx(expected[v])
+
+    def test_all_pairs_subset_sources(self, grid5):
+        result = all_pairs_dijkstra(grid5, sources=[(0, 0), (4, 4)])
+        assert set(result) == {(0, 0), (4, 4)}
+        assert result[(0, 0)][(4, 4)] == 8.0
+
+    def test_all_pairs_matches_single_source(self, triangle):
+        result = all_pairs_dijkstra(triangle)
+        for s in triangle.vertices():
+            expected, _ = dijkstra(triangle, s)
+            assert result[s] == expected
+
+
+class TestBellmanFord:
+    def test_matches_dijkstra_nonnegative(self, rng):
+        g = generators.erdos_renyi_graph(15, 0.2, rng)
+        g = generators.assign_random_weights(g, rng, 0.0, 5.0)
+        bf, _ = bellman_ford(g, 0)
+        dj, _ = dijkstra(g, 0)
+        assert set(bf) == set(dj)
+        for v in dj:
+            assert bf[v] == pytest.approx(dj[v])
+
+    def test_directed_negative_weights(self):
+        g = WeightedGraph(directed=True)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(1, 2, -1.0)
+        g.add_edge(0, 2, 3.0)
+        distances, parents = bellman_ford(g, 0)
+        assert distances[2] == 1.0
+        assert parents[2] == 1
+
+    def test_negative_cycle_detected(self):
+        g = WeightedGraph(directed=True)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, -3.0)
+        g.add_edge(2, 0, 1.0)
+        with pytest.raises(GraphError):
+            bellman_ford(g, 0)
+
+    def test_undirected_negative_edge_rejected(self):
+        g = WeightedGraph.from_edges([(0, 1, -1.0)])
+        with pytest.raises(GraphError):
+            bellman_ford(g, 0)
+
+    def test_missing_source(self, triangle):
+        with pytest.raises(VertexNotFoundError):
+            bellman_ford(triangle, 99)
+
+
+class TestPathHops:
+    def test_hops(self):
+        assert path_hops([0, 1, 2, 3]) == 3
+        assert path_hops([0]) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            path_hops([])

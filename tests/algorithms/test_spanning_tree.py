@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.algorithms.spanning_tree`."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import DisconnectedGraphError, VertexNotFoundError, WeightedGraph
+from repro.algorithms import (
+    UnionFind,
+    kruskal_mst,
+    prim_mst,
+    spanning_tree_weight,
+)
+from repro.graphs import generators
+
+
+class TestUnionFind:
+    def test_singletons_are_separate(self):
+        uf = UnionFind([1, 2, 3])
+        assert not uf.together(1, 2)
+
+    def test_union_and_find(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.union(1, 2)
+        assert uf.together(1, 2)
+        assert not uf.union(1, 2)  # already merged
+
+    def test_transitive_union(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.together(0, 2)
+        assert not uf.together(2, 3)
+
+    def test_unknown_item(self):
+        uf = UnionFind()
+        with pytest.raises(KeyError):
+            uf.find("ghost")
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.add("x")
+        assert len(uf) == 1
+
+
+class TestMst:
+    def test_kruskal_triangle(self, triangle):
+        tree = kruskal_mst(triangle)
+        assert spanning_tree_weight(triangle, tree) == 3.0
+        assert len(tree) == 2
+
+    def test_prim_matches_kruskal_weight(self, rng):
+        for _ in range(5):
+            g = generators.erdos_renyi_graph(20, 0.2, rng)
+            g = generators.assign_random_weights(g, rng, 0.1, 10.0)
+            wk = spanning_tree_weight(g, kruskal_mst(g))
+            wp = spanning_tree_weight(g, prim_mst(g))
+            assert wk == pytest.approx(wp)
+
+    def test_against_networkx(self, rng):
+        g = generators.erdos_renyi_graph(25, 0.25, rng)
+        g = generators.assign_random_weights(g, rng, 0.1, 10.0)
+        nxg = nx.Graph()
+        for u, v, w in g.edges():
+            nxg.add_edge(u, v, weight=w)
+        expected = sum(
+            d["weight"]
+            for _, _, d in nx.minimum_spanning_edges(nxg, data=True)
+        )
+        assert spanning_tree_weight(g, kruskal_mst(g)) == pytest.approx(
+            expected
+        )
+
+    def test_negative_weights(self):
+        """Appendix B allows negative weights; MST must handle them."""
+        g = WeightedGraph.from_edges(
+            [(0, 1, -5.0), (1, 2, 2.0), (0, 2, -1.0)]
+        )
+        tree = kruskal_mst(g)
+        assert spanning_tree_weight(g, tree) == -6.0
+
+    def test_disconnected_raises(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            kruskal_mst(g)
+        with pytest.raises(DisconnectedGraphError):
+            prim_mst(g)
+
+    def test_tree_input_is_identity(self, rng):
+        g = generators.random_tree(30, rng)
+        g = generators.assign_random_weights(g, rng, 1.0, 5.0)
+        tree = kruskal_mst(g)
+        assert sorted(map(sorted, tree)) == sorted(
+            map(sorted, g.edge_list())
+        )
+
+    def test_prim_start_vertex(self, grid5):
+        tree = prim_mst(grid5, start=(2, 2))
+        assert len(tree) == 24
+
+    def test_prim_bad_start(self, grid5):
+        with pytest.raises(VertexNotFoundError):
+            prim_mst(grid5, start=(9, 9))
+
+    def test_empty_graph(self):
+        assert prim_mst(WeightedGraph()) == []
+
+    def test_spanning_tree_weight_cross_evaluation(self, triangle):
+        """Evaluating a tree under a different weighting (the
+        Theorem B.3 error analysis pattern)."""
+        tree = kruskal_mst(triangle)
+        reweighted = triangle.with_weights(
+            {key: 10.0 for key in triangle.edge_list()}
+        )
+        assert spanning_tree_weight(reweighted, tree) == 20.0

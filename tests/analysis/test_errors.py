@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.analysis.errors`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ErrorSummary,
+    distance_errors,
+    path_error,
+    summarize_errors,
+)
+from repro.analysis.errors import path_errors
+from repro.graphs import generators
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize_errors([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(22.0)
+        assert summary.median == 3.0
+        assert summary.maximum == 100.0
+        assert summary.p95 >= summary.median
+        assert summary.p99 >= summary.p95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors([])
+
+    def test_row_and_headers_align(self):
+        summary = summarize_errors([1.0])
+        assert len(summary.as_row()) == len(ErrorSummary.headers())
+
+
+class TestDistanceErrors:
+    def test_zero_for_exact_oracle(self, grid5):
+        from repro.algorithms import dijkstra_path
+
+        pairs = [((0, 0), (4, 4)), ((1, 1), (3, 0))]
+        errors = distance_errors(
+            grid5, pairs, lambda s, t: dijkstra_path(grid5, s, t)[1]
+        )
+        assert errors == [0.0, 0.0]
+
+    def test_absolute_value(self, grid5):
+        pairs = [((0, 0), (0, 1))]
+        errors = distance_errors(grid5, pairs, lambda s, t: -5.0)
+        assert errors == [6.0]
+
+
+class TestPathError:
+    def test_shortest_path_zero_error(self, triangle):
+        assert path_error(triangle, [0, 1, 2]) == 0.0
+
+    def test_detour_positive_error(self, triangle):
+        assert path_error(triangle, [0, 2]) == 1.0  # 4 vs 3
+
+    def test_path_errors_batch(self, grid5):
+        errors = path_errors(
+            grid5,
+            [((0, 0), (0, 2))],
+            lambda s, t: [(0, 0), (1, 0), (1, 1), (1, 2), (0, 2)],
+        )
+        assert errors == [2.0]  # 4 hops vs 2
+
+    def test_nonnegative_by_optimality(self, rng):
+        """Any valid path's error is >= 0."""
+        g = generators.grid_graph(4, 4)
+        # a meandering but valid path
+        path = [(0, 0), (1, 0), (1, 1), (0, 1), (0, 2)]
+        assert path_error(g, path) >= 0.0

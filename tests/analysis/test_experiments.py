@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.analysis.experiments`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentResult, run_trials, summarize_errors, sweep
+from repro.analysis.experiments import results_table
+
+
+class TestRunTrials:
+    def test_pooling(self):
+        errors = run_trials(lambda rng: [1.0, 2.0], trials=3, seed=0)
+        assert errors == [1.0, 2.0] * 3
+
+    def test_reproducible(self):
+        def trial(rng):
+            return [rng.laplace(1.0)]
+
+        a = run_trials(trial, trials=5, seed=7)
+        b = run_trials(trial, trials=5, seed=7)
+        assert a == b
+
+    def test_trials_independent(self):
+        def trial(rng):
+            return [rng.laplace(1.0)]
+
+        errors = run_trials(trial, trials=5, seed=7)
+        assert len(set(errors)) == 5
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda rng: [1.0], trials=0, seed=0)
+
+
+class TestSweep:
+    def test_settings_and_bounds(self):
+        settings = [{"v": 10}, {"v": 20}]
+        results = sweep(
+            settings,
+            trial_factory=lambda s: (lambda rng: [float(s["v"])]),
+            trials=2,
+            seed=0,
+            bound=lambda s: s["v"] * 2.0,
+        )
+        assert len(results) == 2
+        assert results[0].summary.maximum == 10.0
+        assert results[0].predicted_bound == 20.0
+        assert results[0].within_bound is True
+
+    def test_no_bound(self):
+        results = sweep(
+            [{"v": 1}],
+            trial_factory=lambda s: (lambda rng: [0.5]),
+            trials=1,
+            seed=0,
+        )
+        assert results[0].within_bound is None
+
+
+class TestResultsTable:
+    def test_rendering(self):
+        result = ExperimentResult(
+            setting={"v": 10, "eps": 1.0},
+            summary=summarize_errors([1.0, 2.0]),
+            predicted_bound=5.0,
+        )
+        table = results_table([result], ["v", "eps"], title="E1")
+        assert "E1" in table
+        assert "bound" in table
+        assert "within" in table
+        assert "10" in table
+
+    def test_rendering_without_bounds(self):
+        result = ExperimentResult(
+            setting={"v": 10},
+            summary=summarize_errors([1.0]),
+        )
+        table = results_table([result], ["v"])
+        assert "bound" not in table

@@ -1,0 +1,59 @@
+"""Unit tests for :mod:`repro.analysis.tables`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.analysis.tables import format_value
+
+
+class TestFormatValue:
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+    def test_float_fixed(self):
+        assert format_value(3.14159, precision=3) == "3.142"
+
+    def test_float_scientific_for_extremes(self):
+        assert "e" in format_value(1.5e7)
+        assert "e" in format_value(1.5e-7)
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_structure(self):
+        table = render_table(
+            ["V", "error"], [[10, 1.5], [100, 2.5]], title="demo"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "V" in lines[1] and "error" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "10" in lines[3]
+        assert "100" in lines[4]
+
+    def test_no_title(self):
+        table = render_table(["a"], [[1]])
+        assert table.splitlines()[0].strip() == "a"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        table = render_table(["a", "b"], [])
+        assert "a" in table
+
+    def test_alignment_consistent(self):
+        table = render_table(["col"], [[1], [1000]])
+        lines = table.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])

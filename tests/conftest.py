@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Rng, WeightedGraph
+from repro.graphs import RootedTree, generators
+
+
+@pytest.fixture
+def rng() -> Rng:
+    """A deterministic RNG; tests that need independent streams call
+    ``rng.spawn()``."""
+    return Rng(seed=12345)
+
+
+@pytest.fixture
+def triangle() -> WeightedGraph:
+    """A weighted triangle: 0-1 (1.0), 1-2 (2.0), 0-2 (4.0)."""
+    return WeightedGraph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)])
+
+
+@pytest.fixture
+def small_tree() -> WeightedGraph:
+    """A 7-vertex tree:
+
+            0
+           / \\
+          1   2
+         / \\   \\
+        3   4   5
+                 \\
+                  6
+    with weights 1..6 on edges in label order.
+    """
+    return WeightedGraph.from_edges(
+        [
+            (0, 1, 1.0),
+            (0, 2, 2.0),
+            (1, 3, 3.0),
+            (1, 4, 4.0),
+            (2, 5, 5.0),
+            (5, 6, 6.0),
+        ]
+    )
+
+
+@pytest.fixture
+def small_rooted_tree(small_tree: WeightedGraph) -> RootedTree:
+    return RootedTree(small_tree, root=0)
+
+
+@pytest.fixture
+def path10() -> WeightedGraph:
+    """The path graph on 10 vertices with weight i+1 on edge (i, i+1)."""
+    graph = generators.path_graph(10)
+    for i in range(9):
+        graph.set_weight(i, i + 1, float(i + 1))
+    return graph
+
+
+@pytest.fixture
+def grid5() -> WeightedGraph:
+    """The unit-weight 5x5 grid."""
+    return generators.grid_graph(5, 5)

@@ -1,0 +1,247 @@
+"""Unit tests for :mod:`repro.core.bounded_weight` (Algorithm 2,
+Theorems 4.3, 4.5, 4.6, 4.7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DisconnectedGraphError,
+    GraphError,
+    PrivacyError,
+    Rng,
+    WeightError,
+    WeightedGraph,
+    release_bounded_weight,
+    release_grid_bounded_weight,
+)
+from repro.algorithms import bfs_hop_distances, is_k_covering
+from repro.dp import bounds
+from repro.graphs import generators
+
+
+@pytest.fixture
+def bounded_graph(rng):
+    g = generators.erdos_renyi_graph(40, 0.08, rng)
+    return generators.assign_random_weights(g, rng, 0.0, 1.0)
+
+
+class TestValidation:
+    def test_weights_above_bound_rejected(self, rng):
+        g = generators.grid_graph(3, 3)  # unit weights
+        with pytest.raises(WeightError):
+            release_bounded_weight(g, 0.5, eps=1.0, rng=rng)
+
+    def test_disconnected_rejected(self, rng):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            release_bounded_weight(g, 1.0, eps=1.0, rng=rng)
+
+    def test_nonpositive_bound_rejected(self, rng, grid5):
+        with pytest.raises(PrivacyError):
+            release_bounded_weight(grid5, 0.0, eps=1.0, rng=rng)
+
+    def test_bad_covering_rejected(self, rng, grid5):
+        with pytest.raises(GraphError):
+            release_bounded_weight(
+                grid5, 1.0, eps=1.0, rng=rng, k=1, covering=[(0, 0)]
+            )
+
+
+class TestCoveringMachinery:
+    def test_default_k_matches_theorem43(self, bounded_graph, rng):
+        v = bounded_graph.num_vertices
+        approx = release_bounded_weight(
+            bounded_graph, 1.0, eps=1.0, rng=rng, delta=1e-6
+        )
+        assert approx.k == min(
+            bounds.bounded_weight_optimal_k_approx(v, 1.0, 1.0), v - 1
+        )
+        pure = release_bounded_weight(bounded_graph, 1.0, eps=1.0, rng=rng)
+        assert pure.k == min(
+            bounds.bounded_weight_optimal_k_pure(v, 1.0, 1.0), v - 1
+        )
+
+    def test_covering_is_valid(self, bounded_graph, rng):
+        release = release_bounded_weight(
+            bounded_graph, 1.0, eps=1.0, rng=rng, k=3
+        )
+        assert is_k_covering(bounded_graph, release.covering, 3)
+        assert release.covering_size <= 40 // 4
+
+    def test_assignment_within_k_hops(self, bounded_graph, rng):
+        release = release_bounded_weight(
+            bounded_graph, 1.0, eps=1.0, rng=rng, k=3
+        )
+        for v in bounded_graph.vertices():
+            z = release.assigned_covering_vertex(v)
+            hops = bfs_hop_distances(bounded_graph, v)
+            assert hops[z] <= 3
+
+    def test_explicit_covering_used(self, grid5, rng):
+        covering = [(0, 0), (0, 4), (4, 0), (4, 4), (2, 2)]
+        release = release_bounded_weight(
+            grid5, 1.0, eps=1.0, rng=rng, k=4, covering=covering
+        )
+        assert set(release.covering) == set(covering)
+
+
+class TestNoiseScales:
+    def test_pure_scale_quadratic_in_z(self, grid5, rng):
+        release = release_bounded_weight(grid5, 1.0, eps=2.0, rng=rng, k=2)
+        z = release.covering_size
+        assert release.noise_scale == pytest.approx(
+            max(z * (z - 1) // 2, 1) / 2.0
+        )
+
+    def test_approx_scale_smaller_than_pure(self, bounded_graph, rng):
+        """Advanced composition beats basic once the number of queries
+        exceeds ~2 ln(1/delta): pure scale is Q, approx is
+        ~sqrt(2 Q ln(1/delta))."""
+        pure = release_bounded_weight(
+            bounded_graph, 1.0, eps=1.0, rng=rng, k=1
+        )
+        approx = release_bounded_weight(
+            bounded_graph, 1.0, eps=1.0, rng=rng, k=1, delta=1e-6
+        )
+        z = approx.covering_size
+        num_queries = z * (z - 1) // 2
+        assert num_queries > 60  # k=1 on a sparse 40-vertex graph
+        assert approx.noise_scale < pure.noise_scale
+
+    def test_params(self, bounded_graph, rng):
+        release = release_bounded_weight(
+            bounded_graph, 1.0, eps=0.7, rng=rng, delta=1e-5
+        )
+        assert release.params.eps == 0.7
+        assert release.params.delta == 1e-5
+
+
+class TestQueries:
+    def test_distance_is_assigned_pair_release(self, bounded_graph, rng):
+        release = release_bounded_weight(
+            bounded_graph, 1.0, eps=1.0, rng=rng, k=2
+        )
+        u, v = 0, 30
+        zu = release.assigned_covering_vertex(u)
+        zv = release.assigned_covering_vertex(v)
+        assert release.distance(u, v) == release.covering_distance(zu, zv)
+
+    def test_same_assignment_gives_zero(self, grid5, rng):
+        release = release_bounded_weight(
+            grid5, 1.0, eps=1.0, rng=rng, k=4, covering=[(2, 2)]
+        )
+        # Single covering vertex: every query collapses to 0.
+        assert release.distance((0, 0), (4, 4)) == 0.0
+
+    def test_covering_distance_unknown_pair(self, grid5, rng):
+        release = release_bounded_weight(
+            grid5, 1.0, eps=1.0, rng=rng, k=4, covering=[(2, 2)]
+        )
+        with pytest.raises(GraphError):
+            release.covering_distance((0, 0), (2, 2))
+
+    def test_all_released_count(self, grid5, rng):
+        covering = [(0, 0), (0, 4), (4, 0), (4, 4), (2, 2)]
+        release = release_bounded_weight(
+            grid5, 1.0, eps=1.0, rng=rng, k=4, covering=covering
+        )
+        assert len(release.all_released()) == 10  # C(5, 2)
+
+
+class TestAccuracy:
+    def test_theorem45_error_bound_whp(self, rng):
+        """Max query error below the Theorem 4.5 bound, most trials."""
+        eps, delta, gamma = 1.0, 1e-6, 0.05
+        g = generators.erdos_renyi_graph(36, 0.1, rng)
+        g = generators.assign_random_weights(g, rng, 0.0, 1.0)
+        from repro.algorithms import all_pairs_dijkstra
+
+        exact = all_pairs_dijkstra(g)
+        violations = 0
+        trials = 10
+        for _ in range(trials):
+            release = release_bounded_weight(
+                g, 1.0, eps=eps, rng=rng.spawn(), delta=delta, k=3
+            )
+            limit = bounds.bounded_weight_error_approx(
+                k=3,
+                covering_size=release.covering_size,
+                weight_bound=1.0,
+                eps=eps,
+                delta=delta,
+                gamma=gamma,
+            )
+            worst = max(
+                abs(release.distance(s, t) - exact[s][t])
+                for s in exact
+                for t in exact[s]
+            )
+            if worst > limit:
+                violations += 1
+        assert violations / trials <= 0.2
+
+    def test_beats_baseline_for_small_m(self, rng):
+        """With small M the bounded-weight release beats the V/eps
+        synthetic baseline on max error — the crossover the paper
+        promises."""
+        from repro import release_synthetic_graph
+        from repro.algorithms import all_pairs_dijkstra
+
+        eps = 0.5
+        m = 0.1
+        g = generators.erdos_renyi_graph(60, 0.08, rng)
+        g = generators.assign_random_weights(g, rng, 0.0, m)
+        exact = all_pairs_dijkstra(g)
+        pairs = [(0, t) for t in range(1, 60)]
+
+        def max_err(estimate):
+            return max(abs(estimate(s, t) - exact[s][t]) for s, t in pairs)
+
+        bw_errors, base_errors = [], []
+        for _ in range(5):
+            bw = release_bounded_weight(
+                g, m, eps=eps, rng=rng.spawn(), delta=1e-6
+            )
+            base = release_synthetic_graph(g, eps=eps, rng=rng.spawn())
+            base_distances = base.all_pairs_distances()
+            bw_errors.append(max_err(bw.distance))
+            base_errors.append(
+                max_err(lambda s, t: base_distances[s][t])
+            )
+        assert np.mean(bw_errors) < np.mean(base_errors)
+
+
+class TestGrid:
+    def test_grid_release_construction(self, rng):
+        side = 9
+        g = generators.grid_graph(side, side)
+        g = generators.assign_random_weights(g, rng, 0.0, 1.0)
+        release = release_grid_bounded_weight(
+            g, side, side, 1.0, eps=1.0, rng=rng, delta=1e-6
+        )
+        spacing = max(1, round((side * side) ** (1 / 3)))
+        assert release.k == 2 * spacing
+        assert release.covering_size <= (side // spacing + 1) ** 2
+
+    def test_grid_release_answers(self, rng):
+        side = 8
+        g = generators.grid_graph(side, side)
+        g = generators.assign_random_weights(g, rng, 0.0, 0.5)
+        release = release_grid_bounded_weight(
+            g, side, side, 0.5, eps=1.0, rng=rng, delta=1e-6
+        )
+        value = release.distance((0, 0), (7, 7))
+        assert np.isfinite(value)
+
+    def test_wrong_dimensions_rejected(self, grid5, rng):
+        with pytest.raises(GraphError):
+            release_grid_bounded_weight(
+                grid5, 6, 6, 1.0, eps=1.0, rng=rng
+            )
+
+    def test_non_grid_topology_rejected(self, rng):
+        g = generators.erdos_renyi_graph(25, 0.05, rng)
+        with pytest.raises(GraphError):
+            release_grid_bounded_weight(g, 5, 5, 1.0, eps=1.0, rng=rng)

@@ -1,0 +1,141 @@
+"""Unit tests for :mod:`repro.core.cycle_distances` (extension:
+the paper's future-work ask for more graph classes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    GraphError,
+    Rng,
+    VertexNotFoundError,
+    WeightedGraph,
+    release_cycle_distances,
+)
+from repro.algorithms import dijkstra_path
+from repro.core.cycle_distances import linearize_cycle
+from repro.dp import bounds
+from repro.graphs import generators
+
+
+class TestLinearizeCycle:
+    def test_orders_ring(self):
+        g = generators.cycle_graph(6)
+        order = linearize_cycle(g)
+        assert len(order) == 6
+        for a, b in zip(order, order[1:]):
+            assert g.has_edge(a, b)
+        assert g.has_edge(order[-1], order[0])
+
+    def test_rejects_path(self):
+        with pytest.raises(GraphError):
+            linearize_cycle(generators.path_graph(5))
+
+    def test_rejects_too_small(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(GraphError):
+            linearize_cycle(g)
+
+    def test_rejects_extra_chord(self):
+        g = generators.cycle_graph(6)
+        g.add_edge(0, 3, 1.0)
+        with pytest.raises(GraphError):
+            linearize_cycle(g)
+
+    def test_rejects_two_triangles(self):
+        """Two disjoint triangles: 6 vertices, 6 edges, all degree 2 —
+        but not a single cycle."""
+        g = WeightedGraph.from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0),
+             (3, 4, 1.0), (4, 5, 1.0), (5, 3, 1.0)]
+        )
+        with pytest.raises(GraphError):
+            linearize_cycle(g)
+
+
+class TestCycleRelease:
+    def test_params_and_budget_split(self):
+        g = generators.cycle_graph(8)
+        release = release_cycle_distances(g, eps=1.0, rng=Rng(0))
+        assert release.params.eps == 1.0
+        assert release.params.is_pure
+        assert release.hierarchy.params.eps == 0.5
+
+    def test_self_distance_zero(self):
+        g = generators.cycle_graph(8)
+        release = release_cycle_distances(g, eps=1.0, rng=Rng(0))
+        assert release.distance(3, 3) == 0.0
+
+    def test_symmetry(self):
+        g = generators.cycle_graph(10)
+        release = release_cycle_distances(g, eps=1.0, rng=Rng(0))
+        assert release.distance(2, 7) == release.distance(7, 2)
+
+    def test_missing_vertex(self):
+        g = generators.cycle_graph(5)
+        release = release_cycle_distances(g, eps=1.0, rng=Rng(0))
+        with pytest.raises(VertexNotFoundError):
+            release.distance(0, 99)
+
+    def test_noisy_total_near_truth(self):
+        rng = Rng(1)
+        g = generators.cycle_graph(12)
+        totals = [
+            release_cycle_distances(g, eps=1.0, rng=rng).noisy_total
+            for _ in range(2000)
+        ]
+        assert float(np.mean(totals)) == pytest.approx(12.0, abs=0.2)
+
+    def test_wraparound_pairs_use_short_arc(self):
+        """Adjacent-around-the-break vertices must get the short arc,
+        not the long one — the whole point of releasing the total."""
+        rng = Rng(2)
+        n = 64
+        g = generators.cycle_graph(n)
+        order = linearize_cycle(g)
+        first, last = order[0], order[-1]
+        # True distance is 1 (the break edge); the direct arc is n-1.
+        estimates = [
+            release_cycle_distances(g, eps=2.0, rng=rng.spawn()).distance(
+                first, last
+            )
+            for _ in range(50)
+        ]
+        assert float(np.mean(estimates)) < n / 4  # uses the wrap arc
+
+    def test_accuracy_polylog(self):
+        """Per-distance error stays near the tree bound (the extension's
+        claim), far below V/eps."""
+        rng = Rng(3)
+        n, eps = 128, 1.0
+        g = generators.cycle_graph(n)
+        g = generators.assign_random_weights(g, rng, 0.5, 4.0)
+        errors = []
+        pairs = [(0, 30), (5, 70), (10, 127), (40, 100)]
+        # Map int labels through the release's own vertex handling.
+        for _ in range(30):
+            release = release_cycle_distances(g, eps=eps, rng=rng.spawn())
+            for x, y in pairs:
+                _, true = dijkstra_path(g, x, y)
+                errors.append(abs(release.distance(x, y) - true))
+        # Twice the tree bound at eps/2 budget, plus slack.
+        limit = 2 * bounds.tree_single_source_error(n, eps / 2, 0.01)
+        assert float(np.mean(errors)) < limit
+        assert float(np.mean(errors)) < n / eps
+
+    def test_negative_weights_rejected(self):
+        g = generators.cycle_graph(5)
+        g.set_weight(0, 1, -1.0)
+        from repro import WeightError
+
+        with pytest.raises(WeightError):
+            release_cycle_distances(g, eps=1.0, rng=Rng(0))
+
+    def test_min_underestimates_but_within_arc_error(self):
+        """distance() <= both arc estimates, and equals one of them."""
+        g = generators.cycle_graph(16)
+        release = release_cycle_distances(g, eps=1.0, rng=Rng(4))
+        direct, wrap = release.arc_estimates(2, 9)
+        d = release.distance(2, 9)
+        assert d == min(direct, wrap)

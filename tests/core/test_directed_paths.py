@@ -1,0 +1,97 @@
+"""Directed-graph coverage for the Section 5 mechanisms.
+
+The paper notes (Section 2) that the shortest-path results also apply
+to directed graphs; these tests exercise Algorithm 3 and the
+synthetic-graph release on digraphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DisconnectedGraphError,
+    Rng,
+    WeightedGraph,
+    release_private_paths,
+    release_synthetic_graph,
+)
+from repro.algorithms import dijkstra_path
+
+
+@pytest.fixture
+def one_way_grid():
+    """A 4x4 grid with one-way streets: edges point right and down."""
+    g = WeightedGraph(directed=True)
+    for r in range(4):
+        for c in range(4):
+            if c + 1 < 4:
+                g.add_edge((r, c), (r, c + 1), 1.0)
+            if r + 1 < 4:
+                g.add_edge((r, c), (r + 1, c), 1.0)
+    return g
+
+
+class TestDirectedPrivatePaths:
+    def test_released_graph_is_directed(self, one_way_grid):
+        release = release_private_paths(one_way_grid, 1.0, 0.1, Rng(0))
+        assert release.graph.directed
+
+    def test_path_respects_orientation(self, one_way_grid):
+        release = release_private_paths(one_way_grid, 1.0, 0.1, Rng(0))
+        path = release.path((0, 0), (3, 3))
+        assert path[0] == (0, 0) and path[-1] == (3, 3)
+        for u, v in zip(path, path[1:]):
+            assert one_way_grid.has_edge(u, v)  # forward edges only
+        # Monotone coordinates: right/down moves only.
+        for (r1, c1), (r2, c2) in zip(path, path[1:]):
+            assert (r2 >= r1) and (c2 >= c1)
+
+    def test_unreachable_pair_raises(self, one_way_grid):
+        release = release_private_paths(one_way_grid, 1.0, 0.1, Rng(0))
+        with pytest.raises(DisconnectedGraphError):
+            release.path((3, 3), (0, 0))  # against the one-way flow
+
+    def test_error_bound_directed(self, one_way_grid):
+        """Theorem 5.5 shape on a digraph: error within the hop bound."""
+        from repro.dp import bounds
+
+        eps, gamma = 1.0, 0.05
+        violations = 0
+        trials = 30
+        rng = Rng(1)
+        for _ in range(trials):
+            release = release_private_paths(
+                one_way_grid, eps, gamma, rng.spawn()
+            )
+            path = release.path((0, 0), (3, 3))
+            true_path, true_dist = dijkstra_path(
+                one_way_grid, (0, 0), (3, 3)
+            )
+            limit = bounds.shortest_path_error(
+                len(true_path) - 1, one_way_grid.num_edges, eps, gamma
+            )
+            if one_way_grid.path_weight(path) > true_dist + limit:
+                violations += 1
+        assert violations / trials <= gamma * 2
+
+    def test_all_pairs_paths_reachable_only(self, one_way_grid):
+        release = release_private_paths(one_way_grid, 1.0, 0.1, Rng(2))
+        paths = release.paths_from((1, 1))
+        # Only the lower-right quadrant is reachable from (1, 1).
+        assert set(paths) == {
+            (r, c) for r in range(1, 4) for c in range(1, 4)
+        }
+
+
+class TestDirectedSyntheticGraph:
+    def test_release_preserves_orientation(self, one_way_grid):
+        release = release_synthetic_graph(one_way_grid, 1.0, Rng(0))
+        assert release.graph.directed
+        assert release.graph.has_edge((0, 0), (0, 1))
+        assert not release.graph.has_edge((0, 1), (0, 0))
+
+    def test_distance_query(self, one_way_grid):
+        release = release_synthetic_graph(one_way_grid, 5.0, Rng(0))
+        est = release.distance((0, 0), (3, 3))
+        assert est == pytest.approx(6.0, abs=4.0)

@@ -1,0 +1,123 @@
+"""Unit tests for :mod:`repro.core.histogram_release` (Section 1.3 at
+toy scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DisconnectedGraphError,
+    GraphError,
+    Rng,
+    WeightedGraph,
+)
+from repro.core.histogram_release import release_histogram_distances
+from repro.graphs import generators
+
+
+@pytest.fixture
+def tiny_graph():
+    """A 4-cycle with weights on a 0.5-grid in [0, 1]."""
+    g = generators.cycle_graph(4)
+    g.set_weight(0, 1, 0.5)
+    g.set_weight(1, 2, 1.0)
+    g.set_weight(2, 3, 0.0)
+    g.set_weight(3, 0, 0.5)
+    return g
+
+
+class TestValidation:
+    def test_candidate_explosion_rejected(self):
+        g = generators.grid_graph(4, 4)  # 24 edges
+        with pytest.raises(GraphError):
+            release_histogram_distances(
+                g, 1.0, 0.5, eps=1.0, rng=Rng(0)
+            )
+
+    def test_disconnected_rejected(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            release_histogram_distances(g, 1.0, 0.5, eps=1.0, rng=Rng(0))
+
+    def test_bad_resolution(self, tiny_graph):
+        with pytest.raises(GraphError):
+            release_histogram_distances(
+                tiny_graph, 1.0, 0.0, eps=1.0, rng=Rng(0)
+            )
+        with pytest.raises(GraphError):
+            release_histogram_distances(
+                tiny_graph, 1.0, 2.0, eps=1.0, rng=Rng(0)
+            )
+
+    def test_overweight_rejected(self, tiny_graph):
+        tiny_graph.set_weight(0, 1, 5.0)
+        from repro import WeightError
+
+        with pytest.raises(WeightError):
+            release_histogram_distances(
+                tiny_graph, 1.0, 0.5, eps=1.0, rng=Rng(0)
+            )
+
+
+class TestRelease:
+    def test_candidate_count(self, tiny_graph):
+        release = release_histogram_distances(
+            tiny_graph, 1.0, 0.5, eps=1.0, rng=Rng(0)
+        )
+        # 3 levels (0, 0.5, 1.0) on 4 edges.
+        assert release.num_candidates == 81
+        assert release.params.eps == 1.0
+
+    def test_released_weights_on_grid(self, tiny_graph):
+        release = release_histogram_distances(
+            tiny_graph, 1.0, 0.5, eps=1.0, rng=Rng(0)
+        )
+        for _, _, w in release.graph.edges():
+            assert w in (0.0, 0.5, 1.0)
+
+    def test_high_eps_recovers_exact_distances(self, tiny_graph):
+        """With a huge budget the mechanism picks a zero-error grid
+        point (the true weights are on the grid)."""
+        from repro.algorithms import all_pairs_dijkstra
+
+        exact = all_pairs_dijkstra(tiny_graph)
+        release = release_histogram_distances(
+            tiny_graph, 1.0, 0.5, eps=200.0, rng=Rng(1)
+        )
+        for s in exact:
+            for t in exact[s]:
+                assert release.distance(s, t) == pytest.approx(
+                    exact[s][t], abs=1e-9
+                )
+
+    def test_error_decreases_with_eps(self, tiny_graph):
+        from repro.algorithms import all_pairs_dijkstra
+
+        exact = all_pairs_dijkstra(tiny_graph)
+        pairs = [(0, 2), (1, 3), (0, 1)]
+
+        def mean_error(eps: float) -> float:
+            rng = Rng(2)
+            errors = []
+            for _ in range(30):
+                release = release_histogram_distances(
+                    tiny_graph, 1.0, 0.5, eps=eps, rng=rng.spawn()
+                )
+                errors.extend(
+                    abs(release.distance(s, t) - exact[s][t])
+                    for s, t in pairs
+                )
+            return float(np.mean(errors))
+
+        assert mean_error(50.0) < mean_error(0.1)
+
+    def test_post_processing_consistency(self, tiny_graph):
+        """distance() answers equal Dijkstra on the released graph."""
+        from repro.algorithms import dijkstra_path
+
+        release = release_histogram_distances(
+            tiny_graph, 1.0, 0.5, eps=1.0, rng=Rng(3)
+        )
+        _, d = dijkstra_path(release.graph, 0, 2)
+        assert release.distance(0, 2) == pytest.approx(d)

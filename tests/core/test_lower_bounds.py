@@ -1,0 +1,239 @@
+"""Unit tests for :mod:`repro.core.lower_bounds` — the Figure 2/3
+gadgets and the reconstruction reductions (Lemmas 5.2–5.4, B.2, B.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GraphError, Rng
+from repro.core import lower_bounds as lb
+from repro.dp import bounds
+
+
+class TestHamming:
+    def test_basic(self):
+        assert lb.hamming_distance([0, 1, 1], [0, 1, 1]) == 0
+        assert lb.hamming_distance([0, 1, 1], [1, 1, 0]) == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            lb.hamming_distance([0], [0, 1])
+
+
+class TestPathGadget:
+    def test_figure2_shape(self):
+        gadget = lb.parallel_path_gadget(5)
+        assert gadget.num_vertices == 6
+        assert gadget.num_edges == 10
+        for i in range(1, 6):
+            keys = gadget.parallel_keys(i - 1, i)
+            assert set(keys) == {("e", i, 0), ("e", i, 1)}
+
+    def test_invalid_size(self):
+        with pytest.raises(GraphError):
+            lb.parallel_path_gadget(0)
+
+    def test_encoding(self):
+        bits = [1, 0, 1]
+        weights = lb.path_weights_from_bits(bits)
+        assert weights[("e", 1, 1)] == 0.0
+        assert weights[("e", 1, 0)] == 1.0
+        assert weights[("e", 2, 0)] == 0.0
+        assert weights[("e", 3, 1)] == 0.0
+
+    def test_encoding_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            lb.path_weights_from_bits([0, 2])
+        with pytest.raises(ValueError):
+            lb.path_weights_from_bits([])
+
+    def test_shortest_path_weight_zero(self):
+        """The encoded instance always has a 0-weight s-t path."""
+        bits = [0, 1, 1, 0]
+        gadget = lb.parallel_path_gadget(4)
+        weights = lb.path_weights_from_bits(bits)
+        keys = lb.exact_gadget_path(gadget, weights)
+        concrete = gadget.with_weights(weights)
+        assert concrete.path_weight(keys) == 0.0
+
+    def test_exact_solver_reconstructs_perfectly(self, rng):
+        """Lemma 5.2 applied to a non-private solver: Hamming 0 —
+        the blatant privacy violation."""
+        for _ in range(10):
+            bits = rng.bits(12)
+            gadget = lb.parallel_path_gadget(12)
+            keys = lb.exact_gadget_path(
+                gadget, lb.path_weights_from_bits(bits)
+            )
+            decoded = lb.decode_path_bits(12, keys)
+            assert decoded == bits
+
+    def test_decoder_rejects_partial_path(self):
+        with pytest.raises(GraphError):
+            lb.decode_path_bits(3, [("e", 1, 0)])
+
+    def test_private_mechanism_resists_reconstruction(self, rng):
+        """Lemma 5.4: at small eps the DP release errs on ~half the
+        bits.  The bound (1-delta)/(1+e^eps) applies per bit."""
+        n, eps = 60, 0.1
+        trials = 30
+        fractions = []
+        for _ in range(trials):
+            bits = rng.bits(n)
+            gadget = lb.parallel_path_gadget(n)
+            keys, params = lb.private_gadget_path(
+                gadget,
+                lb.path_weights_from_bits(bits),
+                eps=eps,
+                gamma=0.1,
+                rng=rng.spawn(),
+            )
+            assert params.is_pure
+            decoded = lb.decode_path_bits(n, keys)
+            fractions.append(lb.hamming_distance(bits, decoded) / n)
+        # Lemma 5.4 for the induced (2 eps, 0)-DP pipeline:
+        per_bit_floor = bounds.row_recovery_bound(2 * eps, 0.0)
+        assert np.mean(fractions) >= per_bit_floor * 0.9
+
+    def test_private_mechanism_accuracy_cost(self, rng):
+        """Theorem 5.1's flip side: the DP path's error is ~alpha ~
+        0.49 n at small eps (each wrong bit costs 1)."""
+        n, eps = 80, 0.05
+        errors = []
+        for _ in range(20):
+            bits = rng.bits(n)
+            gadget = lb.parallel_path_gadget(n)
+            weights = lb.path_weights_from_bits(bits)
+            keys, _ = lb.private_gadget_path(
+                gadget, weights, eps=eps, gamma=0.1, rng=rng.spawn()
+            )
+            concrete = gadget.with_weights(weights)
+            errors.append(concrete.path_weight(keys))  # optimum is 0
+        alpha = bounds.reconstruction_lower_bound(n + 1, eps, 0.0)
+        # Average error should be near n/2, certainly above ~0.9 alpha.
+        assert np.mean(errors) >= 0.9 * alpha
+
+
+class TestStarGadget:
+    def test_figure3_left_shape(self):
+        gadget = lb.star_gadget(4)
+        assert gadget.num_vertices == 5
+        assert gadget.num_edges == 8
+        for i in range(1, 5):
+            assert set(gadget.parallel_keys(0, i)) == {
+                ("e", i, 0),
+                ("e", i, 1),
+            }
+
+    def test_exact_mst_reconstructs(self, rng):
+        for _ in range(10):
+            bits = rng.bits(10)
+            gadget = lb.star_gadget(10)
+            tree = lb.exact_gadget_mst(
+                gadget, lb.star_weights_from_bits(bits)
+            )
+            assert lb.decode_star_bits(10, tree) == bits
+
+    def test_mst_weight_zero_on_encoded_instance(self, rng):
+        bits = rng.bits(6)
+        gadget = lb.star_gadget(6)
+        weights = lb.star_weights_from_bits(bits)
+        tree = lb.exact_gadget_mst(gadget, weights)
+        concrete = gadget.with_weights(weights)
+        assert concrete.path_weight(tree) == 0.0  # sum of tree weights
+
+    def test_private_mst_resists_reconstruction(self, rng):
+        n, eps = 60, 0.1
+        fractions = []
+        for _ in range(30):
+            bits = rng.bits(n)
+            gadget = lb.star_gadget(n)
+            tree, _ = lb.private_gadget_mst(
+                gadget,
+                lb.star_weights_from_bits(bits),
+                eps=eps,
+                rng=rng.spawn(),
+            )
+            decoded = lb.decode_star_bits(n, tree)
+            fractions.append(lb.hamming_distance(bits, decoded) / n)
+        per_bit_floor = bounds.row_recovery_bound(2 * eps, 0.0)
+        assert np.mean(fractions) >= per_bit_floor * 0.9
+
+
+class TestHourglassGadget:
+    def test_figure3_right_shape(self):
+        gadget = lb.hourglass_gadget(3)
+        assert gadget.num_vertices == 12
+        assert gadget.num_edges == 12
+        # each gadget is K_{2,2}
+        assert gadget.has_edge((0, 0, 1), (1, 1, 1))
+        assert not gadget.has_edge((0, 0, 0), (0, 1, 0))
+        assert not gadget.has_edge((0, 0, 0), (1, 0, 1))
+
+    def test_encoding_weights(self):
+        weights = lb.hourglass_weights_from_bits([1])
+        assert weights[((0, 1, 0), (1, 0, 0))] == 1.0
+        assert weights[((0, 1, 0), (1, 1, 0))] == 0.0
+        assert weights[((0, 0, 0), (1, 0, 0))] == 0.0
+
+    def test_exact_matching_reconstructs(self, rng):
+        for _ in range(10):
+            bits = rng.bits(8)
+            gadget = lb.hourglass_gadget(8)
+            matching = lb.exact_gadget_matching(
+                gadget, lb.hourglass_weights_from_bits(bits)
+            )
+            assert lb.decode_matching_bits(8, matching) == bits
+
+    def test_optimal_matching_weight_zero(self, rng):
+        bits = rng.bits(5)
+        gadget = lb.hourglass_gadget(5)
+        weights = lb.hourglass_weights_from_bits(bits)
+        matching = lb.exact_gadget_matching(gadget, weights)
+        concrete = gadget.with_weights(weights)
+        total = sum(concrete.weight(u, v) for u, v in matching)
+        assert total == 0.0
+
+    def test_private_matching_resists_reconstruction(self, rng):
+        n, eps = 40, 0.1
+        fractions = []
+        for _ in range(30):
+            bits = rng.bits(n)
+            gadget = lb.hourglass_gadget(n)
+            matching, _ = lb.private_gadget_matching(
+                gadget,
+                lb.hourglass_weights_from_bits(bits),
+                eps=eps,
+                rng=rng.spawn(),
+            )
+            decoded = lb.decode_matching_bits(n, matching)
+            fractions.append(lb.hamming_distance(bits, decoded) / n)
+        per_bit_floor = bounds.row_recovery_bound(2 * eps, 0.0)
+        assert np.mean(fractions) >= per_bit_floor * 0.9
+
+    def test_decoder_rejects_incomplete(self):
+        with pytest.raises(GraphError):
+            lb.decode_matching_bits(2, [((0, 1, 0), (1, 0, 0))])
+
+
+class TestAttackTrial:
+    def test_pipeline_with_exact_solver(self, rng):
+        bits = rng.bits(10)
+
+        def release(x):
+            gadget = lb.parallel_path_gadget(len(x))
+            keys = lb.exact_gadget_path(
+                gadget, lb.path_weights_from_bits(x)
+            )
+            return lb.decode_path_bits(len(x), keys)
+
+        distance, fraction = lb.attack_trial(bits, release)
+        assert distance == 0
+        assert fraction == 0.0
+
+    def test_pipeline_with_constant_guesser(self, rng):
+        bits = [1] * 10
+        distance, fraction = lb.attack_trial(bits, lambda x: [0] * len(x))
+        assert distance == 10
+        assert fraction == 1.0

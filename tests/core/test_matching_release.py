@@ -1,0 +1,129 @@
+"""Unit tests for :mod:`repro.core.matching` (Theorem B.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Rng, WeightedGraph, release_private_matching
+from repro.algorithms import (
+    hungarian_min_cost_perfect_matching,
+    is_perfect_matching,
+    matching_weight,
+)
+from repro.dp import bounds
+from repro.graphs import generators
+
+
+def random_bipartite(n: int, rng) -> WeightedGraph:
+    """Complete bipartite K_{n,n} with random weights."""
+    g = WeightedGraph()
+    for i in range(n):
+        for j in range(n):
+            g.add_edge(("L", i), ("R", j), rng.uniform(0.0, 5.0))
+    return g
+
+
+class TestRelease:
+    def test_released_matching_is_perfect(self, rng):
+        g = random_bipartite(6, rng)
+        release = release_private_matching(g, eps=1.0, rng=rng)
+        assert is_perfect_matching(g, release.matching_edges)
+
+    def test_engine_hungarian(self, rng):
+        g = random_bipartite(5, rng)
+        release = release_private_matching(
+            g, eps=1.0, rng=rng, engine="hungarian"
+        )
+        assert is_perfect_matching(g, release.matching_edges)
+
+    def test_engine_exact_general(self, rng):
+        # 4-cycles are bipartite, but force the general engine.
+        g = generators.cycle_graph(6)
+        release = release_private_matching(g, eps=1.0, rng=rng, engine="exact")
+        assert is_perfect_matching(g, release.matching_edges)
+
+    def test_engine_auto_nonbipartite(self, rng):
+        # K4 contains odd cycles -> auto must fall back to exact DP.
+        g = generators.complete_graph(4)
+        g = generators.assign_random_weights(g, rng, 0.0, 2.0)
+        release = release_private_matching(g, eps=1.0, rng=rng)
+        assert is_perfect_matching(g, release.matching_edges)
+
+    def test_bad_engine(self, rng):
+        g = random_bipartite(3, rng)
+        with pytest.raises(ValueError):
+            release_private_matching(g, eps=1.0, rng=rng, engine="bogus")
+
+    def test_params(self, rng):
+        g = random_bipartite(3, rng)
+        release = release_private_matching(g, eps=0.9, rng=rng)
+        assert release.params.eps == 0.9
+
+    def test_negative_weights_allowed(self, rng):
+        g = WeightedGraph.from_edges(
+            [
+                ("a", "b", -2.0),
+                ("c", "d", -3.0),
+            ]
+        )
+        release = release_private_matching(g, eps=5.0, rng=rng)
+        assert is_perfect_matching(g, release.matching_edges)
+
+
+class TestTheoremB6:
+    def test_error_bound_whp(self, rng):
+        eps, gamma = 1.0, 0.05
+        g = random_bipartite(8, rng)
+        optimum = matching_weight(g, hungarian_min_cost_perfect_matching(g))
+        limit = bounds.matching_error(
+            g.num_vertices, g.num_edges, eps, gamma
+        )
+        violations = 0
+        trials = 40
+        for _ in range(trials):
+            release = release_private_matching(g, eps=eps, rng=rng.spawn())
+            error = release.true_weight(g) - optimum
+            assert error >= -1e-9
+            if error > limit:
+                violations += 1
+        assert violations / trials <= gamma * 2
+
+    def test_error_shrinks_with_eps(self, rng):
+        g = random_bipartite(6, rng)
+        optimum = matching_weight(g, hungarian_min_cost_perfect_matching(g))
+
+        def mean_error(eps: float) -> float:
+            return float(
+                np.mean(
+                    [
+                        release_private_matching(
+                            g, eps=eps, rng=rng.spawn()
+                        ).true_weight(g)
+                        - optimum
+                        for _ in range(15)
+                    ]
+                )
+            )
+
+        assert mean_error(20.0) < mean_error(0.3)
+
+    def test_hourglass_instance(self, rng):
+        """The Figure 3 instance runs through the private release."""
+        from repro.core.lower_bounds import (
+            hourglass_gadget,
+            hourglass_weights_from_bits,
+        )
+
+        bits = rng.bits(8)
+        gadget = hourglass_gadget(8)
+        concrete = gadget.with_weights(hourglass_weights_from_bits(bits))
+        release = release_private_matching(concrete, eps=1.0, rng=rng)
+        assert is_perfect_matching(concrete, release.matching_edges)
+        # Optimal weight is 0; Theorem B.4 forces expected error ~n/2
+        # at this eps, so the released weight is rarely 0 — but always
+        # within the Theorem B.6 upper bound.
+        limit = bounds.matching_error(
+            concrete.num_vertices, concrete.num_edges, 1.0, 0.01
+        )
+        assert release.true_weight(concrete) <= limit

@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.core.mst` (Theorem B.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Rng, WeightedGraph, release_private_mst
+from repro.algorithms import kruskal_mst, spanning_tree_weight
+from repro.dp import bounds
+from repro.graphs import generators
+
+
+class TestRelease:
+    def test_is_spanning_tree(self, rng):
+        g = generators.erdos_renyi_graph(25, 0.2, rng)
+        g = generators.assign_random_weights(g, rng, 0.0, 5.0)
+        release = release_private_mst(g, eps=1.0, rng=rng)
+        edges = release.tree_edges
+        assert len(edges) == 24
+        # Spanning: union-find over released edges connects everything.
+        from repro.algorithms import UnionFind
+
+        uf = UnionFind(g.vertices())
+        for u, v in edges:
+            assert g.has_edge(u, v)
+            uf.union(u, v)
+        root = uf.find(0)
+        assert all(uf.find(v) == root for v in g.vertices())
+
+    def test_params(self, grid5):
+        release = release_private_mst(grid5, eps=0.4, rng=Rng(0))
+        assert release.params.eps == 0.4
+        assert release.params.is_pure
+
+    def test_noisy_graph_same_topology(self, grid5):
+        release = release_private_mst(grid5, eps=1.0, rng=Rng(0))
+        assert release.noisy_graph.edge_list() == grid5.edge_list()
+
+    def test_negative_input_weights_allowed(self):
+        """Appendix B explicitly allows negative weights."""
+        g = WeightedGraph.from_edges(
+            [(0, 1, -3.0), (1, 2, 2.0), (0, 2, -1.0)]
+        )
+        release = release_private_mst(g, eps=5.0, rng=Rng(0))
+        assert len(release.tree_edges) == 2
+
+    def test_true_weight_evaluation(self, triangle):
+        release = release_private_mst(triangle, eps=100.0, rng=Rng(0))
+        # At eps=100 noise is tiny; released tree = true MST (weight 3).
+        assert release.true_weight(triangle) == pytest.approx(3.0, abs=0.5)
+
+
+class TestTheoremB3:
+    def test_error_bound_whp(self, rng):
+        eps, gamma = 1.0, 0.05
+        g = generators.erdos_renyi_graph(30, 0.25, rng)
+        g = generators.assign_random_weights(g, rng, 0.0, 10.0)
+        optimum = spanning_tree_weight(g, kruskal_mst(g))
+        limit = bounds.mst_error(g.num_vertices, g.num_edges, eps, gamma)
+        violations = 0
+        trials = 40
+        for _ in range(trials):
+            release = release_private_mst(g, eps=eps, rng=rng.spawn())
+            error = release.true_weight(g) - optimum
+            assert error >= -1e-9  # released tree can never beat the MST
+            if error > limit:
+                violations += 1
+        assert violations / trials <= gamma * 2
+
+    def test_error_shrinks_with_eps(self, rng):
+        g = generators.erdos_renyi_graph(25, 0.3, rng)
+        g = generators.assign_random_weights(g, rng, 0.0, 10.0)
+        optimum = spanning_tree_weight(g, kruskal_mst(g))
+
+        def mean_error(eps: float) -> float:
+            errs = []
+            for _ in range(20):
+                release = release_private_mst(g, eps=eps, rng=rng.spawn())
+                errs.append(release.true_weight(g) - optimum)
+            return float(np.mean(errs))
+
+        assert mean_error(10.0) < mean_error(0.3)
+
+    def test_scaling_unit(self, rng):
+        """Sensitivity unit u scales the noise (Section 1.2)."""
+        g = generators.erdos_renyi_graph(25, 0.3, rng)
+        g = generators.assign_random_weights(g, rng, 0.0, 10.0)
+        optimum = spanning_tree_weight(g, kruskal_mst(g))
+        errs_unit = []
+        errs_small = []
+        for _ in range(20):
+            errs_unit.append(
+                release_private_mst(g, eps=1.0, rng=rng.spawn()).true_weight(g)
+                - optimum
+            )
+            errs_small.append(
+                release_private_mst(
+                    g, eps=1.0, rng=rng.spawn(), sensitivity_unit=0.01
+                ).true_weight(g)
+                - optimum
+            )
+        assert np.mean(errs_small) < np.mean(errs_unit)

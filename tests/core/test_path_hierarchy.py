@@ -1,0 +1,154 @@
+"""Unit tests for :mod:`repro.core.path_hierarchy` (Appendix A,
+Theorem A.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    GraphError,
+    Rng,
+    VertexNotFoundError,
+    WeightedGraph,
+    release_path_hierarchy,
+)
+from repro.core.path_hierarchy import linearize_path
+from repro.dp import bounds
+from repro.graphs import generators
+
+
+class TestLinearize:
+    def test_orders_path(self):
+        g = generators.path_graph(6)
+        order = linearize_path(g)
+        assert order == list(range(6)) or order == list(range(5, -1, -1))
+
+    def test_scrambled_labels(self):
+        g = WeightedGraph.from_edges(
+            [("c", "a", 1.0), ("a", "t", 1.0), ("t", "s", 1.0)]
+        )
+        order = linearize_path(g)
+        assert order in (["c", "a", "t", "s"], ["s", "t", "a", "c"])
+
+    def test_single_vertex(self):
+        g = WeightedGraph()
+        g.add_vertex("x")
+        assert linearize_path(g) == ["x"]
+
+    def test_rejects_cycle(self):
+        with pytest.raises(GraphError):
+            linearize_path(generators.cycle_graph(4))
+
+    def test_rejects_star(self):
+        with pytest.raises(GraphError):
+            linearize_path(generators.star_graph(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            linearize_path(WeightedGraph())
+
+
+class TestStructure:
+    def test_levels_logarithmic(self):
+        for n in (2, 17, 64, 257):
+            g = generators.path_graph(n)
+            release = release_path_hierarchy(g, eps=1.0, rng=Rng(0))
+            assert release.num_levels <= math.log2(n - 1) + 2
+
+    def test_segments_fewer_than_2e(self):
+        g = generators.path_graph(100)
+        release = release_path_hierarchy(g, eps=1.0, rng=Rng(0))
+        assert release.num_segments < 2 * 99
+
+    def test_noise_scale(self):
+        g = generators.path_graph(64)
+        release = release_path_hierarchy(g, eps=0.5, rng=Rng(0))
+        assert release.noise_scale == pytest.approx(release.num_levels / 0.5)
+
+    def test_max_terms(self):
+        g = generators.path_graph(64)
+        release = release_path_hierarchy(g, eps=1.0, rng=Rng(0))
+        assert release.max_terms_per_distance() == 2 * release.num_levels
+
+    def test_prefix_terms_bounded(self):
+        g = generators.path_graph(130)
+        release = release_path_hierarchy(g, eps=1.0, rng=Rng(0))
+        for position in range(130):
+            _, terms = release.prefix_estimate(position)
+            assert terms <= release.num_levels
+
+    def test_prefix_out_of_range(self):
+        g = generators.path_graph(10)
+        release = release_path_hierarchy(g, eps=1.0, rng=Rng(0))
+        with pytest.raises(GraphError):
+            release.prefix_estimate(10)
+
+    def test_negative_weights_rejected(self):
+        g = generators.path_graph(5)
+        g.set_weight(0, 1, -1.0)
+        from repro import WeightError
+
+        with pytest.raises(WeightError):
+            release_path_hierarchy(g, eps=1.0, rng=Rng(0))
+
+
+class TestAccuracy:
+    def test_unbiased(self, path10):
+        rng = Rng(0)
+        true = sum(range(1, 10))  # d(0, 9) = 1+2+...+9 = 45
+        estimates = [
+            release_path_hierarchy(path10, eps=1.0, rng=rng).distance(0, 9)
+            for _ in range(2000)
+        ]
+        assert float(np.mean(estimates)) == pytest.approx(true, abs=1.0)
+
+    def test_symmetry_and_self(self, path10):
+        release = release_path_hierarchy(path10, eps=1.0, rng=Rng(0))
+        assert release.distance(2, 7) == release.distance(7, 2)
+        assert release.distance(4, 4) == 0.0
+
+    def test_missing_vertex(self, path10):
+        release = release_path_hierarchy(path10, eps=1.0, rng=Rng(0))
+        with pytest.raises(VertexNotFoundError):
+            release.distance(0, 99)
+
+    def test_adjacent_distance_consistency(self, path10):
+        """d(0, i+1) - d(0, i) recovers an estimate of w(i, i+1) whose
+        error is bounded — internal consistency of the hierarchy."""
+        release = release_path_hierarchy(path10, eps=2.0, rng=Rng(1))
+        for i in range(9):
+            diff = release.distance(0, i + 1) - release.distance(0, i)
+            assert abs(diff - (i + 1)) < 40
+
+    def test_theorem_a1_bound_whp(self, rng):
+        """Per-distance error below the O(log^1.5 V log(1/gamma))/eps
+        bound, reusing the tree bound (the paper says they match)."""
+        eps, gamma = 1.0, 0.05
+        n = 128
+        g = generators.path_graph(n)
+        g = generators.assign_random_weights(g, rng, 0.0, 10.0)
+        from repro.algorithms import dijkstra_path
+
+        _, true = dijkstra_path(g, 10, 100)
+        bound = bounds.tree_single_source_error(n, eps, gamma)
+        violations = 0
+        trials = 200
+        for _ in range(trials):
+            release = release_path_hierarchy(g, eps=eps, rng=rng.spawn())
+            if abs(release.distance(10, 100) - true) > bound:
+                violations += 1
+        assert violations / trials <= gamma * 2
+
+    def test_beats_naive_baseline(self, rng):
+        """Max all-pairs error far below the V/eps synthetic-graph
+        baseline on a long path."""
+        n, eps = 256, 1.0
+        g = generators.path_graph(n)
+        release = release_path_hierarchy(g, eps=eps, rng=rng)
+        worst = 0.0
+        for t in range(0, n, 17):
+            worst = max(worst, abs(release.distance(0, t) - t))
+        assert worst < n / eps

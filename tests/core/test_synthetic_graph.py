@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.core.synthetic_graph`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Rng, WeightError, WeightedGraph, release_synthetic_graph
+from repro.dp import bounds
+from repro.graphs import generators
+
+
+class TestRelease:
+    def test_topology_preserved(self, grid5):
+        release = release_synthetic_graph(grid5, eps=1.0, rng=Rng(0))
+        assert release.graph.num_edges == grid5.num_edges
+        assert release.graph.edge_list() == grid5.edge_list()
+
+    def test_weights_are_noised(self, grid5):
+        release = release_synthetic_graph(grid5, eps=1.0, rng=Rng(0))
+        original = grid5.weight_vector()
+        noisy = release.graph.weight_vector()
+        assert not np.allclose(original, noisy)
+
+    def test_clamp_at_zero_default(self, grid5):
+        release = release_synthetic_graph(grid5, eps=0.2, rng=Rng(0))
+        assert (release.graph.weight_vector() >= 0).all()
+
+    def test_no_clamp_option(self, grid5):
+        release = release_synthetic_graph(
+            grid5, eps=0.2, rng=Rng(0), clamp_at_zero=False
+        )
+        assert (release.graph.weight_vector() < 0).any()
+
+    def test_negative_input_rejected(self):
+        g = WeightedGraph.from_edges([(0, 1, -1.0)])
+        with pytest.raises(WeightError):
+            release_synthetic_graph(g, eps=1.0, rng=Rng(0))
+
+    def test_params(self, grid5):
+        release = release_synthetic_graph(grid5, eps=0.7, rng=Rng(0))
+        assert release.params.eps == 0.7
+        assert release.params.is_pure
+
+    def test_scaling_unit_reduces_noise(self, grid5):
+        """Section 1.2 Scaling: unit 1/V shrinks the noise by 1/V."""
+        wide = release_synthetic_graph(
+            grid5, eps=1.0, rng=Rng(0), clamp_at_zero=False
+        )
+        narrow = release_synthetic_graph(
+            grid5,
+            eps=1.0,
+            rng=Rng(0),
+            clamp_at_zero=False,
+            sensitivity_unit=1.0 / grid5.num_vertices,
+        )
+        wide_dev = np.abs(
+            wide.graph.weight_vector() - grid5.weight_vector()
+        ).mean()
+        narrow_dev = np.abs(
+            narrow.graph.weight_vector() - grid5.weight_vector()
+        ).mean()
+        assert narrow_dev == pytest.approx(
+            wide_dev / grid5.num_vertices, rel=1e-9
+        )
+
+
+class TestQueries:
+    def test_distance_close_to_truth(self, grid5):
+        release = release_synthetic_graph(grid5, eps=5.0, rng=Rng(0))
+        est = release.distance((0, 0), (4, 4))
+        assert est == pytest.approx(8.0, abs=5.0)
+
+    def test_shortest_path_valid_in_topology(self, grid5):
+        release = release_synthetic_graph(grid5, eps=1.0, rng=Rng(0))
+        path, _ = release.shortest_path((0, 0), (4, 4))
+        assert grid5.is_path(path)
+        assert path[0] == (0, 0) and path[-1] == (4, 4)
+
+    def test_all_pairs_distances_shape(self, triangle):
+        release = release_synthetic_graph(triangle, eps=1.0, rng=Rng(0))
+        distances = release.all_pairs_distances()
+        assert set(distances) == {0, 1, 2}
+        assert len(distances[0]) == 3
+
+
+class TestErrorBound:
+    def test_section4_baseline_bound_holds(self, rng):
+        """Every pairwise distance error stays within the paper's
+        (V/eps) log(E/gamma) bound, with margin, across trials."""
+        eps, gamma = 1.0, 0.05
+        g = generators.erdos_renyi_graph(25, 0.15, rng)
+        g = generators.assign_random_weights(g, rng, 0.5, 3.0)
+        bound = bounds.synthetic_graph_distance_error(
+            g.num_vertices, g.num_edges, eps, gamma
+        )
+        from repro.algorithms import all_pairs_dijkstra
+
+        exact = all_pairs_dijkstra(g)
+        violations = 0
+        trials = 20
+        for _ in range(trials):
+            release = release_synthetic_graph(g, eps=eps, rng=rng)
+            noisy = release.all_pairs_distances()
+            worst = max(
+                abs(noisy[s][t] - exact[s][t])
+                for s in exact
+                for t in exact[s]
+            )
+            if worst > bound:
+                violations += 1
+        assert violations / trials <= gamma * 2

@@ -1,0 +1,208 @@
+"""Unit tests for :mod:`repro.core.tree_distances` (Algorithm 1,
+Theorems 4.1 and 4.2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    NotATreeError,
+    Rng,
+    VertexNotFoundError,
+    WeightedGraph,
+    release_tree_all_pairs,
+    release_tree_single_source,
+)
+from repro.dp import bounds
+from repro.graphs import RootedTree, generators
+
+
+class TestRecursionStructure:
+    def test_depth_logarithmic(self, rng):
+        """The recursion has O(log V) levels (paper: <= log V up to
+        rounding; we allow a +2 slack for the ceil(V/2) pieces)."""
+        for n in (2, 10, 64, 200, 500):
+            tree = generators.random_tree(n, rng)
+            release = release_tree_single_source(tree, eps=1.0, rng=rng)
+            assert release.recursion_depth <= math.log2(n) + 2
+
+    def test_num_queries_at_most_2v(self, rng):
+        """Paper: the algorithm samples at most 2V Laplace variables."""
+        for n in (5, 50, 200):
+            tree = generators.random_tree(n, rng)
+            release = release_tree_single_source(tree, eps=1.0, rng=rng)
+            assert release.num_queries <= 2 * n
+
+    def test_noise_terms_at_most_2_depth(self, rng):
+        """Every estimate sums at most 2 noise terms per level."""
+        tree = generators.random_tree(100, rng)
+        release = release_tree_single_source(tree, eps=1.0, rng=rng)
+        for v in tree.vertices():
+            assert release.noise_terms(v) <= 2 * release.recursion_depth
+
+    def test_noise_scale(self, rng):
+        tree = generators.random_tree(64, rng)
+        release = release_tree_single_source(tree, eps=0.5, rng=rng)
+        assert release.noise_scale == pytest.approx(
+            release.recursion_depth / 0.5
+        )
+
+    def test_single_vertex_tree(self):
+        g = WeightedGraph()
+        g.add_vertex("root")
+        release = release_tree_single_source(g, eps=1.0, rng=Rng(0))
+        assert release.distance_from_root("root") == 0.0
+        assert release.num_queries == 0
+
+    def test_two_vertex_tree(self):
+        g = WeightedGraph.from_edges([("a", "b", 3.0)])
+        release = release_tree_single_source(g, eps=1.0, rng=Rng(0), root="a")
+        assert release.distance_from_root("a") == 0.0
+        # b's estimate is 3.0 plus noise.
+        assert release.distance_from_root("b") != 3.0
+
+    def test_non_tree_rejected(self):
+        g = generators.cycle_graph(5)
+        with pytest.raises(NotATreeError):
+            release_tree_single_source(g, eps=1.0, rng=Rng(0))
+
+    def test_missing_vertex_query(self, rng):
+        tree = generators.random_tree(10, rng)
+        release = release_tree_single_source(tree, eps=1.0, rng=rng)
+        with pytest.raises(VertexNotFoundError):
+            release.distance_from_root(99)
+
+
+class TestSingleSourceAccuracy:
+    def test_unbiased_estimates(self):
+        """Estimates are the truth plus zero-mean noise."""
+        g = generators.path_graph(8)
+        for i in range(7):
+            g.set_weight(i, i + 1, 2.0)
+        rng = Rng(0)
+        estimates = []
+        for _ in range(2000):
+            release = release_tree_single_source(g, eps=1.0, rng=rng, root=0)
+            estimates.append(release.distance_from_root(7))
+        assert float(np.mean(estimates)) == pytest.approx(14.0, abs=0.5)
+
+    def test_theorem41_bound_holds_whp(self, rng):
+        """Max error across vertices stays below the Theorem 4.1 bound
+        (with the union-bound gamma adjustment) in most trials."""
+        eps, gamma = 1.0, 0.05
+        n = 128
+        tree = generators.random_tree(n, rng)
+        tree = generators.assign_random_weights(tree, rng, 0.0, 10.0)
+        rooted = RootedTree(tree, 0)
+        # Per-vertex bound at gamma/n gives a simultaneous bound.
+        bound = bounds.tree_single_source_error(n, eps, gamma / n)
+        violations = 0
+        trials = 20
+        for _ in range(trials):
+            release = release_tree_single_source(rooted, eps=eps, rng=rng)
+            worst = max(
+                abs(
+                    release.distance_from_root(v)
+                    - rooted.distance_from_root(v)
+                )
+                for v in tree.vertices()
+            )
+            if worst > bound:
+                violations += 1
+        assert violations / trials <= gamma * 2
+
+    def test_much_better_than_naive_composition(self, rng):
+        """Error is far below the naive all-queries baseline V/eps."""
+        n, eps = 256, 1.0
+        tree = generators.random_tree(n, rng)
+        rooted = RootedTree(tree, 0)
+        release = release_tree_single_source(rooted, eps=eps, rng=rng)
+        worst = max(
+            abs(release.distance_from_root(v) - rooted.distance_from_root(v))
+            for v in tree.vertices()
+        )
+        assert worst < n / eps
+
+    @pytest.mark.parametrize(
+        "family",
+        ["path", "star", "caterpillar", "balanced"],
+    )
+    def test_tree_families(self, rng, family):
+        """Algorithm 1 handles structurally extreme trees."""
+        if family == "path":
+            tree = generators.path_graph(65)
+        elif family == "star":
+            tree = generators.star_graph(65)
+        elif family == "caterpillar":
+            tree = generators.caterpillar_tree(13, 4)
+        else:
+            tree = generators.balanced_tree(2, 5)
+        tree = generators.assign_random_weights(tree, rng, 0.0, 5.0)
+        rooted = RootedTree(tree, 0)
+        release = release_tree_single_source(rooted, eps=2.0, rng=rng)
+        n = tree.num_vertices
+        bound = bounds.tree_single_source_error(n, 2.0, 0.01 / n)
+        worst = max(
+            abs(release.distance_from_root(v) - rooted.distance_from_root(v))
+            for v in tree.vertices()
+        )
+        # Allow slack 2x for a single trial.
+        assert worst <= 2 * bound
+
+
+class TestAllPairs:
+    def test_lca_identity_consistency(self, rng):
+        """The all-pairs estimate equals the single-source combination."""
+        tree = generators.random_tree(40, rng)
+        rooted = RootedTree(tree, 0)
+        release = release_tree_all_pairs(rooted, eps=1.0, rng=rng)
+        single = release.single_source
+        for x, y in [(3, 17), (5, 5), (0, 39)]:
+            z = rooted.lca(x, y)
+            expected = (
+                single.distance_from_root(x)
+                + single.distance_from_root(y)
+                - 2 * single.distance_from_root(z)
+            )
+            assert release.distance(x, y) == pytest.approx(expected)
+
+    def test_self_distance_exactly_zero(self, rng):
+        tree = generators.random_tree(20, rng)
+        release = release_tree_all_pairs(tree, eps=1.0, rng=rng)
+        for v in (0, 7, 19):
+            assert release.distance(v, v) == 0.0
+
+    def test_symmetry(self, rng):
+        tree = generators.random_tree(20, rng)
+        release = release_tree_all_pairs(tree, eps=1.0, rng=rng)
+        assert release.distance(3, 12) == release.distance(12, 3)
+
+    def test_all_pairs_dict(self, rng):
+        tree = generators.random_tree(10, rng)
+        release = release_tree_all_pairs(tree, eps=1.0, rng=rng)
+        table = release.all_pairs()
+        assert len(table) == 45
+
+    def test_theorem42_bound_holds_whp(self, rng):
+        eps, gamma = 1.0, 0.05
+        n = 64
+        tree = generators.random_tree(n, rng)
+        tree = generators.assign_random_weights(tree, rng, 0.0, 8.0)
+        rooted = RootedTree(tree, 0)
+        bound = bounds.tree_all_pairs_error(n, eps, gamma)
+        violations = 0
+        trials = 15
+        vertices = list(tree.vertices())
+        for _ in range(trials):
+            release = release_tree_all_pairs(rooted, eps=eps, rng=rng)
+            worst = max(
+                abs(release.distance(x, y) - rooted.distance(x, y))
+                for i, x in enumerate(vertices)
+                for y in vertices[i + 1 :]
+            )
+            if worst > bound:
+                violations += 1
+        assert violations / trials <= gamma * 2

@@ -1,0 +1,55 @@
+"""Unit tests for :mod:`repro.dp.accountant`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Accountant, BudgetExceededError, PrivacyParams
+
+
+class TestAccountant:
+    def test_initial_state(self):
+        acc = Accountant(PrivacyParams(1.0, 1e-6))
+        assert acc.spent is None
+        assert acc.remaining_eps() == 1.0
+        assert acc.remaining_delta() == 1e-6
+        assert acc.records == []
+
+    def test_spend_accumulates(self):
+        acc = Accountant(PrivacyParams(1.0, 1e-6))
+        acc.spend(PrivacyParams(0.25), label="paths")
+        acc.spend(PrivacyParams(0.25, 5e-7), label="distances")
+        spent = acc.spent
+        assert spent is not None
+        assert spent.eps == pytest.approx(0.5)
+        assert spent.delta == pytest.approx(5e-7)
+        assert [r.label for r in acc.records] == ["paths", "distances"]
+
+    def test_exact_budget_allowed(self):
+        acc = Accountant(PrivacyParams(1.0))
+        acc.spend(PrivacyParams(0.5))
+        acc.spend(PrivacyParams(0.5))
+        assert acc.remaining_eps() == pytest.approx(0.0)
+
+    def test_overspend_eps_fails_closed(self):
+        acc = Accountant(PrivacyParams(1.0))
+        acc.spend(PrivacyParams(0.9))
+        with pytest.raises(BudgetExceededError):
+            acc.spend(PrivacyParams(0.2))
+        # State unchanged by the failed spend.
+        assert acc.spent is not None and acc.spent.eps == pytest.approx(0.9)
+        assert len(acc.records) == 1
+
+    def test_overspend_delta_fails_closed(self):
+        acc = Accountant(PrivacyParams(10.0, 1e-6))
+        with pytest.raises(BudgetExceededError):
+            acc.spend(PrivacyParams(0.1, 1e-5))
+
+    def test_can_spend(self):
+        acc = Accountant(PrivacyParams(1.0))
+        assert acc.can_spend(PrivacyParams(1.0))
+        assert not acc.can_spend(PrivacyParams(1.1))
+
+    def test_repr(self):
+        acc = Accountant(PrivacyParams(1.0))
+        assert "Accountant" in repr(acc)

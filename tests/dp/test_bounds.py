@@ -1,0 +1,200 @@
+"""Unit tests for :mod:`repro.dp.bounds` — the paper's closed-form
+bounds, checked for formula correctness, monotonicity and asymptotics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import PrivacyError
+from repro.dp import bounds
+
+
+class TestPreliminaries:
+    def test_laplace_union_bound_formula(self):
+        assert bounds.laplace_union_bound(2.0, 10, 0.1) == pytest.approx(
+            2.0 * math.log(100)
+        )
+
+    def test_laplace_union_bound_validation(self):
+        with pytest.raises(PrivacyError):
+            bounds.laplace_union_bound(2.0, 0, 0.1)
+        with pytest.raises(PrivacyError):
+            bounds.laplace_union_bound(2.0, 10, 1.5)
+
+    def test_concentration_formula(self):
+        """Lemma 3.1: 4 b sqrt(t ln(2/gamma))."""
+        got = bounds.laplace_sum_concentration(1.5, 16, 0.05)
+        assert got == pytest.approx(4 * 1.5 * math.sqrt(16 * math.log(40)))
+
+    def test_concentration_beats_union_for_many_terms(self):
+        """Summing t variables: concentration gives sqrt(t), the naive
+        per-variable union bound gives t."""
+        t, b, gamma = 400, 1.0, 0.05
+        concentration = bounds.laplace_sum_concentration(b, t, gamma)
+        naive = t * bounds.laplace_union_bound(b, t, gamma)
+        assert concentration < naive
+
+    def test_concentration_empirical(self):
+        """The Lemma 3.1 bound holds empirically."""
+        from repro import Rng
+
+        rng = Rng(0)
+        t, b, gamma = 50, 2.0, 0.01
+        bound = bounds.laplace_sum_concentration(b, t, gamma)
+        violations = 0
+        trials = 2000
+        for _ in range(trials):
+            total = float(rng.laplace_vector(b, t).sum())
+            if abs(total) >= bound:
+                violations += 1
+        assert violations / trials <= gamma
+
+
+class TestSection4Bounds:
+    def test_single_pair(self):
+        assert bounds.single_pair_distance_error(2.0, 0.05) == pytest.approx(
+            0.5 * math.log(20)
+        )
+
+    def test_all_pairs_scales(self):
+        assert bounds.all_pairs_basic_noise_scale(10, 1.0) == 100.0
+        advanced = bounds.all_pairs_advanced_noise_scale(10, 1.0, 1e-6)
+        assert advanced == pytest.approx(
+            10 * math.sqrt(2 * math.log(1e6))
+        )
+        assert advanced < 100.0  # advanced beats basic
+
+    def test_synthetic_graph_error(self):
+        got = bounds.synthetic_graph_distance_error(10, 20, 1.0, 0.1)
+        assert got == pytest.approx(10 * math.log(200))
+
+    def test_tree_single_source_polylog_growth(self):
+        """Theorem 4.1's bound grows polylogarithmically in V."""
+        small = bounds.tree_single_source_error(100, 1.0, 0.05)
+        large = bounds.tree_single_source_error(10_000, 1.0, 0.05)
+        # V grew 100x; a log^1.5 bound grows by (log 10^4/log 10^2)^1.5
+        # = 2^1.5 ~ 2.83.
+        assert large / small == pytest.approx(2 ** 1.5, rel=0.01)
+
+    def test_tree_single_vertex_zero(self):
+        assert bounds.tree_single_source_error(1, 1.0, 0.05) == 0.0
+        assert bounds.tree_all_pairs_error(1, 1.0, 0.05) == 0.0
+
+    def test_tree_all_pairs_exceeds_single_source(self):
+        v, eps, gamma = 256, 1.0, 0.05
+        assert bounds.tree_all_pairs_error(
+            v, eps, gamma
+        ) > bounds.tree_single_source_error(v, eps, gamma)
+
+    def test_bounded_weight_approx_components(self):
+        """2kM covering term + noise term."""
+        got = bounds.bounded_weight_error_approx(
+            k=3, covering_size=10, weight_bound=2.0, eps=1.0,
+            delta=1e-6, gamma=0.05,
+        )
+        eps_prime = 1.0 / math.sqrt(2 * math.log(1e6))
+        noise = (10 / eps_prime) * math.log(100 / 0.05)
+        assert got == pytest.approx(2 * 3 * 2.0 + noise)
+
+    def test_bounded_weight_pure_worse_than_approx(self):
+        """Pure DP pays Z^2 instead of ~Z noise."""
+        kwargs = dict(k=2, covering_size=20, weight_bound=1.0, eps=1.0, gamma=0.05)
+        pure = bounds.bounded_weight_error_pure(**kwargs)
+        approx = bounds.bounded_weight_error_approx(delta=1e-6, **kwargs)
+        assert pure > approx
+
+    def test_optimal_k_formulas(self):
+        assert bounds.bounded_weight_optimal_k_approx(
+            400, 1.0, 1.0
+        ) == 20
+        assert bounds.bounded_weight_optimal_k_pure(1000, 1.0, 1.0) == 99
+        # clamped into [1, V-1]
+        assert bounds.bounded_weight_optimal_k_approx(4, 100.0, 10.0) == 1
+
+    def test_grid_error_scales_as_v_third(self):
+        small = bounds.grid_error_approx(10**3, 1.0, 1.0, 1e-6, 0.05)
+        large = bounds.grid_error_approx(10**6, 1.0, 1.0, 1e-6, 0.05)
+        # V grew 1000x -> V^(1/3) grew 10x (log factor adds a bit).
+        assert 10.0 < large / small < 25.0
+
+
+class TestSection5Bounds:
+    def test_shortest_path_error_formula(self):
+        got = bounds.shortest_path_error(5, 100, 2.0, 0.1)
+        assert got == pytest.approx((10 / 2.0) * math.log(1000))
+
+    def test_worst_case_is_v_hops(self):
+        assert bounds.shortest_path_error_worst_case(
+            50, 100, 1.0, 0.1
+        ) == bounds.shortest_path_error(50, 100, 1.0, 0.1)
+
+    def test_zero_hops_zero_error(self):
+        assert bounds.shortest_path_error(0, 10, 1.0, 0.1) == 0.0
+
+    def test_reconstruction_lower_bound_small_eps(self):
+        """alpha -> 0.5 (V-1) as eps, delta -> 0; the paper quotes
+        0.49 (V-1) for sufficiently small eps, delta."""
+        alpha = bounds.reconstruction_lower_bound(101, 0.01, 1e-9)
+        assert alpha >= 0.49 * 100
+        assert alpha <= 0.5 * 100
+
+    def test_reconstruction_lower_bound_decreases_in_eps(self):
+        lo = bounds.reconstruction_lower_bound(100, 2.0, 0.0)
+        hi = bounds.reconstruction_lower_bound(100, 0.1, 0.0)
+        assert lo < hi
+
+    def test_reconstruction_lower_bound_nonnegative(self):
+        # Huge delta: numerator clamps at 0.
+        assert bounds.reconstruction_lower_bound(100, 1.0, 0.4) >= 0.0
+
+    def test_row_recovery_bound(self):
+        """Lemma 5.3: error probability >= (1-delta)/(1+e^eps)."""
+        assert bounds.row_recovery_bound(0.0001, 0.0) == pytest.approx(
+            0.5, abs=1e-4
+        )
+        assert bounds.row_recovery_bound(1.0, 0.0) == pytest.approx(
+            1 / (1 + math.e)
+        )
+
+
+class TestAppendixBBounds:
+    def test_mst_error_formula(self):
+        got = bounds.mst_error(11, 30, 1.0, 0.1)
+        assert got == pytest.approx(20 * math.log(300))
+
+    def test_matching_error_formula(self):
+        got = bounds.matching_error(40, 40, 2.0, 0.1)
+        assert got == pytest.approx(20 * math.log(400))
+
+    def test_mst_lower_bound_matches_path(self):
+        assert bounds.mst_lower_bound(
+            50, 0.5, 1e-9
+        ) == bounds.reconstruction_lower_bound(50, 0.5, 1e-9)
+
+    def test_matching_lower_bound_quarter_v(self):
+        """Theorem B.4: ~0.12 V for small eps, delta."""
+        alpha = bounds.matching_lower_bound(400, 0.01, 1e-9)
+        assert alpha >= 0.12 * 400
+        assert alpha <= 0.125 * 400
+
+
+class TestDrv10Comparison:
+    def test_integer_error_grows_with_total_weight(self):
+        lo = bounds.drv10_integer_weights_error(100, 1000, 1.0, 1e-6)
+        hi = bounds.drv10_integer_weights_error(10_000, 1000, 1.0, 1e-6)
+        assert hi / lo == pytest.approx(10.0)
+
+    def test_fractional_exponents(self):
+        got = bounds.drv10_fractional_weights_error(8.0, 125, 1.0, math.exp(-1))
+        assert got == pytest.approx((8.0 * 125) ** (1 / 3))
+
+    def test_incomparability_regimes(self):
+        """Section 1.3: DRV10 beats the V/eps baseline when ||w||_1 is
+        small, loses when it is huge."""
+        v, eps, delta, gamma = 10_000, 1.0, 1e-6, 0.05
+        baseline = bounds.synthetic_graph_distance_error(v, 2 * v, eps, gamma)
+        cheap = bounds.drv10_integer_weights_error(100, v, eps, delta)
+        expensive = bounds.drv10_integer_weights_error(10**12, v, eps, delta)
+        assert cheap < baseline < expensive

@@ -1,0 +1,110 @@
+"""Unit tests for :mod:`repro.dp.exponential`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import PrivacyError, Rng
+from repro.dp.exponential import (
+    ExponentialMechanism,
+    exponential_mechanism_utility_bound,
+)
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        with pytest.raises(PrivacyError):
+            ExponentialMechanism(0.0, 1.0, Rng(0))
+        with pytest.raises(PrivacyError):
+            ExponentialMechanism(1.0, 0.0, Rng(0))
+
+    def test_empty_candidates(self):
+        mech = ExponentialMechanism(1.0, 1.0, Rng(0))
+        with pytest.raises(PrivacyError):
+            mech.choose_index([])
+
+    def test_mismatched_lengths(self):
+        mech = ExponentialMechanism(1.0, 1.0, Rng(0))
+        with pytest.raises(PrivacyError):
+            mech.choose(["a", "b"], [1.0])
+
+    def test_utility_bound_formula(self):
+        got = exponential_mechanism_utility_bound(2.0, 1.0, 100, 0.05)
+        assert got == pytest.approx(math.log(2000))
+
+    def test_utility_bound_validation(self):
+        with pytest.raises(PrivacyError):
+            exponential_mechanism_utility_bound(1.0, 1.0, 0, 0.05)
+
+
+class TestSampling:
+    def test_prefers_high_scores(self):
+        mech = ExponentialMechanism(2.0, 1.0, Rng(0))
+        counts = [0, 0, 0]
+        for _ in range(5000):
+            counts[mech.choose_index([0.0, 5.0, 0.0])] += 1
+        assert counts[1] > 4500
+
+    def test_uniform_on_equal_scores(self):
+        mech = ExponentialMechanism(1.0, 1.0, Rng(1))
+        counts = [0, 0]
+        for _ in range(10_000):
+            counts[mech.choose_index([3.0, 3.0])] += 1
+        assert abs(counts[0] - counts[1]) < 500
+
+    def test_probability_ratio_matches_definition(self):
+        """Pr[c1]/Pr[c2] = exp(eps (q1 - q2) / (2 Delta))."""
+        eps, gap = 1.0, 2.0
+        mech = ExponentialMechanism(eps, 1.0, Rng(2))
+        counts = [0, 0]
+        trials = 60_000
+        for _ in range(trials):
+            counts[mech.choose_index([gap, 0.0])] += 1
+        measured = counts[0] / counts[1]
+        expected = math.exp(eps * gap / 2.0)
+        assert measured == pytest.approx(expected, rel=0.1)
+
+    def test_numerical_stability_large_scores(self):
+        mech = ExponentialMechanism(1.0, 1.0, Rng(3))
+        index = mech.choose_index([-1e9, -1e9 + 5.0])
+        assert index in (0, 1)
+
+    def test_empirical_dp_inequality(self):
+        """Score vectors from neighboring inputs (each score moves by
+        <= Delta): output probabilities within e^eps."""
+        eps = 0.5
+        rng = Rng(4)
+        mech = ExponentialMechanism(eps, 1.0, rng)
+        scores_w = [1.0, 0.0, 2.0]
+        scores_w2 = [0.0, 1.0, 1.0]  # each moved by <= 1 = Delta
+        trials = 40_000
+        counts_w = np.zeros(3)
+        counts_w2 = np.zeros(3)
+        for _ in range(trials):
+            counts_w[mech.choose_index(scores_w)] += 1
+            counts_w2[mech.choose_index(scores_w2)] += 1
+        p = counts_w / trials
+        q = counts_w2 / trials
+        slack = 3.0 * math.sqrt(2.0 / trials)
+        for i in range(3):
+            assert p[i] <= math.exp(eps) * q[i] + slack
+            assert q[i] <= math.exp(eps) * p[i] + slack
+
+    def test_utility_bound_holds_empirically(self):
+        eps, gamma = 1.0, 0.05
+        rng = Rng(5)
+        scores = [0.0, -1.0, -2.0, -10.0, -20.0]
+        mech = ExponentialMechanism(eps, 1.0, rng)
+        bound = exponential_mechanism_utility_bound(
+            eps, 1.0, len(scores), gamma
+        )
+        violations = 0
+        trials = 2000
+        for _ in range(trials):
+            chosen = scores[mech.choose_index(scores)]
+            if 0.0 - chosen > bound:
+                violations += 1
+        assert violations / trials <= gamma

@@ -1,0 +1,132 @@
+"""Unit tests for :mod:`repro.dp.mechanisms` and Laplace sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import LaplaceMechanism, PrivacyError, Rng
+from repro.dp.mechanisms import laplace_noise_scale
+from repro.rng import laplace_quantile, laplace_tail_bound
+
+
+class TestNoiseScale:
+    def test_scale_formula(self):
+        assert laplace_noise_scale(2.0, 0.5) == 4.0
+
+    @pytest.mark.parametrize("sens,eps", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.0)])
+    def test_invalid(self, sens, eps):
+        with pytest.raises(PrivacyError):
+            laplace_noise_scale(sens, eps)
+
+
+class TestLaplaceDistribution:
+    def test_tail_bound_formula(self):
+        """Definition 3.1: Pr[|Y| > t*b] = e^-t."""
+        assert laplace_tail_bound(2.0, 0.0) == 1.0
+        assert laplace_tail_bound(2.0, 1.0) == pytest.approx(np.exp(-1))
+
+    def test_quantile_inverts_tail(self):
+        b, gamma = 3.0, 0.05
+        m = laplace_quantile(b, gamma)
+        assert laplace_tail_bound(b, m / b) == pytest.approx(gamma)
+
+    def test_empirical_tail(self):
+        rng = Rng(0)
+        b = 2.0
+        samples = rng.laplace_vector(b, 200_000)
+        # Pr[|Y| > b] should be about e^-1 ~ 0.368
+        frac = float(np.mean(np.abs(samples) > b))
+        assert frac == pytest.approx(np.exp(-1), abs=0.01)
+
+    def test_empirical_mean_and_variance(self):
+        rng = Rng(1)
+        b = 1.5
+        samples = rng.laplace_vector(b, 200_000)
+        assert float(samples.mean()) == pytest.approx(0.0, abs=0.02)
+        # Var[Lap(b)] = 2 b^2
+        assert float(samples.var()) == pytest.approx(2 * b * b, rel=0.05)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            laplace_tail_bound(0.0, 1.0)
+        with pytest.raises(ValueError):
+            laplace_quantile(1.0, 0.0)
+        with pytest.raises(ValueError):
+            laplace_quantile(1.0, 1.5)
+
+
+class TestLaplaceMechanism:
+    def test_scalar_release_is_noisy(self):
+        mech = LaplaceMechanism(1.0, 1.0, Rng(0))
+        released = mech.release_scalar(10.0)
+        assert released != 10.0  # almost surely
+
+    def test_vector_release_shape(self):
+        mech = LaplaceMechanism(1.0, 1.0, Rng(0))
+        released = mech.release_vector([1.0, 2.0, 3.0])
+        assert released.shape == (3,)
+
+    def test_release_function(self):
+        mech = LaplaceMechanism(1.0, 1.0, Rng(0))
+        released = mech.release_function(lambda: [5.0, 6.0])
+        assert released.shape == (2,)
+
+    def test_noise_centered_on_truth(self):
+        mech = LaplaceMechanism(1.0, 2.0, Rng(3))
+        releases = [mech.release_scalar(7.0) for _ in range(20_000)]
+        assert float(np.mean(releases)) == pytest.approx(7.0, abs=0.05)
+
+    def test_scale_matches_sensitivity_over_eps(self):
+        mech = LaplaceMechanism(3.0, 0.5, Rng(0))
+        assert mech.scale == 6.0
+        assert mech.sensitivity == 3.0
+        assert mech.params.eps == 0.5
+
+    def test_reproducible_from_seed(self):
+        a = LaplaceMechanism(1.0, 1.0, Rng(42)).release_vector([0.0] * 5)
+        b = LaplaceMechanism(1.0, 1.0, Rng(42)).release_vector([0.0] * 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_repr(self):
+        mech = LaplaceMechanism(2.0, 1.0, Rng(0))
+        assert "sensitivity=2" in repr(mech)
+
+
+class TestRng:
+    def test_spawn_independence(self):
+        parent = Rng(5)
+        a = parent.spawn()
+        b = parent.spawn()
+        assert a.laplace(1.0) != b.laplace(1.0)
+
+    def test_spawn_reproducible(self):
+        xs = [Rng(9).spawn().laplace(1.0) for _ in range(2)]
+        assert xs[0] == xs[1]
+
+    def test_bits_and_choice(self):
+        rng = Rng(0)
+        bits = rng.bits(100)
+        assert set(bits) <= {0, 1}
+        assert rng.choice([1, 2, 3]) in (1, 2, 3)
+
+    def test_sample_without_replacement(self):
+        rng = Rng(0)
+        picked = rng.sample(list(range(10)), 10)
+        assert sorted(picked) == list(range(10))
+        with pytest.raises(ValueError):
+            rng.sample([1, 2], 3)
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            Rng(0).choice([])
+
+    def test_laplace_invalid_scale(self):
+        with pytest.raises(PrivacyError):
+            Rng(0).laplace(0.0)
+        with pytest.raises(PrivacyError):
+            Rng(0).laplace_vector(-1.0, 3)
+
+    def test_permutation(self):
+        perm = Rng(0).permutation(8)
+        assert sorted(perm) == list(range(8))

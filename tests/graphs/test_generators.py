@@ -1,0 +1,151 @@
+"""Unit tests for :mod:`repro.graphs.generators`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphError
+from repro.algorithms import is_connected
+from repro.graphs import RootedTree, generators
+
+
+class TestDeterministicFamilies:
+    def test_path_graph(self):
+        g = generators.path_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 4
+        assert g.has_edge(0, 1) and g.has_edge(3, 4)
+        assert not g.has_edge(0, 4)
+
+    def test_path_graph_single_vertex(self):
+        g = generators.path_graph(1)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_path_graph_invalid(self):
+        with pytest.raises(GraphError):
+            generators.path_graph(0)
+
+    def test_cycle_graph(self):
+        g = generators.cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            generators.cycle_graph(2)
+
+    def test_star_graph(self):
+        g = generators.star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_complete_graph(self):
+        g = generators.complete_graph(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in g.vertices())
+
+    def test_grid_graph(self):
+        g = generators.grid_graph(3, 4)
+        assert g.num_vertices == 12
+        # edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8
+        assert g.num_edges == 17
+        assert g.has_edge((0, 0), (0, 1))
+        assert g.has_edge((0, 0), (1, 0))
+        assert not g.has_edge((0, 0), (1, 1))
+
+    def test_grid_square_default(self):
+        g = generators.grid_graph(4)
+        assert g.num_vertices == 16
+
+    def test_balanced_tree(self):
+        g = generators.balanced_tree(2, 3)
+        assert g.num_vertices == 15  # 1 + 2 + 4 + 8
+        assert g.num_edges == 14
+        RootedTree(g, 0)  # valid tree
+
+    def test_balanced_tree_height_zero(self):
+        g = generators.balanced_tree(3, 0)
+        assert g.num_vertices == 1
+
+    def test_caterpillar(self):
+        g = generators.caterpillar_tree(4, 2)
+        assert g.num_vertices == 4 + 8
+        assert g.num_edges == g.num_vertices - 1
+        RootedTree(g, 0)
+
+    def test_spider(self):
+        g = generators.spider_tree(3, 4)
+        assert g.num_vertices == 1 + 12
+        assert g.degree(0) == 3
+        RootedTree(g, 0)
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self, rng):
+        for n in (1, 2, 3, 10, 100):
+            g = generators.random_tree(n, rng)
+            assert g.num_vertices == n
+            assert g.num_edges == n - 1 if n > 1 else g.num_edges == 0
+            if n >= 1:
+                RootedTree(g, 0)
+
+    def test_random_tree_varies(self, rng):
+        trees = [generators.random_tree(20, rng) for _ in range(5)]
+        edge_sets = {frozenset(t.edge_list()) for t in trees}
+        assert len(edge_sets) > 1
+
+    def test_erdos_renyi_connected(self, rng):
+        g = generators.erdos_renyi_graph(30, 0.05, rng)
+        assert is_connected(g)
+        assert g.num_vertices == 30
+
+    def test_erdos_renyi_not_forced_connected(self, rng):
+        g = generators.erdos_renyi_graph(
+            30, 0.0, rng, ensure_connected=False
+        )
+        assert g.num_edges == 0
+
+    def test_erdos_renyi_full_probability(self, rng):
+        g = generators.erdos_renyi_graph(10, 1.0, rng)
+        assert g.num_edges == 45
+
+    def test_erdos_renyi_invalid_p(self, rng):
+        with pytest.raises(GraphError):
+            generators.erdos_renyi_graph(5, 1.5, rng)
+
+    def test_random_geometric_connected(self, rng):
+        g, positions = generators.random_geometric_graph(40, 0.2, rng)
+        assert is_connected(g)
+        assert set(positions) == set(g.vertices())
+
+    def test_random_geometric_weights_are_distances(self, rng):
+        import math
+
+        g, positions = generators.random_geometric_graph(25, 0.3, rng)
+        for u, v, w in g.edges():
+            xu, yu = positions[u]
+            xv, yv = positions[v]
+            assert w == pytest.approx(math.hypot(xu - xv, yu - yv))
+
+    def test_assign_random_weights_range(self, rng):
+        g = generators.grid_graph(4, 4)
+        weighted = generators.assign_random_weights(g, rng, 2.0, 5.0)
+        for _, _, w in weighted.edges():
+            assert 2.0 <= w <= 5.0
+        # topology untouched
+        assert weighted.num_edges == g.num_edges
+
+    def test_assign_random_weights_invalid(self, rng):
+        g = generators.grid_graph(2, 2)
+        with pytest.raises(GraphError):
+            generators.assign_random_weights(g, rng, -1.0, 1.0)
+        with pytest.raises(GraphError):
+            generators.assign_random_weights(g, rng, 2.0, 1.0)
+
+    def test_generators_are_seed_deterministic(self):
+        from repro import Rng
+
+        a = generators.random_tree(30, Rng(7))
+        b = generators.random_tree(30, Rng(7))
+        assert a.edge_list() == b.edge_list()

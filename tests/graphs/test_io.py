@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.graphs.io`."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import GraphError, WeightedGraph
+from repro.graphs import generators
+from repro.graphs.io import (
+    graph_from_json,
+    graph_to_json,
+    load_graph,
+    read_edge_list,
+    save_graph,
+    write_edge_list,
+)
+
+
+class TestJsonRoundTrip:
+    def test_simple_round_trip(self, triangle):
+        restored = graph_from_json(graph_to_json(triangle))
+        assert restored.num_vertices == triangle.num_vertices
+        assert restored.weights() == triangle.weights()
+        assert restored.directed == triangle.directed
+
+    def test_directed_round_trip(self):
+        g = WeightedGraph(directed=True)
+        g.add_edge("a", "b", 2.5)
+        restored = graph_from_json(graph_to_json(g))
+        assert restored.directed
+        assert restored.has_edge("a", "b")
+        assert not restored.has_edge("b", "a")
+
+    def test_tuple_vertices_round_trip(self):
+        g = generators.grid_graph(3, 3)
+        restored = graph_from_json(graph_to_json(g))
+        assert restored.has_edge((0, 0), (0, 1))
+        assert restored.weights() == g.weights()
+
+    def test_isolated_vertices_survive(self):
+        g = WeightedGraph()
+        g.add_vertex("alone")
+        restored = graph_from_json(graph_to_json(g))
+        assert restored.has_vertex("alone")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(GraphError):
+            graph_from_json('{"format": "something-else"}')
+
+    def test_rejects_bad_version(self):
+        with pytest.raises(GraphError):
+            graph_from_json(
+                '{"format": "repro-graph", "version": 999, '
+                '"directed": false, "vertices": [], "edges": []}'
+            )
+
+    def test_unserializable_vertex(self):
+        g = WeightedGraph()
+        g.add_vertex(frozenset([1]))
+        with pytest.raises(GraphError):
+            graph_to_json(g)
+
+    def test_file_round_trip(self, tmp_path, triangle):
+        path = tmp_path / "graph.json"
+        save_graph(triangle, path)
+        restored = load_graph(path)
+        assert restored.weights() == triangle.weights()
+
+
+class TestEdgeList:
+    def test_round_trip(self, triangle):
+        buffer = io.StringIO()
+        write_edge_list(triangle, buffer)
+        buffer.seek(0)
+        restored = read_edge_list(buffer)
+        assert restored.weights() == triangle.weights()
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\n0 1 2.5\n"
+        restored = read_edge_list(io.StringIO(text))
+        assert restored.weight(0, 1) == 2.5
+
+    def test_bad_line(self):
+        with pytest.raises(GraphError):
+            read_edge_list(io.StringIO("0 1\n"))
+
+    def test_string_vertices(self):
+        text = "alpha beta 1.0\n"
+        restored = read_edge_list(io.StringIO(text), int_vertices=False)
+        assert restored.has_edge("alpha", "beta")
+
+    def test_rejects_tuple_vertices(self):
+        g = generators.grid_graph(2, 2)
+        with pytest.raises(GraphError):
+            write_edge_list(g, io.StringIO())
+
+    def test_rejects_whitespace_labels(self):
+        g = WeightedGraph()
+        g.add_edge("a b", "c", 1.0)
+        with pytest.raises(GraphError):
+            write_edge_list(g, io.StringIO())

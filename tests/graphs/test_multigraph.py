@@ -1,0 +1,133 @@
+"""Unit tests for :mod:`repro.graphs.multigraph`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EdgeNotFoundError, GraphError, WeightedMultiGraph
+from repro.algorithms import dijkstra_path
+
+
+@pytest.fixture
+def parallel_pair() -> WeightedMultiGraph:
+    """Two vertices joined by two parallel edges of weights 1 and 5."""
+    mg = WeightedMultiGraph()
+    mg.add_edge("a", "b", 1.0, key="cheap")
+    mg.add_edge("a", "b", 5.0, key="dear")
+    return mg
+
+
+class TestConstruction:
+    def test_auto_keys_are_distinct(self):
+        mg = WeightedMultiGraph()
+        k1 = mg.add_edge(0, 1, 1.0)
+        k2 = mg.add_edge(0, 1, 2.0)
+        assert k1 != k2
+        assert mg.num_edges == 2
+
+    def test_duplicate_key_rejected(self, parallel_pair):
+        with pytest.raises(GraphError):
+            parallel_pair.add_edge("a", "b", 2.0, key="cheap")
+
+    def test_self_loop_rejected(self):
+        mg = WeightedMultiGraph()
+        with pytest.raises(GraphError):
+            mg.add_edge("a", "a")
+
+    def test_counts(self, parallel_pair):
+        assert parallel_pair.num_vertices == 2
+        assert parallel_pair.num_edges == 2
+
+    def test_copy_preserves_keys_and_weights(self, parallel_pair):
+        clone = parallel_pair.copy()
+        assert clone.weight("cheap") == 1.0
+        clone.set_weight("cheap", 9.0)
+        assert parallel_pair.weight("cheap") == 1.0
+
+    def test_copy_auto_key_continuation(self):
+        mg = WeightedMultiGraph()
+        mg.add_edge(0, 1)
+        clone = mg.copy()
+        new_key = clone.add_edge(0, 1)
+        assert new_key not in (0,) or new_key != 0  # fresh key
+
+
+class TestQueries:
+    def test_endpoints_and_weight(self, parallel_pair):
+        assert parallel_pair.endpoints("cheap") == ("a", "b")
+        assert parallel_pair.weight("dear") == 5.0
+
+    def test_missing_key(self, parallel_pair):
+        with pytest.raises(EdgeNotFoundError):
+            parallel_pair.weight("nope")
+        with pytest.raises(EdgeNotFoundError):
+            parallel_pair.endpoints("nope")
+
+    def test_parallel_keys(self, parallel_pair):
+        keys = parallel_pair.parallel_keys("a", "b")
+        assert set(keys) == {"cheap", "dear"}
+
+    def test_weights_and_with_weights(self, parallel_pair):
+        reweighted = parallel_pair.with_weights({"cheap": 10.0})
+        assert reweighted.weight("cheap") == 10.0
+        assert parallel_pair.weight("cheap") == 1.0
+
+    def test_path_weight(self, parallel_pair):
+        assert parallel_pair.path_weight(["cheap", "dear"]) == 6.0
+
+    def test_neighbors_distinct(self, parallel_pair):
+        assert list(parallel_pair.neighbors("a")) == ["b"]
+
+
+class TestMinWeightProjection:
+    def test_keeps_lightest_edge(self, parallel_pair):
+        simple, chosen = parallel_pair.min_weight_projection()
+        assert simple.num_edges == 1
+        assert simple.weight("a", "b") == 1.0
+        key = simple.edge_key("a", "b")
+        assert chosen[key] == "cheap"
+
+    def test_shortest_path_uses_projection(self):
+        mg = WeightedMultiGraph()
+        mg.add_edge(0, 1, 3.0, key="slow1")
+        mg.add_edge(0, 1, 1.0, key="fast1")
+        mg.add_edge(1, 2, 2.0, key="slow2")
+        mg.add_edge(1, 2, 0.5, key="fast2")
+        simple, chosen = mg.min_weight_projection()
+        path, weight = dijkstra_path(simple, 0, 2)
+        assert path == [0, 1, 2]
+        assert weight == 1.5
+        keys = [chosen[simple.edge_key(u, v)] for u, v in zip(path, path[1:])]
+        assert keys == ["fast1", "fast2"]
+
+
+class TestToSimple:
+    def test_subdivision_preserves_weights(self, parallel_pair):
+        simple, mapping = parallel_pair.to_simple()
+        # One direct edge plus one subdivided edge -> 3 edges total.
+        assert simple.num_edges == 3
+        assert simple.num_vertices == 3
+        # Each original key maps to a path of total weight equal to the
+        # original weight.
+        for key in parallel_pair.edge_keys():
+            total = sum(simple.weight(u, v) for u, v in mapping[key])
+            assert total == parallel_pair.weight(key)
+
+    def test_simple_graph_distances_match(self):
+        """The paper's factor-2 remark: the simple conversion preserves
+        path weights exactly (only hop counts grow)."""
+        mg = WeightedMultiGraph()
+        mg.add_edge(0, 1, 2.0)
+        mg.add_edge(0, 1, 7.0)
+        mg.add_edge(1, 2, 3.0)
+        simple, _ = mg.to_simple()
+        _, weight = dijkstra_path(simple, 0, 2)
+        assert weight == 5.0
+
+    def test_no_parallel_edges_is_identity_shape(self):
+        mg = WeightedMultiGraph()
+        mg.add_edge(0, 1, 1.0)
+        mg.add_edge(1, 2, 2.0)
+        simple, mapping = mg.to_simple()
+        assert simple.num_vertices == 3
+        assert simple.num_edges == 2

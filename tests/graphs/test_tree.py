@@ -1,0 +1,197 @@
+"""Unit tests for :mod:`repro.graphs.tree` (including the Figure 1
+partition invariants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import NotATreeError, Rng, VertexNotFoundError, WeightedGraph
+from repro.graphs import RootedTree, generators
+
+
+class TestConstruction:
+    def test_rejects_directed(self):
+        g = WeightedGraph(directed=True)
+        g.add_edge(0, 1)
+        with pytest.raises(NotATreeError):
+            RootedTree(g, 0)
+
+    def test_rejects_cycle(self):
+        g = generators.cycle_graph(4)
+        with pytest.raises(NotATreeError):
+            RootedTree(g, 0)
+
+    def test_rejects_disconnected_forest(self):
+        g = WeightedGraph.from_edges([(0, 1, 1.0), (2, 3, 1.0)])
+        g.add_vertex(4)
+        with pytest.raises(NotATreeError):
+            RootedTree(g, 0)
+
+    def test_rejects_missing_root(self, small_tree):
+        with pytest.raises(VertexNotFoundError):
+            RootedTree(small_tree, 99)
+
+    def test_single_vertex_tree(self):
+        g = WeightedGraph()
+        g.add_vertex("only")
+        t = RootedTree(g, "only")
+        assert t.num_vertices == 1
+        assert t.parent("only") is None
+        assert t.splitter() == "only"
+
+
+class TestStructure:
+    def test_parents(self, small_rooted_tree):
+        t = small_rooted_tree
+        assert t.parent(0) is None
+        assert t.parent(3) == 1
+        assert t.parent(6) == 5
+
+    def test_children_sets(self, small_rooted_tree):
+        t = small_rooted_tree
+        assert set(t.children(0)) == {1, 2}
+        assert set(t.children(1)) == {3, 4}
+        assert t.children(3) == []
+
+    def test_depth(self, small_rooted_tree):
+        t = small_rooted_tree
+        assert t.depth(0) == 0
+        assert t.depth(4) == 2
+        assert t.depth(6) == 3
+
+    def test_subtree_sizes(self, small_rooted_tree):
+        t = small_rooted_tree
+        assert t.subtree_size(0) == 7
+        assert t.subtree_size(1) == 3
+        assert t.subtree_size(2) == 3
+        assert t.subtree_size(6) == 1
+
+    def test_subtree_vertices(self, small_rooted_tree):
+        assert set(small_rooted_tree.subtree_vertices(2)) == {2, 5, 6}
+
+    def test_preorder_parents_first(self, small_rooted_tree):
+        t = small_rooted_tree
+        order = t.preorder()
+        position = {v: i for i, v in enumerate(order)}
+        for v in order:
+            p = t.parent(v)
+            if p is not None:
+                assert position[p] < position[v]
+
+    def test_is_leaf(self, small_rooted_tree):
+        assert small_rooted_tree.is_leaf(6)
+        assert not small_rooted_tree.is_leaf(2)
+
+    def test_missing_vertex_queries(self, small_rooted_tree):
+        for method in ("parent", "children", "depth", "subtree_size"):
+            with pytest.raises(VertexNotFoundError):
+                getattr(small_rooted_tree, method)(99)
+
+
+class TestDistances:
+    def test_distance_from_root(self, small_rooted_tree):
+        t = small_rooted_tree
+        assert t.distance_from_root(0) == 0.0
+        assert t.distance_from_root(4) == 5.0  # 1 + 4
+        assert t.distance_from_root(6) == 13.0  # 2 + 5 + 6
+
+    def test_pairwise_distance_lca_identity(self, small_rooted_tree):
+        t = small_rooted_tree
+        # d(3, 4) goes through 1: 3 + 4
+        assert t.distance(3, 4) == 7.0
+        # d(3, 6) goes through root: 3 + 1 + 2 + 5 + 6
+        assert t.distance(3, 6) == 17.0
+
+    def test_distance_symmetry(self, small_rooted_tree):
+        t = small_rooted_tree
+        assert t.distance(3, 6) == t.distance(6, 3)
+
+    def test_path_endpoints_and_validity(self, small_rooted_tree):
+        t = small_rooted_tree
+        path = t.path(3, 6)
+        assert path[0] == 3 and path[-1] == 6
+        assert t.graph.is_path(path)
+        assert t.graph.path_weight(path) == t.distance(3, 6)
+
+    def test_path_to_root(self, small_rooted_tree):
+        assert small_rooted_tree.path_to_root(6) == [6, 5, 2, 0]
+
+
+class TestLca:
+    def test_lca_basic(self, small_rooted_tree):
+        t = small_rooted_tree
+        assert t.lca(3, 4) == 1
+        assert t.lca(3, 6) == 0
+        assert t.lca(5, 6) == 5
+        assert t.lca(2, 2) == 2
+
+    def test_ancestor(self, small_rooted_tree):
+        t = small_rooted_tree
+        assert t.ancestor(6, 0) == 6
+        assert t.ancestor(6, 2) == 2
+        assert t.ancestor(6, 3) == 0
+        with pytest.raises(ValueError):
+            t.ancestor(6, 4)
+
+    def test_lca_random_trees_against_naive(self, rng):
+        for _ in range(5):
+            graph = generators.random_tree(40, rng)
+            tree = RootedTree(graph, 0)
+            ancestors = {
+                v: set(tree.path_to_root(v)) for v in graph.vertices()
+            }
+            for _ in range(30):
+                x = rng.integer(0, 40)
+                y = rng.integer(0, 40)
+                common = ancestors[x] & ancestors[y]
+                naive = max(common, key=tree.depth)
+                assert tree.lca(x, y) == naive
+
+
+class TestSplitter:
+    """Figure 1 / Algorithm 1 step 1 invariants."""
+
+    def test_splitter_invariants_random_trees(self, rng):
+        for n in (2, 3, 5, 17, 64, 101):
+            graph = generators.random_tree(n, rng)
+            tree = RootedTree(graph, 0)
+            v_star = tree.splitter()
+            assert tree.subtree_size(v_star) > n / 2
+            for child in tree.children(v_star):
+                assert tree.subtree_size(child) <= n / 2
+
+    def test_split_partitions_vertices(self, rng):
+        graph = generators.random_tree(50, rng)
+        tree = RootedTree(graph, 0)
+        v_star = tree.splitter()
+        t0, subtrees = tree.split_at(v_star)
+        all_parts = [t0] + subtrees
+        seen: set = set()
+        for part in all_parts:
+            assert not (seen & set(part))
+            seen |= set(part)
+        assert seen == set(graph.vertices())
+
+    def test_split_piece_sizes_at_most_half(self, rng):
+        """Every subtree piece T1..Tt has size <= V/2 and T0 has size
+        <= ceil(V/2) + small slack (the paper's 'at most half')."""
+        for n in (10, 33, 64):
+            graph = generators.random_tree(n, rng)
+            tree = RootedTree(graph, 0)
+            v_star = tree.splitter()
+            t0, subtrees = tree.split_at(v_star)
+            for part in subtrees:
+                assert len(part) <= n / 2
+            # |T0| = n - (subtree(v*) - 1) < n/2 + 1
+            assert len(t0) <= n // 2 + 1
+
+    def test_splitter_on_path(self):
+        graph = generators.path_graph(8)
+        tree = RootedTree(graph, 0)
+        v_star = tree.splitter()
+        assert tree.subtree_size(v_star) > 4
+
+    def test_splitter_on_star(self):
+        graph = generators.star_graph(9)
+        tree = RootedTree(graph, 1)  # root at a leaf
+        assert tree.splitter() == 0  # hub holds all the mass

@@ -1,0 +1,190 @@
+"""Integration tests: whole-pipeline scenarios combining substrates,
+mechanisms, workloads and accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accountant,
+    BudgetExceededError,
+    PrivacyParams,
+    Rng,
+    release_bounded_weight,
+    release_private_paths,
+    release_tree_all_pairs,
+)
+from repro.algorithms import dijkstra_path, path_hops
+from repro.analysis import path_error, summarize_errors
+from repro.dp import bounds
+from repro.graphs import RootedTree, generators
+from repro.graphs.io import graph_from_json, graph_to_json
+from repro.workloads import (
+    congestion_weights,
+    grid_road_network,
+    pairs_by_hop_bucket,
+    rush_hour_scenario,
+    uniform_pairs,
+)
+
+
+class TestNavigationScenario:
+    """The paper's motivating application (Section 1.1): a navigation
+    provider with private congestion data releases routes."""
+
+    def test_private_routes_on_congested_city(self):
+        rng = Rng(100)
+        network = grid_road_network(10, 10, rng)
+        congested = rush_hour_scenario(
+            network, rng, center=(5.0, 5.0), hot_radius=3.0, slowdown=4.0
+        )
+        release = release_private_paths(congested, eps=1.0, gamma=0.05, rng=rng)
+        pairs = uniform_pairs(congested, 20, rng)
+        errors = [path_error(congested, release.path(s, t)) for s, t in pairs]
+        summary = summarize_errors(errors)
+        # Every route is valid and within the worst-case bound.
+        worst_case = bounds.shortest_path_error_worst_case(
+            congested.num_vertices, congested.num_edges, 1.0, 0.05
+        )
+        assert summary.maximum <= worst_case
+        assert summary.mean >= 0.0
+
+    def test_hop_stratified_accuracy(self):
+        """Theorem 5.5 in action on a road network: near pairs get
+        proportionally smaller error than far pairs."""
+        rng = Rng(101)
+        network = grid_road_network(12, 12, rng)
+        release = release_private_paths(
+            network.graph, eps=1.0, gamma=0.05, rng=rng
+        )
+        buckets = pairs_by_hop_bucket(
+            network.graph, rng, per_bucket=12, buckets=[(1, 3), (12, 22)]
+        )
+        near_errors = [
+            path_error(network.graph, release.path(s, t))
+            for s, t in buckets[(1, 3)]
+        ]
+        far_errors = [
+            path_error(network.graph, release.path(s, t))
+            for s, t in buckets[(12, 22)]
+        ]
+        assert np.mean(near_errors) <= np.mean(far_errors) + 1e-9
+
+    def test_bounded_weight_oracle_for_capped_traffic(self):
+        """Congestion capped at M feeds Algorithm 2 end to end."""
+        rng = Rng(102)
+        network = grid_road_network(7, 7, rng, block_minutes=1.0)
+        cap = 2.0
+        capped = congestion_weights(network, rng, congestion_level=0.8, cap=cap)
+        release = release_bounded_weight(
+            capped, cap * (1.0 + 0.3), eps=1.0, rng=rng, delta=1e-6
+        )
+        value = release.distance((0, 0), (6, 6))
+        assert np.isfinite(value)
+
+
+class TestBudgetedService:
+    """A service answering several query types from one budget."""
+
+    def test_accountant_gates_releases(self):
+        rng = Rng(103)
+        graph = generators.grid_graph(6, 6)
+        accountant = Accountant(PrivacyParams(1.0))
+
+        paths_params = PrivacyParams(0.5)
+        accountant.spend(paths_params, label="all-pairs paths")
+        release_private_paths(graph, paths_params.eps, 0.05, rng)
+
+        dist_params = PrivacyParams(0.4)
+        accountant.spend(dist_params, label="bounded distances")
+        release_bounded_weight(graph, 1.0, dist_params.eps, rng)
+
+        # Third release exceeds the remaining 0.1 budget.
+        with pytest.raises(BudgetExceededError):
+            accountant.spend(PrivacyParams(0.2), label="extra")
+        assert accountant.remaining_eps() == pytest.approx(0.1)
+
+
+class TestSerializationPipeline:
+    def test_released_graph_round_trips_and_answers(self):
+        """Publish the Algorithm 3 release as JSON; a consumer restores
+        it and computes paths — pure post-processing."""
+        rng = Rng(104)
+        graph = generators.grid_graph(5, 5)
+        release = release_private_paths(graph, eps=1.0, gamma=0.05, rng=rng)
+        payload = graph_to_json(release.graph)
+        restored = graph_from_json(payload)
+        path, _ = dijkstra_path(restored, (0, 0), (4, 4))
+        assert graph.is_path(path)
+
+
+class TestTreeScenario:
+    def test_hierarchy_distances_for_network_topology(self):
+        """All-pairs distances on a spanning-tree backbone: the
+        Section 4.1 algorithm beats the naive baseline end to end."""
+        rng = Rng(105)
+        tree = generators.random_tree(200, rng)
+        tree = generators.assign_random_weights(tree, rng, 1.0, 10.0)
+        rooted = RootedTree(tree, 0)
+        release = release_tree_all_pairs(rooted, eps=1.0, rng=rng)
+        sample_pairs = [(3, 190), (17, 44), (0, 123), (60, 61)]
+        errors = [
+            abs(release.distance(x, y) - rooted.distance(x, y))
+            for x, y in sample_pairs
+        ]
+        naive_scale = tree.num_vertices / 1.0  # ~V/eps baseline
+        assert max(errors) < naive_scale
+
+    def test_consistency_between_tree_and_path_algorithms(self):
+        """The path graph is a tree: Algorithm 1 and the Appendix A
+        hierarchy must achieve comparable accuracy on it."""
+        from repro import release_path_hierarchy, release_tree_single_source
+
+        rng = Rng(106)
+        n = 128
+        g = generators.path_graph(n)
+        g = generators.assign_random_weights(g, rng, 0.0, 5.0)
+        rooted = RootedTree(g, 0)
+        tree_errors, hub_errors = [], []
+        for _ in range(10):
+            tree_rel = release_tree_single_source(rooted, eps=1.0, rng=rng)
+            hub_rel = release_path_hierarchy(g, eps=1.0, rng=rng)
+            for v in range(0, n, 13):
+                true = rooted.distance_from_root(v)
+                tree_errors.append(abs(tree_rel.distance_from_root(v) - true))
+                hub_errors.append(abs(hub_rel.distance(0, v) - true))
+        ratio = np.mean(tree_errors) / max(np.mean(hub_errors), 1e-9)
+        assert 0.2 < ratio < 5.0  # same order of magnitude
+
+
+class TestLowerBoundStory:
+    def test_accuracy_privacy_tradeoff_demonstrated(self):
+        """The complete Section 5 narrative in one test: the exact
+        solver reconstructs perfectly (blatant leak), the private one
+        pays ~alpha in error but resists reconstruction."""
+        from repro.core import lower_bounds as lb
+
+        rng = Rng(107)
+        n, eps = 50, 0.1
+        bits = rng.bits(n)
+        gadget = lb.parallel_path_gadget(n)
+        weights = lb.path_weights_from_bits(bits)
+
+        exact_keys = lb.exact_gadget_path(gadget, weights)
+        assert lb.decode_path_bits(n, exact_keys) == bits  # leak
+
+        hamming_fracs, path_errors_ = [], []
+        for _ in range(20):
+            keys, _ = lb.private_gadget_path(
+                gadget, weights, eps=eps, gamma=0.1, rng=rng.spawn()
+            )
+            decoded = lb.decode_path_bits(n, keys)
+            hamming_fracs.append(lb.hamming_distance(bits, decoded) / n)
+            concrete = gadget.with_weights(weights)
+            path_errors_.append(concrete.path_weight(keys))
+        # Resists reconstruction...
+        assert np.mean(hamming_fracs) > 0.35
+        # ...and therefore pays Omega(V) error (alpha ~ 0.47 n here).
+        alpha = bounds.reconstruction_lower_bound(n + 1, eps, 0.0)
+        assert np.mean(path_errors_) >= 0.8 * alpha

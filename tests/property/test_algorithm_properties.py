@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the exact algorithms, with
+networkx as an oracle where available."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rng
+from repro.algorithms import (
+    all_pairs_dijkstra,
+    bfs_hop_distances,
+    dijkstra,
+    dijkstra_path,
+    is_k_covering,
+    kruskal_mst,
+    meir_moon_k_covering,
+    prim_mst,
+    spanning_tree_weight,
+)
+from repro.graphs import generators
+
+
+@st.composite
+def weighted_connected_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    p = draw(st.floats(min_value=0.05, max_value=0.5))
+    rng = Rng(seed)
+    graph = generators.erdos_renyi_graph(n, p, rng)
+    return generators.assign_random_weights(graph, rng, 0.01, 10.0)
+
+
+class TestShortestPathProperties:
+    @given(weighted_connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, graph):
+        distances = all_pairs_dijkstra(graph)
+        vertices = graph.vertex_list()[:6]
+        for x in vertices:
+            for y in vertices:
+                for z in vertices:
+                    assert (
+                        distances[x][z]
+                        <= distances[x][y] + distances[y][z] + 1e-9
+                    )
+
+    @given(weighted_connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, graph):
+        distances = all_pairs_dijkstra(graph)
+        vertices = graph.vertex_list()[:8]
+        for x in vertices:
+            for y in vertices:
+                assert abs(distances[x][y] - distances[y][x]) < 1e-9
+
+    @given(weighted_connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_path_weight_equals_distance(self, graph):
+        vertices = graph.vertex_list()
+        s, t = vertices[0], vertices[-1]
+        path, weight = dijkstra_path(graph, s, t)
+        assert abs(graph.path_weight(path) - weight) < 1e-9
+        assert path[0] == s and path[-1] == t
+        assert graph.is_path(path)
+
+    @given(weighted_connected_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_matches_networkx(self, graph):
+        nxg = nx.Graph()
+        for u, v, w in graph.edges():
+            nxg.add_edge(u, v, weight=w)
+        ours, _ = dijkstra(graph, 0)
+        theirs = nx.single_source_dijkstra_path_length(nxg, 0)
+        for v, d in theirs.items():
+            assert abs(ours[v] - d) < 1e-9
+
+    @given(weighted_connected_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_hop_distance_lower_bounds_weighted_path_hops(self, graph):
+        """h(x, y) <= hops of any shortest weighted path."""
+        vertices = graph.vertex_list()
+        s, t = vertices[0], vertices[-1]
+        hops = bfs_hop_distances(graph, s)[t]
+        path, _ = dijkstra_path(graph, s, t)
+        assert hops <= len(path) - 1
+
+
+class TestMstProperties:
+    @given(weighted_connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_kruskal_prim_agree(self, graph):
+        wk = spanning_tree_weight(graph, kruskal_mst(graph))
+        wp = spanning_tree_weight(graph, prim_mst(graph))
+        assert abs(wk - wp) < 1e-9
+
+    @given(weighted_connected_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_mst_weight_minimal_vs_networkx(self, graph):
+        nxg = nx.Graph()
+        for u, v, w in graph.edges():
+            nxg.add_edge(u, v, weight=w)
+        expected = sum(
+            d["weight"]
+            for *_, d in nx.minimum_spanning_edges(nxg, data=True)
+        )
+        assert (
+            abs(spanning_tree_weight(graph, kruskal_mst(graph)) - expected)
+            < 1e-9
+        )
+
+    @given(weighted_connected_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_mst_has_v_minus_1_edges_and_spans(self, graph):
+        tree = kruskal_mst(graph)
+        assert len(tree) == graph.num_vertices - 1
+        from repro.algorithms import UnionFind
+
+        uf = UnionFind(graph.vertices())
+        for u, v in tree:
+            uf.union(u, v)
+        root = uf.find(graph.vertex_list()[0])
+        assert all(uf.find(v) == root for v in graph.vertices())
+
+
+class TestCoveringProperties:
+    @given(
+        weighted_connected_graphs(),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_meir_moon_size_and_validity(self, graph, k):
+        if graph.num_vertices < k + 1:
+            return
+        covering = meir_moon_k_covering(graph, k)
+        assert is_k_covering(graph, covering, k)
+        assert len(covering) <= graph.num_vertices // (k + 1)
+        assert len(covering) >= 1

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the DP layer and mechanisms."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PrivacyParams, Rng
+from repro.dp import (
+    advanced_composition,
+    basic_composition,
+    bounds,
+    l1_distance,
+    weights_are_neighboring,
+)
+from repro.dp.composition import advanced_composition_epsilon_per_query
+
+eps_strategy = st.floats(min_value=1e-3, max_value=5.0)
+delta_strategy = st.floats(min_value=1e-12, max_value=0.1)
+k_strategy = st.integers(min_value=1, max_value=5000)
+
+
+class TestNeighboringProperties:
+    @given(
+        st.dictionaries(
+            st.integers(0, 20),
+            st.floats(min_value=0, max_value=100),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50)
+    def test_l1_distance_to_self_is_zero(self, weights):
+        assert l1_distance(weights, dict(weights)) == 0.0
+        assert weights_are_neighboring(weights, dict(weights))
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 10),
+            st.floats(min_value=0, max_value=10),
+            max_size=10,
+        ),
+        st.dictionaries(
+            st.integers(0, 10),
+            st.floats(min_value=0, max_value=10),
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=50)
+    def test_l1_symmetry(self, w1, w2):
+        assert l1_distance(w1, w2) == l1_distance(w2, w1)
+
+
+class TestCompositionProperties:
+    @given(eps_strategy, k_strategy)
+    @settings(max_examples=50)
+    def test_basic_composition_linear(self, eps, k):
+        total = basic_composition(PrivacyParams(eps), k)
+        assert math.isclose(total.eps, eps * k, rel_tol=1e-9)
+
+    @given(eps_strategy, st.integers(2, 1000), delta_strategy)
+    @settings(max_examples=50)
+    def test_advanced_composition_positive_overhead(self, eps, k, delta):
+        total = advanced_composition(PrivacyParams(eps), k, delta)
+        assert total.eps > eps  # composing more than one query costs
+
+    @given(
+        st.floats(min_value=0.01, max_value=3.0),
+        st.integers(min_value=1, max_value=10000),
+        st.floats(min_value=1e-10, max_value=0.01),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_composition_consistent(self, total_eps, k, delta):
+        eps_q = advanced_composition_epsilon_per_query(total_eps, k, delta)
+        assert eps_q > 0
+        recomposed = advanced_composition(PrivacyParams(eps_q), k, delta)
+        assert recomposed.eps <= total_eps * (1 + 1e-6)
+
+
+class TestBoundProperties:
+    @given(
+        st.integers(min_value=2, max_value=10**6),
+        eps_strategy,
+        st.floats(min_value=0.001, max_value=0.5),
+    )
+    @settings(max_examples=50)
+    def test_tree_bounds_monotone_in_v(self, v, eps, gamma):
+        smaller = bounds.tree_single_source_error(v, eps, gamma)
+        larger = bounds.tree_single_source_error(2 * v, eps, gamma)
+        assert larger >= smaller
+
+    @given(
+        st.integers(min_value=1, max_value=1000),
+        st.integers(min_value=1, max_value=10**6),
+        eps_strategy,
+        st.floats(min_value=0.001, max_value=0.5),
+    )
+    @settings(max_examples=50)
+    def test_shortest_path_bound_linear_in_hops(self, hops, edges, eps, gamma):
+        one = bounds.shortest_path_error(hops, edges, eps, gamma)
+        two = bounds.shortest_path_error(2 * hops, edges, eps, gamma)
+        assert math.isclose(two, 2 * one, rel_tol=1e-9)
+
+    @given(eps_strategy, st.floats(min_value=0.0, max_value=0.3))
+    @settings(max_examples=50)
+    def test_reconstruction_bound_in_unit_interval(self, eps, delta):
+        alpha = bounds.reconstruction_lower_bound(101, eps, delta)
+        assert 0.0 <= alpha <= 100.0
+
+    @given(eps_strategy)
+    @settings(max_examples=50)
+    def test_row_recovery_at_most_half(self, eps):
+        assert 0.0 < bounds.row_recovery_bound(eps, 0.0) <= 0.5
+
+
+class TestMechanismProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.floats(min_value=0.1, max_value=10.0),
+        st.lists(
+            st.floats(min_value=-100, max_value=100),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=50)
+    def test_laplace_mechanism_preserves_shape(self, seed, eps, values):
+        from repro import LaplaceMechanism
+
+        mech = LaplaceMechanism(1.0, eps, Rng(seed))
+        released = mech.release_vector(values)
+        assert released.shape == (len(values),)
+        # Noise is finite.
+        assert all(math.isfinite(x) for x in released)

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rng, WeightedGraph
+from repro.graphs import generators
+from repro.graphs.io import graph_from_json, graph_to_json
+
+
+@st.composite
+def random_graphs(draw) -> WeightedGraph:
+    """A connected random graph with arbitrary nonnegative weights."""
+    n = draw(st.integers(min_value=2, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    p = draw(st.floats(min_value=0.0, max_value=0.5))
+    rng = Rng(seed)
+    graph = generators.erdos_renyi_graph(n, p, rng)
+    return generators.assign_random_weights(graph, rng, 0.0, 10.0)
+
+
+@st.composite
+def random_trees(draw) -> WeightedGraph:
+    n = draw(st.integers(min_value=1, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = Rng(seed)
+    tree = generators.random_tree(n, rng)
+    return generators.assign_random_weights(tree, rng, 0.0, 5.0)
+
+
+class TestGraphInvariants:
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_json_round_trip_preserves_everything(self, graph):
+        restored = graph_from_json(graph_to_json(graph))
+        assert restored.num_vertices == graph.num_vertices
+        assert restored.num_edges == graph.num_edges
+        assert restored.weights() == graph.weights()
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equals_original(self, graph):
+        clone = graph.copy()
+        assert clone.weights() == graph.weights()
+        assert clone.vertex_list() == graph.vertex_list()
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_weight_vector_round_trip(self, graph):
+        vector = graph.weight_vector()
+        rebuilt = graph.with_weights(vector)
+        assert rebuilt.weights() == graph.weights()
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_total_weight_equals_vector_sum(self, graph):
+        assert graph.total_weight() == sum(graph.weight_vector())
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_degrees_sum_to_twice_edges(self, graph):
+        degree_sum = sum(graph.degree(v) for v in graph.vertices())
+        assert degree_sum == 2 * graph.num_edges
+
+
+class TestTreeInvariants:
+    @given(random_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_tree_edge_count(self, tree):
+        assert tree.num_edges == tree.num_vertices - 1
+
+    @given(random_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_rooted_tree_path_weight_matches_distance(self, tree):
+        from repro.graphs import RootedTree
+
+        rooted = RootedTree(tree, 0)
+        for v in list(tree.vertices())[:10]:
+            path = rooted.path(0, v)
+            assert tree.path_weight(path) == rooted.distance_from_root(v)
+
+    @given(random_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_splitter_satisfies_algorithm1_condition(self, tree):
+        from repro.graphs import RootedTree
+
+        rooted = RootedTree(tree, 0)
+        v_star = rooted.splitter()
+        n = tree.num_vertices
+        assert rooted.subtree_size(v_star) > n / 2
+        for child in rooted.children(v_star):
+            assert rooted.subtree_size(child) <= n / 2
+
+    @given(random_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_lca_is_common_ancestor(self, tree):
+        from repro.graphs import RootedTree
+
+        rooted = RootedTree(tree, 0)
+        vertices = list(tree.vertices())
+        x, y = vertices[0], vertices[-1]
+        z = rooted.lca(x, y)
+        assert z in rooted.path_to_root(x)
+        assert z in rooted.path_to_root(y)

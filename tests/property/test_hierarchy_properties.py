@@ -1,0 +1,92 @@
+"""Property-based tests for the Appendix A hierarchy's internals and
+the tree release's recursion plan."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rng, release_path_hierarchy, release_tree_single_source
+from repro.graphs import RootedTree, generators
+
+
+class TestDyadicDecomposition:
+    @given(
+        st.integers(min_value=2, max_value=600),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_decomposition_covers_exactly(self, n, seed):
+        """The segments summed for prefix(x) tile [0, x) exactly: with
+        zero noise... we can't zero the noise, but determinism lets us
+        verify through exactness on integer weights: the estimate of
+        prefix(x) differs from the true prefix by the same noise for
+        repeated queries (consistency), and the number of terms is at
+        most the number of levels."""
+        graph = generators.path_graph(n)
+        release = release_path_hierarchy(graph, eps=1.0, rng=Rng(seed))
+        for position in {0, 1, n // 2, n - 1}:
+            first, terms1 = release.prefix_estimate(position)
+            second, terms2 = release.prefix_estimate(position)
+            assert first == second  # deterministic post-processing
+            assert terms1 == terms2 <= release.num_levels
+
+    @given(
+        st.integers(min_value=3, max_value=300),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distance_additivity_along_path(self, n, seed):
+        """prefix consistency: d(a, c) = d(a, b) + d(b, c) for ordered
+        a <= b <= c — the release is built from prefix differences, so
+        additivity must hold *exactly* (not just approximately)."""
+        graph = generators.path_graph(n)
+        release = release_path_hierarchy(graph, eps=1.0, rng=Rng(seed))
+        a, b, c = 0, n // 2, n - 1
+        lhs = release.distance(a, c)
+        rhs = release.distance(a, b) + release.distance(b, c)
+        assert abs(lhs - rhs) < 1e-9
+
+    @given(
+        st.integers(min_value=2, max_value=400),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_segment_count_under_2e(self, n, seed):
+        graph = generators.path_graph(n)
+        release = release_path_hierarchy(graph, eps=1.0, rng=Rng(seed))
+        assert release.num_segments < 2 * max(n - 1, 1)
+
+
+class TestRecursionPlanProperties:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_plan_depth_public_and_reproducible(self, n, seed):
+        """The recursion depth depends only on topology: two releases
+        of the same tree (different noise) report identical depth and
+        query counts."""
+        rng = Rng(seed)
+        tree = generators.random_tree(n, rng)
+        r1 = release_tree_single_source(tree, eps=1.0, rng=rng, root=0)
+        r2 = release_tree_single_source(tree, eps=1.0, rng=rng, root=0)
+        assert r1.recursion_depth == r2.recursion_depth
+        assert r1.num_queries == r2.num_queries
+
+    @given(
+        st.integers(min_value=2, max_value=200),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weights_do_not_change_plan(self, n, seed):
+        """Reweighting the same topology leaves the (public) plan
+        unchanged — required for the privacy argument."""
+        rng = Rng(seed)
+        tree = generators.random_tree(n, rng)
+        heavy = generators.assign_random_weights(tree, rng, 50.0, 100.0)
+        r1 = release_tree_single_source(tree, eps=1.0, rng=rng, root=0)
+        r2 = release_tree_single_source(heavy, eps=1.0, rng=rng, root=0)
+        assert r1.recursion_depth == r2.recursion_depth
+        assert r1.num_queries == r2.num_queries

@@ -1,0 +1,92 @@
+"""Property-based tests for multigraphs and the gadget encodings."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rng, WeightedMultiGraph
+from repro.algorithms import dijkstra_path
+from repro.core import lower_bounds as lb
+
+
+@st.composite
+def random_multigraphs(draw) -> WeightedMultiGraph:
+    """A connected-ish multigraph over a path backbone with extra
+    random parallel edges."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = Rng(seed)
+    mg = WeightedMultiGraph()
+    for i in range(1, n):
+        mg.add_edge(i - 1, i, rng.uniform(0.0, 5.0))
+    extra = draw(st.integers(min_value=0, max_value=15))
+    for _ in range(extra):
+        u = rng.integer(0, n)
+        v = rng.integer(0, n)
+        if u != v:
+            mg.add_edge(u, v, rng.uniform(0.0, 5.0))
+    return mg
+
+
+class TestProjectionProperties:
+    @given(random_multigraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_projection_keeps_min_weight_per_pair(self, mg):
+        simple, chosen = mg.min_weight_projection()
+        for (u, v), key in chosen.items():
+            parallel = mg.parallel_keys(u, v)
+            assert mg.weight(key) == min(mg.weight(k) for k in parallel)
+            assert simple.weight(u, v) == mg.weight(key)
+
+    @given(random_multigraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_projection_vertex_set_preserved(self, mg):
+        simple, _ = mg.min_weight_projection()
+        assert set(simple.vertices()) == set(mg.vertices())
+
+    @given(random_multigraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_to_simple_preserves_shortest_distance(self, mg):
+        """Subdivision conversion preserves s-t distances exactly."""
+        simple_min, _ = mg.min_weight_projection()
+        subdivided, _ = mg.to_simple()
+        n = mg.num_vertices
+        _, d1 = dijkstra_path(simple_min, 0, n - 1)
+        _, d2 = dijkstra_path(subdivided, 0, n - 1)
+        assert abs(d1 - d2) < 1e-9
+
+
+class TestGadgetEncodingProperties:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_path_encoding_round_trips_through_exact_solver(self, bits):
+        gadget = lb.parallel_path_gadget(len(bits))
+        keys = lb.exact_gadget_path(gadget, lb.path_weights_from_bits(bits))
+        assert lb.decode_path_bits(len(bits), keys) == bits
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_star_encoding_round_trips_through_exact_mst(self, bits):
+        gadget = lb.star_gadget(len(bits))
+        tree = lb.exact_gadget_mst(gadget, lb.star_weights_from_bits(bits))
+        assert lb.decode_star_bits(len(bits), tree) == bits
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_hourglass_encoding_round_trips(self, bits):
+        gadget = lb.hourglass_gadget(len(bits))
+        matching = lb.exact_gadget_matching(
+            gadget, lb.hourglass_weights_from_bits(bits)
+        )
+        assert lb.decode_matching_bits(len(bits), matching) == bits
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_encoded_optimum_is_zero(self, bits):
+        """Every encoding admits a 0-weight solution (the secret)."""
+        gadget = lb.parallel_path_gadget(len(bits))
+        weights = lb.path_weights_from_bits(bits)
+        concrete = gadget.with_weights(weights)
+        keys = lb.exact_gadget_path(gadget, weights)
+        assert concrete.path_weight(keys) == 0.0

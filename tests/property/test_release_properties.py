@@ -1,0 +1,132 @@
+"""Property-based tests for the core releases: structural invariants
+that must hold for every input graph and every seed."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Rng,
+    release_private_mst,
+    release_private_paths,
+    release_synthetic_graph,
+    release_tree_all_pairs,
+    release_tree_single_source,
+)
+from repro.graphs import RootedTree, generators
+
+
+@st.composite
+def graphs_and_rngs(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = Rng(seed)
+    graph = generators.erdos_renyi_graph(n, 0.2, rng)
+    graph = generators.assign_random_weights(graph, rng, 0.0, 5.0)
+    return graph, rng
+
+
+@st.composite
+def trees_and_rngs(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = Rng(seed)
+    tree = generators.random_tree(n, rng)
+    tree = generators.assign_random_weights(tree, rng, 0.0, 5.0)
+    return tree, rng
+
+
+class TestPrivatePathInvariants:
+    @given(graphs_and_rngs(), st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_released_paths_live_in_public_topology(self, graph_rng, eps):
+        graph, rng = graph_rng
+        release = release_private_paths(graph, eps, 0.1, rng)
+        vertices = graph.vertex_list()
+        paths = release.paths_from(vertices[0])
+        for target, path in paths.items():
+            assert graph.is_path(path)
+            assert path[0] == vertices[0]
+            assert path[-1] == target
+
+    @given(graphs_and_rngs())
+    @settings(max_examples=30, deadline=None)
+    def test_released_graph_nonnegative(self, graph_rng):
+        graph, rng = graph_rng
+        release = release_private_paths(graph, 0.5, 0.1, rng)
+        assert (release.graph.weight_vector() >= 0).all()
+
+
+class TestSyntheticGraphInvariants:
+    @given(graphs_and_rngs())
+    @settings(max_examples=30, deadline=None)
+    def test_topology_identical(self, graph_rng):
+        graph, rng = graph_rng
+        release = release_synthetic_graph(graph, 1.0, rng)
+        assert release.graph.edge_list() == graph.edge_list()
+        assert release.graph.vertex_list() == graph.vertex_list()
+
+
+class TestTreeReleaseInvariants:
+    @given(trees_and_rngs(), st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_root_estimate_exactly_zero(self, tree_rng, eps):
+        tree, rng = tree_rng
+        release = release_tree_single_source(tree, eps=eps, rng=rng, root=0)
+        assert release.distance_from_root(0) == 0.0
+
+    @given(trees_and_rngs())
+    @settings(max_examples=30, deadline=None)
+    def test_every_vertex_estimated(self, tree_rng):
+        tree, rng = tree_rng
+        release = release_tree_single_source(tree, eps=1.0, rng=rng, root=0)
+        estimates = release.all_distances()
+        assert set(estimates) == set(tree.vertices())
+
+    @given(trees_and_rngs())
+    @settings(max_examples=20, deadline=None)
+    def test_all_pairs_consistent_with_lca_combination(self, tree_rng):
+        tree, rng = tree_rng
+        if tree.num_vertices < 2:
+            return
+        rooted = RootedTree(tree, 0)
+        release = release_tree_all_pairs(rooted, eps=1.0, rng=rng)
+        single = release.single_source
+        vertices = tree.vertex_list()
+        x, y = vertices[0], vertices[-1]
+        z = rooted.lca(x, y)
+        expected = (
+            single.distance_from_root(x)
+            + single.distance_from_root(y)
+            - 2 * single.distance_from_root(z)
+        )
+        assert abs(release.distance(x, y) - expected) < 1e-9
+
+    @given(trees_and_rngs())
+    @settings(max_examples=30, deadline=None)
+    def test_query_budget_2v(self, tree_rng):
+        tree, rng = tree_rng
+        release = release_tree_single_source(tree, eps=1.0, rng=rng, root=0)
+        assert release.num_queries <= 2 * tree.num_vertices
+
+
+class TestMstReleaseInvariants:
+    @given(graphs_and_rngs())
+    @settings(max_examples=30, deadline=None)
+    def test_release_is_spanning_tree_of_public_topology(self, graph_rng):
+        graph, rng = graph_rng
+        release = release_private_mst(graph, eps=1.0, rng=rng)
+        assert len(release.tree_edges) == graph.num_vertices - 1
+        for u, v in release.tree_edges:
+            assert graph.has_edge(u, v)
+
+    @given(graphs_and_rngs())
+    @settings(max_examples=30, deadline=None)
+    def test_true_weight_never_below_optimum(self, graph_rng):
+        from repro.algorithms import kruskal_mst, spanning_tree_weight
+
+        graph, rng = graph_rng
+        optimum = spanning_tree_weight(graph, kruskal_mst(graph))
+        release = release_private_mst(graph, eps=1.0, rng=rng)
+        assert release.true_weight(graph) >= optimum - 1e-9

@@ -1,0 +1,234 @@
+"""Unit tests for the command-line interface (:mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import generators
+from repro.graphs.io import graph_from_json, save_graph
+
+
+@pytest.fixture
+def grid_file(tmp_path):
+    graph = generators.grid_graph(4, 4)
+    path = tmp_path / "grid.json"
+    save_graph(graph, path)
+    return path
+
+
+@pytest.fixture
+def tree_file(tmp_path, rng):
+    tree = generators.random_tree(12, rng)
+    path = tmp_path / "tree.json"
+    save_graph(tree, path)
+    return path
+
+
+@pytest.fixture
+def edge_list_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    path.write_text("0 1 2.0\n1 2 3.0\n0 2 9.0\n")
+    return path
+
+
+class TestInfo:
+    def test_stats(self, grid_file, capsys):
+        assert main(["info", "--graph", str(grid_file)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["vertices"] == 16
+        assert stats["edges"] == 24
+        assert stats["connected"] is True
+
+    def test_edge_list_input(self, edge_list_file, capsys):
+        code = main(
+            ["info", "--graph", str(edge_list_file), "--edge-list"]
+        )
+        assert code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["vertices"] == 3
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["info", "--graph", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDistance:
+    def test_prints_number(self, edge_list_file, capsys):
+        code = main(
+            [
+                "distance",
+                "--graph", str(edge_list_file),
+                "--edge-list",
+                "--eps", "5.0",
+                "--source", "0",
+                "--target", "2",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        value = float(capsys.readouterr().out.strip())
+        assert 0.0 < value < 15.0
+
+    def test_seed_reproducible(self, edge_list_file, capsys):
+        argv = [
+            "distance",
+            "--graph", str(edge_list_file),
+            "--edge-list",
+            "--eps", "1.0",
+            "--source", "0",
+            "--target", "2",
+            "--seed", "7",
+        ]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_tuple_vertices(self, grid_file, capsys):
+        code = main(
+            [
+                "distance",
+                "--graph", str(grid_file),
+                "--eps", "5.0",
+                "--source", "0,0",
+                "--target", "3,3",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_vertex_is_error(self, grid_file, capsys):
+        code = main(
+            [
+                "distance",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--source", "99,99",
+                "--target", "0,0",
+            ]
+        )
+        assert code == 2
+
+
+class TestPaths:
+    def test_writes_released_graph(self, grid_file, tmp_path, capsys):
+        out = tmp_path / "released.json"
+        code = main(
+            [
+                "paths",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--seed", "3",
+                "--out", str(out),
+                "--source", "0,0",
+                "--target", "3,3",
+            ]
+        )
+        assert code == 0
+        released = graph_from_json(out.read_text())
+        assert released.num_edges == 24
+        printed = json.loads(capsys.readouterr().out)
+        assert printed["path"][0] == "(0, 0)"
+        assert printed["path"][-1] == "(3, 3)"
+
+    def test_stdout_graph_without_out(self, edge_list_file, capsys):
+        code = main(
+            [
+                "paths",
+                "--graph", str(edge_list_file),
+                "--edge-list",
+                "--eps", "1.0",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        released = graph_from_json(capsys.readouterr().out)
+        assert released.num_edges == 3
+
+    def test_no_hop_bias_flag(self, edge_list_file, capsys):
+        code = main(
+            [
+                "paths",
+                "--graph", str(edge_list_file),
+                "--edge-list",
+                "--eps", "1.0",
+                "--seed", "3",
+                "--no-hop-bias",
+            ]
+        )
+        assert code == 0
+
+
+class TestSynthetic:
+    def test_release(self, grid_file, capsys):
+        code = main(
+            ["synthetic", "--graph", str(grid_file), "--eps", "1.0", "--seed", "0"]
+        )
+        assert code == 0
+        released = graph_from_json(capsys.readouterr().out)
+        assert released.num_vertices == 16
+
+
+class TestTreeDistances:
+    def test_all_from_root(self, tree_file, capsys):
+        code = main(
+            [
+                "tree-distances",
+                "--graph", str(tree_file),
+                "--eps", "1.0",
+                "--root", "0",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 12
+
+    def test_specific_pairs(self, tree_file, capsys):
+        code = main(
+            [
+                "tree-distances",
+                "--graph", str(tree_file),
+                "--eps", "1.0",
+                "--root", "0",
+                "--pairs", "3:7", "1:11",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("3:7\t")
+
+    def test_non_tree_is_error(self, grid_file, capsys):
+        code = main(
+            [
+                "tree-distances",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--root", "0,0",
+            ]
+        )
+        assert code == 2
+
+
+class TestMst:
+    def test_release(self, grid_file, tmp_path):
+        out = tmp_path / "tree.json"
+        code = main(
+            [
+                "mst",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--seed", "0",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["tree_edges"]) == 15

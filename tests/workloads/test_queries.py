@@ -1,0 +1,69 @@
+"""Unit tests for :mod:`repro.workloads.queries`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphError, WeightedGraph
+from repro.algorithms import bfs_hop_distances
+from repro.graphs import generators
+from repro.workloads import (
+    fixed_source_pairs,
+    pairs_by_hop_bucket,
+    uniform_pairs,
+)
+
+
+class TestUniformPairs:
+    def test_count_and_distinctness(self, grid5, rng):
+        pairs = uniform_pairs(grid5, 50, rng)
+        assert len(pairs) == 50
+        assert all(s != t for s, t in pairs)
+        assert all(grid5.has_vertex(s) and grid5.has_vertex(t) for s, t in pairs)
+
+    def test_too_small_graph(self, rng):
+        g = WeightedGraph()
+        g.add_vertex(0)
+        with pytest.raises(GraphError):
+            uniform_pairs(g, 1, rng)
+
+
+class TestFixedSource:
+    def test_all_targets(self, grid5):
+        pairs = fixed_source_pairs(grid5, (0, 0))
+        assert len(pairs) == 24
+        assert all(s == (0, 0) for s, _ in pairs)
+
+    def test_sampled_targets(self, grid5, rng):
+        pairs = fixed_source_pairs(grid5, (0, 0), count=5, rng=rng)
+        assert len(pairs) == 5
+
+    def test_sampling_requires_rng(self, grid5):
+        with pytest.raises(GraphError):
+            fixed_source_pairs(grid5, (0, 0), count=5)
+
+
+class TestHopBuckets:
+    def test_buckets_respected(self, rng):
+        g = generators.grid_graph(8, 8)
+        buckets = [(1, 2), (5, 8)]
+        result = pairs_by_hop_bucket(g, rng, per_bucket=10, buckets=buckets)
+        for bucket, pairs in result.items():
+            lo, hi = bucket
+            assert len(pairs) == 10
+            for s, t in pairs:
+                hops = bfs_hop_distances(g, s)[t]
+                assert lo <= hops <= hi
+
+    def test_unfillable_bucket_comes_back_short(self, rng):
+        g = generators.path_graph(4)  # max hops = 3
+        result = pairs_by_hop_bucket(
+            g, rng, per_bucket=5, buckets=[(10, 20)]
+        )
+        assert result[(10, 20)] == []
+
+    def test_invalid_bucket(self, grid5, rng):
+        with pytest.raises(GraphError):
+            pairs_by_hop_bucket(grid5, rng, 1, [(0, 2)])
+        with pytest.raises(GraphError):
+            pairs_by_hop_bucket(grid5, rng, 1, [(3, 2)])

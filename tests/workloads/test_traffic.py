@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.workloads.traffic`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphError, Rng
+from repro.algorithms import is_connected
+from repro.workloads import (
+    congestion_weights,
+    geometric_road_network,
+    grid_road_network,
+    rush_hour_scenario,
+)
+
+
+class TestGridRoadNetwork:
+    def test_shape(self, rng):
+        network = grid_road_network(6, 8, rng)
+        assert network.num_vertices == 48
+        assert is_connected(network.graph)
+        assert set(network.positions) == set(network.graph.vertices())
+
+    def test_block_times_in_band(self, rng):
+        network = grid_road_network(5, 5, rng, block_minutes=2.0, irregularity=0.3)
+        for _, _, w in network.graph.edges():
+            assert 2.0 * 0.7 <= w <= 2.0 * 1.3
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(GraphError):
+            grid_road_network(5, 5, rng, block_minutes=0.0)
+        with pytest.raises(GraphError):
+            grid_road_network(5, 5, rng, irregularity=1.0)
+
+
+class TestGeometricRoadNetwork:
+    def test_connected(self, rng):
+        network = geometric_road_network(40, rng)
+        assert is_connected(network.graph)
+
+    def test_speed_scales_times(self, rng):
+        slow = geometric_road_network(30, Rng(3), speed=1.0)
+        fast = geometric_road_network(30, Rng(3), speed=2.0)
+        for (u, v, w_slow), (_, _, w_fast) in zip(
+            slow.graph.edges(), fast.graph.edges()
+        ):
+            assert w_fast == pytest.approx(w_slow / 2.0)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(GraphError):
+            geometric_road_network(1, rng)
+        with pytest.raises(GraphError):
+            geometric_road_network(10, rng, speed=0.0)
+
+
+class TestCongestion:
+    def test_congestion_only_increases(self, rng):
+        network = grid_road_network(5, 5, rng)
+        congested = congestion_weights(network, rng, congestion_level=0.5)
+        for (u, v, base), (_, _, after) in zip(
+            network.graph.edges(), congested.edges()
+        ):
+            assert after >= base
+            assert after <= base * 1.5 + 1e-12
+
+    def test_cap_bounds_weights(self, rng):
+        network = grid_road_network(5, 5, rng)
+        congested = congestion_weights(
+            network, rng, congestion_level=3.0, cap=2.5
+        )
+        for _, _, w in congested.edges():
+            assert w <= 2.5
+
+    def test_invalid_level(self, rng):
+        network = grid_road_network(3, 3, rng)
+        with pytest.raises(GraphError):
+            congestion_weights(network, rng, congestion_level=-0.1)
+
+
+class TestRushHour:
+    def test_hotspot_slows_inside_only(self, rng):
+        network = grid_road_network(8, 8, rng, irregularity=0.0)
+        slowed = rush_hour_scenario(
+            network, rng, center=(1.0, 1.0), hot_radius=1.5, slowdown=3.0
+        )
+        inside_count = 0
+        for u, v, base in network.graph.edges():
+            after = slowed.weight(u, v)
+            ux, uy = network.positions[u]
+            vx, vy = network.positions[v]
+            inside = (
+                (ux - 1) ** 2 + (uy - 1) ** 2 <= 1.5**2
+                and (vx - 1) ** 2 + (vy - 1) ** 2 <= 1.5**2
+            )
+            if inside:
+                inside_count += 1
+                assert after > base * 2.0  # ~3x with ±10% jitter
+            else:
+                assert after == base
+        assert inside_count > 0
+
+    def test_invalid_args(self, rng):
+        network = grid_road_network(3, 3, rng)
+        with pytest.raises(GraphError):
+            rush_hour_scenario(network, rng, (0, 0), hot_radius=0.0)
+        with pytest.raises(GraphError):
+            rush_hour_scenario(network, rng, (0, 0), 1.0, slowdown=0.5)
