@@ -1,0 +1,112 @@
+"""E16 — the serving engine: queries/sec and error vs eps.
+
+Stands up a :class:`repro.serving.DistanceService` over a rush-hour
+grid road network and replays a batch of rider queries per epsilon.
+Two things to check:
+
+* throughput (queries/sec) is flat in eps — serving is dictionary
+  lookups over the synopsis, independent of how noisy it is;
+* mean absolute error falls as eps grows — the synopsis noise scale
+  is ``~pairs/eps``, so quadrupling eps should cut error ~4x.
+
+Every batch is served from a single per-epoch synopsis: the ledger
+records exactly one spend no matter how many queries are answered.
+"""
+
+from __future__ import annotations
+
+import sys
+
+sys.path.insert(0, ".")  # allow `python benchmarks/bench_*.py`
+
+from benchmarks.common import fresh_rng, print_experiment
+from repro.analysis import render_table
+from repro.serving import replay_rush_hour
+
+EPS_VALUES = [0.25, 1.0, 4.0]
+ROWS = COLS = 8
+QUERIES = 2000
+
+
+def run_experiment() -> str:
+    rows = []
+    for i, eps in enumerate(EPS_VALUES):
+        report = replay_rush_hour(
+            fresh_rng(160 + i),
+            rows=ROWS,
+            cols=COLS,
+            eps=eps,
+            epochs=1,
+            queries_per_epoch=QUERIES,
+        )
+        rows.append(
+            [
+                eps,
+                report.mechanism,
+                report.total_queries,
+                round(report.queries_per_second),
+                report.ledger_spends,
+                report.mean_abs_error,
+                report.max_abs_error,
+            ]
+        )
+    return render_table(
+        [
+            "eps",
+            "mechanism",
+            "queries",
+            "queries/sec",
+            "spends",
+            "mean abs err",
+            "max abs err",
+        ],
+        rows,
+        title=(
+            f"E16  Serving engine on a {ROWS}x{COLS} rush-hour grid, "
+            f"{QUERIES} queries/epoch.\n"
+            "Expected shape: error ~ 1/eps; throughput flat; one budget "
+            "spend per epoch."
+        ),
+    )
+
+
+def test_table_e16(capsys):
+    table = run_experiment()
+    with capsys.disabled():
+        print_experiment(table)
+    from benchmarks.common import parse_rows
+
+    rows = parse_rows(table)
+    # One ledger spend per epoch regardless of batch size.
+    assert all(int(r[4]) == 1 for r in rows)
+    # Positive throughput reported.
+    assert all(float(r[3]) > 0 for r in rows)
+    # Error shrinks as eps grows (16x eps spread is far beyond the
+    # sampling noise of a 2016-pair synopsis).
+    assert float(rows[0][5]) > float(rows[-1][5])
+
+
+def test_benchmark_batch_serving(benchmark):
+    from repro.serving import DistanceService
+    from repro.workloads import grid_road_network, uniform_pairs
+
+    rng = fresh_rng(170)
+    network = grid_road_network(ROWS, COLS, rng)
+    service = DistanceService(network.graph, 1.0, rng)
+    pairs = uniform_pairs(network.graph, QUERIES, rng)
+    benchmark(lambda: service.query_batch(pairs))
+
+
+def test_benchmark_synopsis_build(benchmark):
+    from repro.serving import DistanceService
+    from repro.workloads import grid_road_network
+
+    rng = fresh_rng(171)
+    network = grid_road_network(ROWS, COLS, rng)
+    benchmark(
+        lambda: DistanceService(network.graph, 1.0, rng.spawn())
+    )
+
+
+if __name__ == "__main__":
+    print_experiment(run_experiment())

@@ -27,6 +27,7 @@ from benchmarks import (
     bench_privacy_validation,
     bench_private_paths,
     bench_scaling,
+    bench_serving,
     bench_tree_all_pairs,
     bench_tree_single_source,
 )
@@ -47,6 +48,7 @@ EXPERIMENTS = [
     ("E13", bench_cycle),
     ("E14", bench_histogram),
     ("E15", bench_covering_ablation),
+    ("E16", bench_serving),
 ]
 
 

@@ -25,6 +25,8 @@ Package map:
 * :mod:`repro.core` — the paper's mechanisms (Algorithms 1–3, the
   bounded-weight and Appendix-B releases, the lower-bound gadgets).
 * :mod:`repro.workloads` — synthetic road networks and query workloads.
+* :mod:`repro.serving` — the query-serving engine: synopses, budget
+  ledger, batch planner, and traffic-replay simulator.
 * :mod:`repro.analysis` — error metrics and the experiment harness.
 """
 
@@ -82,6 +84,16 @@ from .core import (
     release_tree_all_pairs,
     release_tree_single_source,
 )
+from .serving import (
+    BatchPlanner,
+    BatchReport,
+    BudgetLedger,
+    DistanceService,
+    DistanceSynopsis,
+    build_single_pair_synopsis,
+    replay_rush_hour,
+    synopsis_from_json,
+)
 
 __version__ = "1.0.0"
 
@@ -136,4 +148,13 @@ __all__ = [
     "MatchingRelease",
     "release_private_matching",
     "lower_bounds",
+    # serving
+    "DistanceService",
+    "BudgetLedger",
+    "BatchPlanner",
+    "BatchReport",
+    "DistanceSynopsis",
+    "build_single_pair_synopsis",
+    "synopsis_from_json",
+    "replay_rush_hour",
 ]

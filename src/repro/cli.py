@@ -9,6 +9,10 @@ Usage (after installing the package)::
     python -m repro.cli tree-distances --graph net.json --eps 1.0 --root 0
     python -m repro.cli mst --graph net.json --eps 1.0 --out tree.json
     python -m repro.cli info --graph net.json
+    python -m repro.cli serve --graph city.json --eps 1.0 \
+        --pairs 0:14 3:9 --synopsis-out synopsis.json
+    python -m repro.cli simulate --rows 12 --cols 12 --eps 1.0 \
+        --epochs 2 --queries 500 --seed 0
 
 Graphs are read from the JSON format of :mod:`repro.graphs.io` (or,
 with ``--edge-list``, from whitespace ``u v w`` lines).  All randomness
@@ -154,6 +158,65 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.add_argument("--out", help="write released tree edges JSON here")
 
+    p = sub.add_parser(
+        "serve",
+        help="build a one-epoch distance synopsis and answer queries "
+        "from it (post-processing; one budget spend total)",
+    )
+    add_common(p)
+    p.add_argument(
+        "--delta", type=float, default=0.0, help="approx-DP budget delta"
+    )
+    p.add_argument(
+        "--weight-bound",
+        type=float,
+        default=None,
+        help="public bound M on edge weights (enables the Section 4.2 "
+        "covering mechanism on non-tree graphs)",
+    )
+    p.add_argument(
+        "--mechanism",
+        choices=[
+            "tree", "bounded-weight", "all-pairs-basic",
+            "all-pairs-advanced",
+        ],
+        default=None,
+        help="force a mechanism instead of auto-selecting",
+    )
+    p.add_argument(
+        "--pairs",
+        nargs="+",
+        required=True,
+        metavar="X:Y",
+        help="queries to serve, e.g. 3:17 0,0:4,4",
+    )
+    p.add_argument(
+        "--synopsis-out", help="also write the synopsis JSON here"
+    )
+
+    p = sub.add_parser(
+        "simulate",
+        help="replay rush-hour traffic through the serving engine and "
+        "report throughput and empirical error",
+    )
+    p.add_argument("--rows", type=int, default=12)
+    p.add_argument("--cols", type=int, default=12)
+    p.add_argument("--eps", type=float, required=True, help="epoch budget")
+    p.add_argument("--delta", type=float, default=0.0)
+    p.add_argument(
+        "--epochs", type=int, default=1, help="data epochs to replay"
+    )
+    p.add_argument(
+        "--queries", type=int, default=1000, help="rider queries per epoch"
+    )
+    p.add_argument(
+        "--weight-bound",
+        type=float,
+        default=None,
+        help="cap travel times at M and use the covering mechanism",
+    )
+    p.add_argument("--seed", type=int, default=None)
+
     return parser
 
 
@@ -243,6 +306,47 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .dp.params import PrivacyParams
+    from .serving import DistanceService
+
+    graph = _load(args)
+    rng = Rng(args.seed)
+    service = DistanceService(
+        graph,
+        PrivacyParams(args.eps, args.delta),
+        rng,
+        weight_bound=args.weight_bound,
+        mechanism=args.mechanism,
+    )
+    print(f"# mechanism: {service.mechanism}  budget: {service.epoch_budget}")
+    for token in args.pairs:
+        s_raw, _, t_raw = token.partition(":")
+        s, t = _parse_vertex(s_raw), _parse_vertex(t_raw)
+        print(f"{token}\t{service.query(s, t):.6f}")
+    if args.synopsis_out:
+        Path(args.synopsis_out).write_text(service.synopsis.to_json())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .serving import replay_rush_hour
+
+    rng = Rng(args.seed)
+    report = replay_rush_hour(
+        rng,
+        rows=args.rows,
+        cols=args.cols,
+        eps=args.eps,
+        delta=args.delta,
+        epochs=args.epochs,
+        queries_per_epoch=args.queries,
+        weight_bound=args.weight_bound,
+    )
+    print(json.dumps(report.as_dict(), indent=2))
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "distance": _cmd_distance,
@@ -250,6 +354,8 @@ _COMMANDS = {
     "synthetic": _cmd_synthetic,
     "tree-distances": _cmd_tree_distances,
     "mst": _cmd_mst,
+    "serve": _cmd_serve,
+    "simulate": _cmd_simulate,
 }
 
 

@@ -156,6 +156,16 @@ class BoundedWeightRelease:
         return self._params
 
     @property
+    def graph(self) -> WeightedGraph:
+        """The (public-topology) graph the release was computed on."""
+        return self._graph
+
+    @property
+    def weight_bound(self) -> float:
+        """The public bound ``M`` on edge weights."""
+        return self._weight_bound
+
+    @property
     def k(self) -> int:
         """The covering radius in hops."""
         return self._k

@@ -21,7 +21,7 @@ beat for trees and bounded-weight graphs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from ..algorithms.shortest_paths import all_pairs_dijkstra, dijkstra
 from ..algorithms.traversal import is_connected
@@ -60,12 +60,12 @@ def private_distance(
     return mechanism.release_scalar(distances[target])
 
 
-def _ordered_pairs(vertices: List[Vertex]) -> List[Tuple[Vertex, Vertex]]:
-    return [
-        (vertices[i], vertices[j])
-        for i in range(len(vertices))
-        for j in range(i + 1, len(vertices))
-    ]
+def _ordered_pairs(vertices: List[Vertex]) -> Iterator[Tuple[Vertex, Vertex]]:
+    """Yield the unordered vertex pairs lazily — ``V^2/2`` tuples never
+    exist at once, only the noisy answer dict does."""
+    for i in range(len(vertices)):
+        for j in range(i + 1, len(vertices)):
+            yield vertices[i], vertices[j]
 
 
 class _AllPairsReleaseBase:
@@ -80,17 +80,24 @@ class _AllPairsReleaseBase:
         self._vertices = graph.vertex_list()
         self._exact = all_pairs_dijkstra(graph)
         self._noisy: Dict[Tuple[Vertex, Vertex], float] = {}
+        self._scale = 0.0  # set by _populate
 
     def _populate(self, noise_scale: float, rng: Rng) -> None:
-        pairs = _ordered_pairs(self._vertices)
-        noise = rng.laplace_vector(noise_scale, len(pairs))
-        for (s, t), x in zip(pairs, noise):
+        self._scale = float(noise_scale)
+        n = len(self._vertices)
+        noise = rng.laplace_vector(noise_scale, n * (n - 1) // 2)
+        for (s, t), x in zip(_ordered_pairs(self._vertices), noise):
             self._noisy[(s, t)] = self._exact[s][t] + float(x)
+
+    @property
+    def graph(self) -> WeightedGraph:
+        """The (public-topology) graph the release was computed on."""
+        return self._graph
 
     @property
     def noise_scale(self) -> float:
         """The Laplace scale applied to each pairwise distance."""
-        return self._scale  # type: ignore[attr-defined]
+        return self._scale
 
     def distance(self, source: Vertex, target: Vertex) -> float:
         """The released (noisy) distance between a pair of vertices.

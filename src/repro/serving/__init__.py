@@ -1,0 +1,55 @@
+"""The private distance query-serving engine.
+
+The paper's mechanisms release a synopsis once; differential privacy's
+post-processing property then makes every query answered from it free.
+This package turns that observation into a serving architecture:
+
+* :mod:`repro.serving.synopsis` — immutable, serializable synopsis
+  objects wrapping each release family, with a registry keyed by kind;
+* :mod:`repro.serving.ledger` — a multi-tenant, epoch-rotating budget
+  ledger that fails closed;
+* :mod:`repro.serving.service` — :class:`DistanceService`, the façade
+  that auto-selects the best mechanism per graph family and serves
+  point/batch queries with an answer cache;
+* :mod:`repro.serving.batching` — batch planning: dedupe, vectorized
+  noise, latency reporting;
+* :mod:`repro.serving.simulate` — rush-hour traffic replay measuring
+  throughput and empirical error.
+"""
+
+from .batching import BatchPlanner, BatchReport, fresh_batch
+from .ledger import BudgetLedger, LedgerEntry
+from .service import DistanceService, ServiceStats, select_mechanism
+from .simulate import EpochResult, SimulationReport, replay_rush_hour
+from .synopsis import (
+    AllPairsSynopsis,
+    BoundedWeightSynopsis,
+    DistanceSynopsis,
+    SinglePairSynopsis,
+    TreeSynopsis,
+    build_single_pair_synopsis,
+    register_synopsis,
+    synopsis_from_json,
+)
+
+__all__ = [
+    "DistanceService",
+    "ServiceStats",
+    "select_mechanism",
+    "BudgetLedger",
+    "LedgerEntry",
+    "BatchPlanner",
+    "BatchReport",
+    "fresh_batch",
+    "DistanceSynopsis",
+    "SinglePairSynopsis",
+    "AllPairsSynopsis",
+    "TreeSynopsis",
+    "BoundedWeightSynopsis",
+    "build_single_pair_synopsis",
+    "register_synopsis",
+    "synopsis_from_json",
+    "EpochResult",
+    "SimulationReport",
+    "replay_rush_hour",
+]

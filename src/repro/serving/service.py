@@ -1,0 +1,324 @@
+"""The query-serving façade: pay for privacy once, answer forever.
+
+:class:`DistanceService` is the paper's Section 1.1 navigation
+provider as a component: it holds the public topology plus the current
+epoch's private weights, picks the strongest release mechanism the
+graph admits, builds one synopsis per epoch under a ledgered budget,
+and then serves unlimited point and batch distance queries from that
+synopsis — pure post-processing, zero further privacy cost.
+
+Mechanism auto-selection mirrors the paper's structure:
+
+* tree topology → Algorithm 1 + Theorem 4.2 (error ``O(log^1.5 V)``),
+* declared weight bound ``M`` → Algorithm 2's covering release
+  (error ``O~(sqrt(V M))`` approx / ``O((VM)^{2/3})`` pure),
+* otherwise → the Section 4 intro all-pairs baseline (basic
+  composition for pure budgets, advanced when ``delta > 0``).
+
+Epoch rotation (:meth:`DistanceService.refresh`) swaps in a fresh
+weight function — a new private database — rotates the ledger, clears
+the answer cache, and rebuilds the synopsis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..algorithms.traversal import is_connected
+from ..core.bounded_weight import BoundedWeightRelease
+from ..core.distance_oracle import (
+    AllPairsAdvancedRelease,
+    AllPairsBasicRelease,
+)
+from ..core.tree_distances import TreeAllPairsRelease
+from ..graphs.graph import Vertex, WeightedGraph
+from ..graphs.tree import RootedTree
+from ..dp.params import PrivacyParams
+from ..exceptions import DisconnectedGraphError, GraphError, PrivacyError
+from ..rng import Rng
+from .batching import BatchPlanner, BatchReport
+from .ledger import BudgetLedger
+from .synopsis import (
+    AllPairsSynopsis,
+    BoundedWeightSynopsis,
+    DistanceSynopsis,
+    TreeSynopsis,
+    canonical_pair,
+)
+
+__all__ = ["DistanceService", "ServiceStats", "select_mechanism"]
+
+#: Mechanism names used by :func:`select_mechanism` and the CLI.
+MECHANISMS = (
+    "tree",
+    "bounded-weight",
+    "all-pairs-basic",
+    "all-pairs-advanced",
+)
+
+
+def select_mechanism(
+    graph: WeightedGraph,
+    budget: PrivacyParams,
+    weight_bound: float | None = None,
+) -> str:
+    """Pick the strongest release family the graph admits.
+
+    The choice depends only on public facts (topology, declared bound,
+    budget shape), so it is itself data-independent.
+    """
+    if (
+        not graph.directed
+        and graph.num_edges == graph.num_vertices - 1
+        and is_connected(graph)
+    ):
+        return "tree"
+    if weight_bound is not None:
+        return "bounded-weight"
+    if budget.delta > 0:
+        return "all-pairs-advanced"
+    return "all-pairs-basic"
+
+
+@dataclass
+class ServiceStats:
+    """Running counters for one service instance."""
+
+    epochs_built: int = 0
+    point_queries: int = 0
+    batch_queries: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+
+
+class DistanceService:
+    """A private distance query-serving engine.
+
+    Parameters
+    ----------
+    graph:
+        Public topology + the current epoch's private weights.
+    epoch_budget:
+        The ``(eps, delta)`` guarantee promised per epoch (a bare
+        float is taken as pure eps).  The whole budget is spent on one
+        synopsis per epoch.
+    rng:
+        Noise source for the releases.
+    weight_bound:
+        Public bound ``M`` on edge weights, if the provider has one
+        (e.g. capped travel times); enables the Section 4.2 mechanism
+        on non-tree graphs.
+    mechanism:
+        Force a mechanism from ``{"tree", "bounded-weight",
+        "all-pairs-basic", "all-pairs-advanced"}`` instead of
+        auto-selecting.
+    ledger:
+        Share a :class:`~repro.serving.ledger.BudgetLedger` with other
+        products; defaults to a private ledger with ``epoch_budget``
+        per epoch.  The synopsis is only built after the ledger accepts
+        the spend, so an over-budget service fails closed at
+        construction.
+    tenant:
+        The ledger tenant name this service spends under.
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        epoch_budget: PrivacyParams | float,
+        rng: Rng,
+        weight_bound: float | None = None,
+        mechanism: str | None = None,
+        ledger: BudgetLedger | None = None,
+        tenant: str = "distance-service",
+    ) -> None:
+        if isinstance(epoch_budget, (int, float)):
+            epoch_budget = PrivacyParams(float(epoch_budget))
+        self._budget = epoch_budget
+        self._rng = rng
+        self._weight_bound = weight_bound
+        self._forced_mechanism = mechanism
+        if mechanism is not None and mechanism not in MECHANISMS:
+            raise PrivacyError(
+                f"unknown mechanism {mechanism!r}; expected one of "
+                f"{', '.join(MECHANISMS)}"
+            )
+        self._owns_ledger = ledger is None
+        self._ledger = ledger if ledger is not None else BudgetLedger(
+            epoch_budget
+        )
+        self._tenant = tenant
+        self._stats = ServiceStats()
+        self._cache: Dict[Tuple[Vertex, Vertex], float] = {}
+        self._graph = graph
+        self._mechanism = ""
+        self._synopsis: DistanceSynopsis | None = None
+        self._build_synopsis()
+
+    # ------------------------------------------------------------------
+    # Epoch lifecycle
+    # ------------------------------------------------------------------
+
+    def _build_synopsis(self) -> None:
+        mechanism = self._forced_mechanism or select_mechanism(
+            self._graph, self._budget, self._weight_bound
+        )
+        eps, delta = self._budget.eps, self._budget.delta
+        # Validate mechanism preconditions before touching the ledger,
+        # so a config or precondition error never burns epoch budget.
+        # Topology checks are public; the weight-bound check mirrors
+        # the release's own pre-noise precondition, just earlier.
+        rooted: RootedTree | None = None
+        if mechanism == "tree":
+            # Topology-only validation (raises NotATreeError early).
+            rooted = RootedTree(
+                self._graph, next(iter(self._graph.vertices()))
+            )
+        elif mechanism == "bounded-weight":
+            if self._weight_bound is None:
+                raise GraphError(
+                    "bounded-weight mechanism requires a weight_bound"
+                )
+            self._graph.check_bounded(self._weight_bound)
+            if not is_connected(self._graph):
+                raise DisconnectedGraphError(
+                    "bounded-weight release requires a connected graph"
+                )
+        else:
+            if mechanism == "all-pairs-advanced" and delta <= 0:
+                raise PrivacyError(
+                    "all-pairs-advanced requires a delta > 0 budget"
+                )
+            if not is_connected(self._graph):
+                raise DisconnectedGraphError(
+                    "all-pairs release requires a connected graph"
+                )
+        # Spend first, release second: if the ledger refuses, no noise
+        # is ever drawn and nothing about the weights leaks.
+        self._ledger.spend(
+            self._budget,
+            tenant=self._tenant,
+            label=f"epoch {self._ledger.epoch} {mechanism} synopsis",
+        )
+        if mechanism == "tree":
+            assert rooted is not None
+            release = TreeAllPairsRelease(rooted, eps, self._rng)
+            self._synopsis = TreeSynopsis.from_release(release)
+        elif mechanism == "bounded-weight":
+            release = BoundedWeightRelease(
+                self._graph,
+                self._weight_bound,
+                eps,
+                self._rng,
+                delta=delta,
+            )
+            self._synopsis = BoundedWeightSynopsis.from_release(release)
+        elif mechanism == "all-pairs-advanced":
+            release = AllPairsAdvancedRelease(
+                self._graph, eps, delta, self._rng
+            )
+            self._synopsis = AllPairsSynopsis.from_release(release)
+        else:
+            release = AllPairsBasicRelease(self._graph, eps, self._rng)
+            self._synopsis = AllPairsSynopsis.from_release(release)
+        self._mechanism = mechanism
+        self._stats.epochs_built += 1
+
+    def refresh(self, graph: WeightedGraph | None = None) -> None:
+        """Start a new epoch: swap in fresh weights (same public
+        topology unless a new graph is given), clear the answer cache,
+        and rebuild the synopsis.
+
+        A privately owned ledger is rotated — the new weights are a
+        new database, so the budget resets.  A *shared* ledger is NOT
+        rotated: other tenants may still be serving releases of the
+        current epoch's data, and rotating under them would let their
+        budgets reset against an unchanged database.  With a shared
+        ledger the rebuild spends from the remaining epoch budget
+        (failing closed if exhausted); the ledger's owner decides when
+        the epoch actually turns via
+        :meth:`~repro.serving.ledger.BudgetLedger.rotate`.
+        """
+        if self._owns_ledger:
+            self._ledger.rotate()
+        if graph is not None:
+            self._graph = graph
+        self._cache.clear()
+        # Drop the old synopsis first: if the rebuild fails partway,
+        # the service must refuse to serve rather than silently answer
+        # the new epoch from the previous epoch's release.
+        self._synopsis = None
+        self._build_synopsis()
+
+    # ------------------------------------------------------------------
+    # Query serving (post-processing only)
+    # ------------------------------------------------------------------
+
+    def _require_synopsis(self) -> DistanceSynopsis:
+        if self._synopsis is None:
+            raise PrivacyError(
+                "no synopsis for the current epoch (the last refresh "
+                "failed); call refresh() again before querying"
+            )
+        return self._synopsis
+
+    def query(self, source: Vertex, target: Vertex) -> float:
+        """Answer one distance query from the epoch synopsis."""
+        synopsis = self._require_synopsis()
+        self._stats.point_queries += 1
+        key = canonical_pair(source, target)
+        if key in self._cache:
+            self._stats.cache_hits += 1
+            return self._cache[key]
+        value = synopsis.distance(source, target)
+        self._cache[key] = value
+        return value
+
+    def query_batch(
+        self, pairs: Sequence[Tuple[Vertex, Vertex]]
+    ) -> BatchReport:
+        """Answer a batch of queries; see
+        :class:`~repro.serving.batching.BatchPlanner`."""
+        planner = BatchPlanner(self._require_synopsis(), cache=self._cache)
+        report = planner.run(pairs)
+        self._stats.batches += 1
+        self._stats.batch_queries += report.num_queries
+        self._stats.cache_hits += report.cache_hits
+        return report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def mechanism(self) -> str:
+        """The mechanism backing the current synopsis."""
+        return self._mechanism
+
+    @property
+    def synopsis(self) -> DistanceSynopsis:
+        """The current epoch's synopsis (immutable; shippable)."""
+        return self._require_synopsis()
+
+    @property
+    def ledger(self) -> BudgetLedger:
+        """The budget ledger this service spends against."""
+        return self._ledger
+
+    @property
+    def epoch_budget(self) -> PrivacyParams:
+        """The per-epoch privacy budget."""
+        return self._budget
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Running serving counters."""
+        return self._stats
+
+    def __repr__(self) -> str:
+        return (
+            f"DistanceService(mechanism={self._mechanism!r}, "
+            f"budget={self._budget}, epoch={self._ledger.epoch}, "
+            f"queries={self._stats.point_queries + self._stats.batch_queries})"
+        )

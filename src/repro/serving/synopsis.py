@@ -1,0 +1,552 @@
+"""Distance synopses: immutable, serializable release artifacts.
+
+A *synopsis* is the thing a query-serving engine keeps in memory after
+paying for a release: everything needed to answer ``distance(s, t)``
+queries forever, and nothing else.  Answering from a synopsis is pure
+post-processing of a differentially private release, so it costs zero
+additional privacy budget no matter how many queries are served
+(the post-processing property of DP).
+
+One synopsis class wraps each release family of the paper:
+
+* :class:`SinglePairSynopsis` — a fixed workload of sensitivity-1
+  Laplace queries (Section 1.2's opener), noised with one vectorized
+  draw;
+* :class:`AllPairsSynopsis` — the Section 4 intro baselines
+  (:class:`~repro.core.distance_oracle.AllPairsBasicRelease` /
+  :class:`~repro.core.distance_oracle.AllPairsAdvancedRelease`);
+* :class:`TreeSynopsis` — Algorithm 1 + the Theorem 4.2 LCA identity;
+* :class:`BoundedWeightSynopsis` — Algorithm 2's covering table.
+
+Every synopsis exposes the same surface — ``distance(s, t)``,
+``params``, ``kind`` — and serializes to a JSON document containing
+*only released values and public topology* (never raw private
+weights), so a synopsis file can be shipped to untrusted serving
+frontends.  :func:`synopsis_from_json` restores any synopsis via the
+registry keyed by ``kind``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Type
+
+from ..algorithms.shortest_paths import dijkstra
+from ..dp.params import PrivacyParams
+from ..exceptions import DisconnectedGraphError, GraphError, VertexNotFoundError
+from ..graphs.graph import Vertex, WeightedGraph
+from ..graphs.io import _decode_vertex, _encode_vertex
+from ..rng import Rng
+
+__all__ = [
+    "DistanceSynopsis",
+    "SinglePairSynopsis",
+    "AllPairsSynopsis",
+    "TreeSynopsis",
+    "BoundedWeightSynopsis",
+    "build_single_pair_synopsis",
+    "register_synopsis",
+    "synopsis_from_json",
+    "SYNOPSIS_FORMAT",
+]
+
+SYNOPSIS_FORMAT = "repro-synopsis"
+_FORMAT_VERSION = 1
+
+#: Registry of synopsis classes keyed by their ``kind`` string; this is
+#: what :func:`synopsis_from_json` dispatches on.
+_REGISTRY: Dict[str, Type["DistanceSynopsis"]] = {}
+
+
+def register_synopsis(cls: Type["DistanceSynopsis"]) -> Type["DistanceSynopsis"]:
+    """Class decorator: register a synopsis class under its ``kind``."""
+    if not cls.kind:
+        raise ValueError(f"{cls.__name__} must define a non-empty kind")
+    if cls.kind in _REGISTRY:
+        raise ValueError(f"synopsis kind {cls.kind!r} already registered")
+    _REGISTRY[cls.kind] = cls
+    return cls
+
+
+def canonical_pair(s: Vertex, t: Vertex) -> Tuple[Vertex, Vertex]:
+    """A deterministic canonical orientation for an unordered pair.
+
+    Vertices are arbitrary hashables and need not be mutually orderable,
+    so the order is taken over ``repr`` — stable, total, and independent
+    of insertion order.
+    """
+    return (s, t) if repr(s) <= repr(t) else (t, s)
+
+
+def _encode_pair_table(
+    table: Mapping[Tuple[Vertex, Vertex], float]
+) -> List[List[Any]]:
+    return [
+        [_encode_vertex(s), _encode_vertex(t), value]
+        for (s, t), value in table.items()
+    ]
+
+
+def _decode_pair_table(
+    rows: Iterable[Iterable[Any]],
+) -> Dict[Tuple[Vertex, Vertex], float]:
+    return {
+        (_decode_vertex(s), _decode_vertex(t)): float(value)
+        for s, t, value in rows
+    }
+
+
+class DistanceSynopsis:
+    """Base class for all distance synopses.
+
+    Subclasses set the class attribute ``kind`` (the registry key),
+    implement :meth:`distance` and the ``_payload`` /
+    ``_from_payload`` serialization hooks, and treat all state as
+    immutable after construction — a synopsis is a released artifact,
+    so mutating it would break both reproducibility and the privacy
+    accounting attached to it.
+    """
+
+    kind: str = ""
+
+    def __init__(self, params: PrivacyParams) -> None:
+        self._params = params
+
+    @property
+    def params(self) -> PrivacyParams:
+        """The privacy guarantee paid for this synopsis."""
+        return self._params
+
+    def distance(self, source: Vertex, target: Vertex) -> float:
+        """The released (noisy) distance between a pair of vertices."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def _payload(self) -> Dict[str, Any]:
+        """Subclass hook: the kind-specific JSON-safe fields."""
+        raise NotImplementedError
+
+    @classmethod
+    def _from_payload(
+        cls, payload: Dict[str, Any], params: PrivacyParams
+    ) -> "DistanceSynopsis":
+        """Subclass hook: rebuild from :meth:`_payload` output."""
+        raise NotImplementedError
+
+    def to_json(self) -> str:
+        """Serialize to a JSON document (released values + public
+        topology only — safe to publish under ``params``)."""
+        document = {
+            "format": SYNOPSIS_FORMAT,
+            "version": _FORMAT_VERSION,
+            "kind": self.kind,
+            "eps": self._params.eps,
+            "delta": self._params.delta,
+        }
+        document.update(self._payload())
+        return json.dumps(document)
+
+
+def synopsis_from_json(text: str) -> DistanceSynopsis:
+    """Restore any registered synopsis from :meth:`DistanceSynopsis.to_json`
+    output, dispatching on the document's ``kind``."""
+    document = json.loads(text)
+    if document.get("format") != SYNOPSIS_FORMAT:
+        raise GraphError("not a repro-synopsis JSON document")
+    if document.get("version") != _FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported synopsis version {document.get('version')!r}"
+        )
+    kind = document.get("kind")
+    if kind not in _REGISTRY:
+        raise GraphError(f"unknown synopsis kind {kind!r}")
+    params = PrivacyParams(float(document["eps"]), float(document["delta"]))
+    return _REGISTRY[kind]._from_payload(document, params)
+
+
+class _PairTableSynopsis(DistanceSynopsis):
+    """Shared machinery for synopses backed by an unordered pair table."""
+
+    def __init__(
+        self,
+        params: PrivacyParams,
+        table: Mapping[Tuple[Vertex, Vertex], float],
+        vertices: Iterable[Vertex],
+    ) -> None:
+        super().__init__(params)
+        self._table = {
+            canonical_pair(s, t): float(v) for (s, t), v in table.items()
+        }
+        self._vertices = frozenset(vertices)
+
+    @property
+    def vertices(self) -> frozenset:
+        """The vertex set this synopsis can answer about."""
+        return self._vertices
+
+    @property
+    def num_entries(self) -> int:
+        """The number of released pair values held."""
+        return len(self._table)
+
+    def _check_vertex(self, v: Vertex) -> None:
+        if v not in self._vertices:
+            raise VertexNotFoundError(v)
+
+    def _lookup(self, source: Vertex, target: Vertex) -> float:
+        key = canonical_pair(source, target)
+        if key not in self._table:
+            raise GraphError(
+                f"pair ({source!r}, {target!r}) is not covered by this "
+                f"{self.kind} synopsis"
+            )
+        return self._table[key]
+
+    def distance(self, source: Vertex, target: Vertex) -> float:
+        self._check_vertex(source)
+        self._check_vertex(target)
+        if source == target:
+            return 0.0
+        return self._lookup(source, target)
+
+
+@register_synopsis
+class SinglePairSynopsis(_PairTableSynopsis):
+    """A synopsis for an explicit pair workload.
+
+    Built by :func:`build_single_pair_synopsis`: the ``Q`` distinct
+    pair queries form a sensitivity-``Q`` vector (each query has
+    sensitivity 1), so ``Lap(Q/eps)`` noise per answer is eps-DP by the
+    vector Laplace mechanism — the serving-batch analogue of the
+    paper's single-query opener.  Only the workload pairs can be
+    answered; anything else raises.
+    """
+
+    kind = "single-pair"
+
+    def _payload(self) -> Dict[str, Any]:
+        return {
+            "vertices": [_encode_vertex(v) for v in self._vertices],
+            "pairs": _encode_pair_table(self._table),
+        }
+
+    @classmethod
+    def _from_payload(
+        cls, payload: Dict[str, Any], params: PrivacyParams
+    ) -> "SinglePairSynopsis":
+        return cls(
+            params,
+            _decode_pair_table(payload["pairs"]),
+            [_decode_vertex(v) for v in payload["vertices"]],
+        )
+
+
+@register_synopsis
+class AllPairsSynopsis(_PairTableSynopsis):
+    """A synopsis wrapping the Section 4 intro all-pairs baselines.
+
+    Holds every released unordered-pair distance from an
+    :class:`~repro.core.distance_oracle.AllPairsBasicRelease` or
+    :class:`~repro.core.distance_oracle.AllPairsAdvancedRelease`.
+    """
+
+    kind = "all-pairs"
+
+    @classmethod
+    def from_release(cls, release: Any) -> "AllPairsSynopsis":
+        """Wrap an all-pairs release object (basic or advanced)."""
+        table = release.all_released()
+        vertices = set()
+        for s, t in table:
+            vertices.add(s)
+            vertices.add(t)
+        if not vertices:
+            # Single-vertex graph: nothing released, but the vertex set
+            # must still be answerable (distance to self is 0).
+            vertices = set(release.graph.vertices())
+        return cls(release.params, table, vertices)
+
+    def _payload(self) -> Dict[str, Any]:
+        return {
+            "vertices": [_encode_vertex(v) for v in self._vertices],
+            "pairs": _encode_pair_table(self._table),
+        }
+
+    @classmethod
+    def _from_payload(
+        cls, payload: Dict[str, Any], params: PrivacyParams
+    ) -> "AllPairsSynopsis":
+        return cls(
+            params,
+            _decode_pair_table(payload["pairs"]),
+            [_decode_vertex(v) for v in payload["vertices"]],
+        )
+
+
+@register_synopsis
+class TreeSynopsis(DistanceSynopsis):
+    """A synopsis of Algorithm 1's tree release (Theorems 4.1/4.2).
+
+    Stores the released root-to-vertex estimates plus the *public* tree
+    structure (parents and depths — never edge weights), and answers
+    any pair via the LCA identity
+    ``d(x, y) = d(v0, x) + d(v0, y) - 2 d(v0, lca(x, y))`` — pure
+    post-processing, so all ``V^2`` pairs cost the one release.
+    """
+
+    kind = "tree"
+
+    def __init__(
+        self,
+        params: PrivacyParams,
+        root: Vertex,
+        estimates: Mapping[Vertex, float],
+        parent: Mapping[Vertex, Vertex | None],
+        depth: Mapping[Vertex, int],
+    ) -> None:
+        super().__init__(params)
+        self._root = root
+        self._estimates = dict(estimates)
+        self._parent = dict(parent)
+        self._depth = dict(depth)
+
+    @classmethod
+    def from_release(cls, release: Any) -> "TreeSynopsis":
+        """Wrap a :class:`~repro.core.tree_distances.TreeAllPairsRelease`."""
+        tree = release.single_source.tree
+        parent = {v: tree.parent(v) for v in tree.preorder()}
+        depth = {v: tree.depth(v) for v in tree.preorder()}
+        return cls(
+            release.params,
+            tree.root,
+            release.single_source.all_distances(),
+            parent,
+            depth,
+        )
+
+    @property
+    def root(self) -> Vertex:
+        """The (public, arbitrary) root the release was run from."""
+        return self._root
+
+    @property
+    def vertices(self) -> frozenset:
+        """The vertex set this synopsis can answer about."""
+        return frozenset(self._estimates)
+
+    def _lca(self, x: Vertex, y: Vertex) -> Vertex:
+        while self._depth[x] > self._depth[y]:
+            x = self._parent[x]
+        while self._depth[y] > self._depth[x]:
+            y = self._parent[y]
+        while x != y:
+            x = self._parent[x]
+            y = self._parent[y]
+        return x
+
+    def distance(self, source: Vertex, target: Vertex) -> float:
+        if source not in self._estimates:
+            raise VertexNotFoundError(source)
+        if target not in self._estimates:
+            raise VertexNotFoundError(target)
+        if source == target:
+            return 0.0
+        z = self._lca(source, target)
+        return (
+            self._estimates[source]
+            + self._estimates[target]
+            - 2.0 * self._estimates[z]
+        )
+
+    def _payload(self) -> Dict[str, Any]:
+        return {
+            "root": _encode_vertex(self._root),
+            "vertices": [
+                # One row per vertex: label, released estimate, depth,
+                # parent (None for the root).
+                [
+                    _encode_vertex(v),
+                    self._estimates[v],
+                    self._depth[v],
+                    None
+                    if self._parent[v] is None
+                    else _encode_vertex(self._parent[v]),
+                ]
+                for v in self._estimates
+            ],
+        }
+
+    @classmethod
+    def _from_payload(
+        cls, payload: Dict[str, Any], params: PrivacyParams
+    ) -> "TreeSynopsis":
+        estimates: Dict[Vertex, float] = {}
+        parent: Dict[Vertex, Vertex | None] = {}
+        depth: Dict[Vertex, int] = {}
+        for row in payload["vertices"]:
+            v = _decode_vertex(row[0])
+            estimates[v] = float(row[1])
+            depth[v] = int(row[2])
+            parent[v] = None if row[3] is None else _decode_vertex(row[3])
+        return cls(
+            params, _decode_vertex(payload["root"]), estimates, parent, depth
+        )
+
+
+@register_synopsis
+class BoundedWeightSynopsis(DistanceSynopsis):
+    """A synopsis of Algorithm 2's covering release (Section 4.2).
+
+    Stores the covering assignment ``z(v)`` (public — it depends only
+    on hop distances in the topology) and the released noisy distances
+    between covering pairs; any query ``(u, v)`` is answered as
+    ``a_{z(u), z(v)}``.
+    """
+
+    kind = "bounded-weight"
+
+    def __init__(
+        self,
+        params: PrivacyParams,
+        assignment: Mapping[Vertex, Vertex],
+        covering_table: Mapping[Tuple[Vertex, Vertex], float],
+        weight_bound: float,
+        k: int,
+    ) -> None:
+        super().__init__(params)
+        self._assignment = dict(assignment)
+        self._table = {
+            canonical_pair(s, t): float(v)
+            for (s, t), v in covering_table.items()
+        }
+        self._weight_bound = float(weight_bound)
+        self._k = int(k)
+
+    @classmethod
+    def from_release(cls, release: Any) -> "BoundedWeightSynopsis":
+        """Wrap a :class:`~repro.core.bounded_weight.BoundedWeightRelease`."""
+        assignment = {
+            v: release.assigned_covering_vertex(v)
+            for v in release.graph.vertices()
+        }
+        return cls(
+            release.params,
+            assignment,
+            release.all_released(),
+            release.weight_bound,
+            release.k,
+        )
+
+    @property
+    def vertices(self) -> frozenset:
+        """The vertex set this synopsis can answer about."""
+        return frozenset(self._assignment)
+
+    @property
+    def weight_bound(self) -> float:
+        """The public weight bound ``M`` the release assumed."""
+        return self._weight_bound
+
+    @property
+    def k(self) -> int:
+        """The covering radius in hops (error is ``<= 2kM`` + noise)."""
+        return self._k
+
+    def distance(self, source: Vertex, target: Vertex) -> float:
+        if source not in self._assignment:
+            raise VertexNotFoundError(source)
+        if target not in self._assignment:
+            raise VertexNotFoundError(target)
+        if source == target:
+            return 0.0
+        zu = self._assignment[source]
+        zv = self._assignment[target]
+        if zu == zv:
+            return 0.0
+        key = canonical_pair(zu, zv)
+        if key not in self._table:
+            raise GraphError(
+                f"covering pair ({zu!r}, {zv!r}) missing from synopsis"
+            )
+        return self._table[key]
+
+    def _payload(self) -> Dict[str, Any]:
+        return {
+            "weight_bound": self._weight_bound,
+            "k": self._k,
+            "assignment": [
+                [_encode_vertex(v), _encode_vertex(z)]
+                for v, z in self._assignment.items()
+            ],
+            "covering_pairs": _encode_pair_table(self._table),
+        }
+
+    @classmethod
+    def _from_payload(
+        cls, payload: Dict[str, Any], params: PrivacyParams
+    ) -> "BoundedWeightSynopsis":
+        assignment = {
+            _decode_vertex(v): _decode_vertex(z)
+            for v, z in payload["assignment"]
+        }
+        return cls(
+            params,
+            assignment,
+            _decode_pair_table(payload["covering_pairs"]),
+            float(payload["weight_bound"]),
+            int(payload["k"]),
+        )
+
+
+def build_single_pair_synopsis(
+    graph: WeightedGraph,
+    pairs: Iterable[Tuple[Vertex, Vertex]],
+    eps: float,
+    rng: Rng,
+) -> SinglePairSynopsis:
+    """Release a fixed pair workload as a :class:`SinglePairSynopsis`.
+
+    The distinct (unordered) pairs form a query vector of L1
+    sensitivity ``Q`` (each distance query has sensitivity 1), so one
+    vectorized ``Lap(Q/eps)`` draw over the whole vector is eps-DP.
+    Exact distances are computed with one Dijkstra per distinct source,
+    not per pair.
+    """
+    params = PrivacyParams(eps)  # validates eps before any work
+    unique: List[Tuple[Vertex, Vertex]] = []
+    seen = set()
+    for s, t in pairs:
+        if s == t:
+            continue
+        key = canonical_pair(s, t)
+        if key not in seen:
+            seen.add(key)
+            unique.append(key)
+    for s, t in unique:
+        if not graph.has_vertex(s):
+            raise VertexNotFoundError(s)
+        if not graph.has_vertex(t):
+            raise VertexNotFoundError(t)
+
+    by_source: Dict[Vertex, List[Vertex]] = {}
+    for s, t in unique:
+        by_source.setdefault(s, []).append(t)
+    exact: Dict[Tuple[Vertex, Vertex], float] = {}
+    for s, targets in by_source.items():
+        distances, _ = dijkstra(graph, s)
+        for t in targets:
+            if t not in distances:
+                raise DisconnectedGraphError(
+                    f"no path from {s!r} to {t!r}"
+                )
+            exact[(s, t)] = distances[t]
+
+    scale = max(len(unique), 1) / eps
+    noise = rng.laplace_vector(scale, len(unique))
+    table = {
+        pair: exact[pair] + float(x) for pair, x in zip(unique, noise)
+    }
+    return SinglePairSynopsis(params, table, graph.vertices())

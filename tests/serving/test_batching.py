@@ -1,0 +1,79 @@
+"""Unit tests for :mod:`repro.serving.batching`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AllPairsBasicRelease, Rng
+from repro.graphs import generators
+from repro.serving import AllPairsSynopsis, BatchPlanner, fresh_batch
+from repro.serving.synopsis import canonical_pair
+
+
+@pytest.fixture
+def synopsis(rng):
+    graph = generators.grid_graph(4, 4)
+    return AllPairsSynopsis.from_release(
+        AllPairsBasicRelease(graph, 1.0, rng)
+    )
+
+
+class TestBatchPlanner:
+    def test_answers_align_with_input(self, synopsis):
+        planner = BatchPlanner(synopsis)
+        pairs = [((0, 0), (3, 3)), ((1, 1), (2, 2)), ((0, 0), (3, 3))]
+        report = planner.run(pairs)
+        assert len(report.answers) == 3
+        assert report.answers[0] == report.answers[2]
+        assert report.answers == [
+            synopsis.distance(s, t) for s, t in pairs
+        ]
+
+    def test_dedupes_unordered_pairs(self, synopsis):
+        planner = BatchPlanner(synopsis)
+        report = planner.run([((0, 0), (3, 3)), ((3, 3), (0, 0))])
+        assert report.num_queries == 2
+        assert report.num_unique == 1
+        assert report.answers[0] == report.answers[1]
+
+    def test_cache_shared_across_batches(self, synopsis):
+        cache = {}
+        planner = BatchPlanner(synopsis, cache=cache)
+        first = planner.run([((0, 0), (1, 1))])
+        assert first.cache_hits == 0
+        second = planner.run([((1, 1), (0, 0))])
+        assert second.cache_hits == 1
+        assert canonical_pair((0, 0), (1, 1)) in cache
+
+    def test_report_metrics(self, synopsis):
+        report = BatchPlanner(synopsis).run(
+            [((0, 0), (i, j)) for i in range(4) for j in range(4)]
+        )
+        assert report.num_queries == 16
+        assert report.elapsed_seconds >= 0.0
+        assert report.queries_per_second >= 0.0
+
+    def test_empty_batch(self, synopsis):
+        report = BatchPlanner(synopsis).run([])
+        assert report.answers == []
+        assert report.queries_per_second == 0.0
+
+
+class TestFreshBatch:
+    def test_one_vectorized_release_serves_whole_batch(self, rng):
+        graph = generators.grid_graph(4, 4)
+        pairs = [((0, 0), (3, 3)), ((0, 0), (1, 2)), ((3, 3), (0, 0))]
+        synopsis, report = fresh_batch(graph, pairs, 1.0, rng)
+        assert report.num_queries == 3
+        assert len(report.answers) == 3
+        assert report.answers[0] == report.answers[2]
+        # The synopsis can re-serve the workload for free afterwards.
+        assert synopsis.distance((0, 0), (3, 3)) == report.answers[0]
+        assert synopsis.params.eps == 1.0
+
+    def test_deterministic_given_seed(self):
+        graph = generators.grid_graph(3, 3)
+        pairs = [((0, 0), (2, 2)), ((0, 1), (2, 0))]
+        _, a = fresh_batch(graph, pairs, 1.0, Rng(5))
+        _, b = fresh_batch(graph, pairs, 1.0, Rng(5))
+        assert a.answers == b.answers

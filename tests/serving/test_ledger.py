@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.serving.ledger`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BudgetExceededError, PrivacyParams
+from repro.exceptions import PrivacyError
+from repro.serving import BudgetLedger, LedgerEntry
+
+
+class TestSpending:
+    def test_records_entries(self):
+        ledger = BudgetLedger(PrivacyParams(1.0))
+        entry = ledger.spend(PrivacyParams(0.5), tenant="eta", label="x")
+        assert entry == LedgerEntry(
+            epoch=0, tenant="eta", label="x", params=PrivacyParams(0.5)
+        )
+        assert ledger.records() == [entry]
+        assert ledger.records(tenant="eta") == [entry]
+        assert ledger.records(tenant="routing") == []
+
+    def test_fails_closed_per_tenant(self):
+        ledger = BudgetLedger(PrivacyParams(1.0))
+        ledger.spend(PrivacyParams(0.8), tenant="eta")
+        with pytest.raises(BudgetExceededError):
+            ledger.spend(PrivacyParams(0.3), tenant="eta")
+        # A refused spend is not recorded.
+        assert len(ledger.records()) == 1
+        # Tenants are independent within the epoch.
+        ledger.spend(PrivacyParams(1.0), tenant="routing")
+
+    def test_can_spend(self):
+        ledger = BudgetLedger(PrivacyParams(1.0))
+        assert ledger.can_spend(PrivacyParams(1.0))
+        ledger.spend(PrivacyParams(0.75))
+        assert not ledger.can_spend(PrivacyParams(0.5))
+        assert ledger.remaining_eps() == pytest.approx(0.25)
+
+    def test_delta_tracked(self):
+        ledger = BudgetLedger(PrivacyParams(1.0, 1e-6))
+        ledger.spend(PrivacyParams(0.5, 1e-6))
+        with pytest.raises(BudgetExceededError):
+            ledger.spend(PrivacyParams(0.1, 1e-6))
+        assert ledger.remaining_delta() == pytest.approx(0.0)
+
+    def test_empty_tenant_rejected(self):
+        ledger = BudgetLedger(PrivacyParams(1.0))
+        with pytest.raises(PrivacyError):
+            ledger.spend(PrivacyParams(0.1), tenant="")
+
+    def test_refused_spend_does_not_register_tenant(self):
+        ledger = BudgetLedger(PrivacyParams(1.0))
+        with pytest.raises(BudgetExceededError):
+            ledger.spend(PrivacyParams(2.0), tenant="greedy")
+        assert ledger.tenants == []
+        assert ledger.records() == []
+
+    def test_read_only_queries_do_not_register_tenants(self):
+        ledger = BudgetLedger(PrivacyParams(1.0))
+        assert ledger.can_spend(PrivacyParams(0.5), tenant="probe")
+        assert ledger.remaining_eps("probe") == pytest.approx(1.0)
+        assert ledger.remaining_delta("probe") == 0.0
+        assert ledger.tenants == []  # only actual spends register
+
+
+class TestRotation:
+    def test_rotation_resets_budget(self):
+        ledger = BudgetLedger(PrivacyParams(1.0))
+        ledger.spend(PrivacyParams(1.0))
+        with pytest.raises(BudgetExceededError):
+            ledger.spend(PrivacyParams(0.1))
+        assert ledger.rotate() == 1
+        ledger.spend(PrivacyParams(1.0))  # fresh epoch, fresh budget
+
+    def test_history_survives_rotation(self):
+        ledger = BudgetLedger(PrivacyParams(1.0))
+        ledger.spend(PrivacyParams(0.5), label="first")
+        ledger.rotate()
+        ledger.spend(PrivacyParams(0.5), label="second")
+        assert len(ledger.records()) == 2
+        assert [e.epoch for e in ledger.records()] == [0, 1]
+        assert ledger.records(epoch=0)[0].label == "first"
+        assert ledger.records(epoch=1)[0].label == "second"
+
+    def test_tenants_listed_per_epoch(self):
+        ledger = BudgetLedger(PrivacyParams(1.0))
+        ledger.spend(PrivacyParams(0.1), tenant="a")
+        ledger.spend(PrivacyParams(0.1), tenant="b")
+        assert sorted(ledger.tenants) == ["a", "b"]
+        ledger.rotate()
+        assert ledger.tenants == []

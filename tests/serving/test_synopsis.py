@@ -1,0 +1,213 @@
+"""Unit tests for :mod:`repro.serving.synopsis`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import (
+    AllPairsBasicRelease,
+    GraphError,
+    Rng,
+    VertexNotFoundError,
+    release_bounded_weight,
+    release_tree_all_pairs,
+)
+from repro.graphs import RootedTree, generators
+from repro.serving import (
+    AllPairsSynopsis,
+    BoundedWeightSynopsis,
+    DistanceSynopsis,
+    SinglePairSynopsis,
+    TreeSynopsis,
+    build_single_pair_synopsis,
+    register_synopsis,
+    synopsis_from_json,
+)
+from repro.serving.synopsis import canonical_pair
+
+
+class TestCanonicalPair:
+    def test_symmetric(self):
+        assert canonical_pair(3, 7) == canonical_pair(7, 3)
+        assert canonical_pair((0, 1), (1, 0)) == canonical_pair((1, 0), (0, 1))
+
+    def test_deterministic(self):
+        assert canonical_pair("b", "a") == ("a", "b")
+
+
+class TestAllPairsSynopsis:
+    def test_matches_release(self, rng):
+        graph = generators.grid_graph(4, 4)
+        release = AllPairsBasicRelease(graph, 1.0, rng)
+        synopsis = AllPairsSynopsis.from_release(release)
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert synopsis.distance(s, t) == release.distance(s, t)
+
+    def test_params_carried(self, rng):
+        graph = generators.grid_graph(3, 3)
+        synopsis = AllPairsSynopsis.from_release(
+            AllPairsBasicRelease(graph, 0.5, rng)
+        )
+        assert synopsis.params.eps == 0.5
+        assert synopsis.params.is_pure
+
+    def test_self_distance_zero(self, rng):
+        graph = generators.grid_graph(3, 3)
+        synopsis = AllPairsSynopsis.from_release(
+            AllPairsBasicRelease(graph, 1.0, rng)
+        )
+        assert synopsis.distance((1, 1), (1, 1)) == 0.0
+
+    def test_unknown_vertex_raises(self, rng):
+        graph = generators.grid_graph(3, 3)
+        synopsis = AllPairsSynopsis.from_release(
+            AllPairsBasicRelease(graph, 1.0, rng)
+        )
+        with pytest.raises(VertexNotFoundError):
+            synopsis.distance((9, 9), (0, 0))
+
+    def test_json_roundtrip(self, rng):
+        graph = generators.grid_graph(3, 4)
+        synopsis = AllPairsSynopsis.from_release(
+            AllPairsBasicRelease(graph, 1.0, rng)
+        )
+        restored = synopsis_from_json(synopsis.to_json())
+        assert isinstance(restored, AllPairsSynopsis)
+        assert restored.params == synopsis.params
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert restored.distance(s, t) == synopsis.distance(s, t)
+
+
+class TestTreeSynopsis:
+    def test_matches_release(self, rng):
+        tree = generators.random_tree(25, rng)
+        release = release_tree_all_pairs(tree, 1.0, rng, root=0)
+        synopsis = TreeSynopsis.from_release(release)
+        vertices = tree.vertex_list()
+        for s in vertices:
+            for t in vertices:
+                assert synopsis.distance(s, t) == pytest.approx(
+                    release.distance(s, t) if s != t else 0.0
+                )
+
+    def test_json_roundtrip(self, rng):
+        tree = generators.random_tree(15, rng)
+        release = release_tree_all_pairs(tree, 1.0, rng, root=0)
+        synopsis = TreeSynopsis.from_release(release)
+        restored = synopsis_from_json(synopsis.to_json())
+        assert isinstance(restored, TreeSynopsis)
+        assert restored.root == synopsis.root
+        for s in tree.vertices():
+            for t in tree.vertices():
+                assert restored.distance(s, t) == pytest.approx(
+                    synopsis.distance(s, t)
+                )
+
+    def test_serialization_leaks_no_weights(self, rng):
+        """The synopsis JSON must contain released values and public
+        structure only — never the raw private edge weights."""
+        tree = generators.random_tree(10, rng)
+        marker = 123.456789
+        u, v, _ = next(tree.edges())
+        tree.set_weight(u, v, marker)
+        release = release_tree_all_pairs(tree, 1.0, rng, root=0)
+        text = TreeSynopsis.from_release(release).to_json()
+        assert str(marker) not in text
+
+
+class TestBoundedWeightSynopsis:
+    def test_matches_release(self, rng):
+        graph = generators.grid_graph(5, 5)
+        release = release_bounded_weight(graph, 1.0, 1.0, rng)
+        synopsis = BoundedWeightSynopsis.from_release(release)
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert synopsis.distance(s, t) == release.distance(s, t)
+
+    def test_metadata(self, rng):
+        graph = generators.grid_graph(5, 5)
+        release = release_bounded_weight(graph, 2.0, 1.0, rng, k=2)
+        synopsis = BoundedWeightSynopsis.from_release(release)
+        assert synopsis.k == 2
+        assert synopsis.weight_bound == 2.0
+
+    def test_json_roundtrip(self, rng):
+        graph = generators.grid_graph(4, 4)
+        release = release_bounded_weight(graph, 1.0, 1.0, rng)
+        synopsis = BoundedWeightSynopsis.from_release(release)
+        restored = synopsis_from_json(synopsis.to_json())
+        assert isinstance(restored, BoundedWeightSynopsis)
+        assert restored.k == synopsis.k
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert restored.distance(s, t) == synopsis.distance(s, t)
+
+
+class TestSinglePairSynopsis:
+    def test_build_answers_workload_only(self, triangle, rng):
+        synopsis = build_single_pair_synopsis(
+            triangle, [(0, 1), (1, 2)], 1.0, rng
+        )
+        assert isinstance(synopsis.distance(0, 1), float)
+        assert synopsis.distance(1, 0) == synopsis.distance(0, 1)
+        with pytest.raises(GraphError):
+            synopsis.distance(0, 2)
+
+    def test_dedupes_and_scales_by_unique_pairs(self, triangle):
+        # 3 requests but only 2 unique unordered pairs: noise scale is
+        # Q/eps = 2, checked via a zero-noise-impossible statistic over
+        # many trials being finite; here just check determinism + dedupe.
+        rng_a, rng_b = Rng(7), Rng(7)
+        a = build_single_pair_synopsis(
+            triangle, [(0, 1), (1, 0), (1, 2)], 1.0, rng_a
+        )
+        b = build_single_pair_synopsis(
+            triangle, [(0, 1), (1, 2)], 1.0, rng_b
+        )
+        assert a.distance(0, 1) == b.distance(0, 1)
+        assert a.num_entries == b.num_entries == 2
+
+    def test_json_roundtrip(self, triangle, rng):
+        synopsis = build_single_pair_synopsis(
+            triangle, [(0, 1), (0, 2)], 1.0, rng
+        )
+        restored = synopsis_from_json(synopsis.to_json())
+        assert isinstance(restored, SinglePairSynopsis)
+        assert restored.distance(0, 2) == synopsis.distance(0, 2)
+
+    def test_nonpositive_eps_rejected(self, triangle, rng):
+        from repro.exceptions import PrivacyError
+
+        with pytest.raises(PrivacyError):
+            build_single_pair_synopsis(triangle, [(0, 1)], 0.0, rng)
+
+
+class TestRegistry:
+    def test_bad_format_rejected(self):
+        with pytest.raises(GraphError):
+            synopsis_from_json(json.dumps({"format": "nope"}))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(GraphError):
+            synopsis_from_json(
+                json.dumps(
+                    {
+                        "format": "repro-synopsis",
+                        "version": 1,
+                        "kind": "mystery",
+                        "eps": 1.0,
+                        "delta": 0.0,
+                    }
+                )
+            )
+
+    def test_duplicate_kind_rejected(self):
+        with pytest.raises(ValueError):
+
+            @register_synopsis
+            class Clash(DistanceSynopsis):  # pragma: no cover
+                kind = "all-pairs"

@@ -217,6 +217,80 @@ class TestTreeDistances:
         assert code == 2
 
 
+class TestServe:
+    def test_answers_and_synopsis(self, grid_file, tmp_path, capsys):
+        out = tmp_path / "synopsis.json"
+        code = main(
+            [
+                "serve",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--seed", "0",
+                "--pairs", "0,0:3,3", "1,1:2,2",
+                "--synopsis-out", str(out),
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("# mechanism: all-pairs-basic")
+        assert len(lines) == 3
+        assert lines[1].startswith("0,0:3,3\t")
+        from repro.serving import synopsis_from_json
+
+        synopsis = synopsis_from_json(out.read_text())
+        served = float(lines[1].split("\t")[1])
+        assert synopsis.distance((0, 0), (3, 3)) == pytest.approx(
+            served, abs=1e-6
+        )
+
+    def test_tree_auto_selected(self, tree_file, capsys):
+        code = main(
+            [
+                "serve",
+                "--graph", str(tree_file),
+                "--eps", "1.0",
+                "--seed", "0",
+                "--pairs", "0:5",
+            ]
+        )
+        assert code == 0
+        assert "mechanism: tree" in capsys.readouterr().out
+
+    def test_weight_bound_selects_covering(self, grid_file, capsys):
+        code = main(
+            [
+                "serve",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--weight-bound", "1.0",
+                "--seed", "0",
+                "--pairs", "0,0:3,3",
+            ]
+        )
+        assert code == 0
+        assert "mechanism: bounded-weight" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_report_json(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--eps", "1.0",
+                "--epochs", "2",
+                "--queries", "50",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["total_queries"] == 100
+        assert report["ledger_spends"] == 2
+        assert report["queries_per_second"] > 0
+
+
 class TestMst:
     def test_release(self, grid_file, tmp_path):
         out = tmp_path / "tree.json"

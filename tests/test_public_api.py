@@ -58,6 +58,12 @@ class TestExports:
             "repro.workloads",
             "repro.workloads.traffic",
             "repro.workloads.queries",
+            "repro.serving",
+            "repro.serving.synopsis",
+            "repro.serving.service",
+            "repro.serving.ledger",
+            "repro.serving.batching",
+            "repro.serving.simulate",
             "repro.analysis",
             "repro.analysis.errors",
             "repro.analysis.experiments",

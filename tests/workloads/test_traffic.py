@@ -76,6 +76,18 @@ class TestCongestion:
         with pytest.raises(GraphError):
             congestion_weights(network, rng, congestion_level=-0.1)
 
+    def test_cap_equal_to_min_base_time_clips_everything(self, rng):
+        """With the cap at the minimum base time, every congested time
+        (>= its base >= the minimum) is clipped to exactly the cap —
+        the degenerate-but-valid M for Section 4.2."""
+        network = grid_road_network(4, 4, rng, irregularity=0.2)
+        min_base = min(w for _, _, w in network.graph.edges())
+        congested = congestion_weights(
+            network, rng, congestion_level=0.5, cap=min_base
+        )
+        for _, _, w in congested.edges():
+            assert w == min_base
+
 
 class TestRushHour:
     def test_hotspot_slows_inside_only(self, rng):
@@ -98,6 +110,17 @@ class TestRushHour:
             else:
                 assert after == base
         assert inside_count > 0
+
+    def test_hotspot_covering_zero_edges_changes_nothing(self, rng):
+        """A hot-spot placed off the map covers no edges; the scenario
+        must return the base weights untouched (and not crash on the
+        empty hot set)."""
+        network = grid_road_network(4, 4, rng)
+        slowed = rush_hour_scenario(
+            network, rng, center=(100.0, 100.0), hot_radius=1.0
+        )
+        for u, v, base in network.graph.edges():
+            assert slowed.weight(u, v) == base
 
     def test_invalid_args(self, rng):
         network = grid_road_network(3, 3, rng)
