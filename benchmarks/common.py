@@ -1,7 +1,8 @@
 """Shared infrastructure for the benchmark harness.
 
-Each ``bench_*.py`` module reproduces one experiment from DESIGN.md's
-experiment index (E1-E12).  Every module exposes:
+Each ``bench_*.py`` module reproduces one experiment from the index
+registered in ``run_all.py`` (currently E1-E17).  Every module
+exposes:
 
 * ``run_experiment(...) -> str`` — computes the paper-vs-measured table
   and returns it rendered (this is what EXPERIMENTS.md embeds);

@@ -1,15 +1,24 @@
 #!/usr/bin/env python
-"""Regenerate every experiment table (E1-E13) in one run.
+"""Regenerate every experiment table (E1-E17) in one run.
 
-Usage:  python benchmarks/run_all.py [> tables.txt]
+Usage:  python benchmarks/run_all.py [E5 E17 ...] [> tables.txt]
 
 This is what EXPERIMENTS.md's tables are produced from; the run is
 fully deterministic (seed in benchmarks/common.py).
+
+Besides the printed tables, the run writes ``BENCH_runall.json`` to
+the working directory: per-experiment wall-clock seconds plus every
+data row of every table (numeric cells coerced to numbers), so the
+performance trajectory of the repo can be tracked machine-readably
+across commits instead of by diffing rendered text.
 """
 
 from __future__ import annotations
 
+import json
 import sys
+import time
+from pathlib import Path
 
 sys.path.insert(0, ".")
 
@@ -17,6 +26,7 @@ from benchmarks import (
     bench_bounded_weight,
     bench_covering_ablation,
     bench_cycle,
+    bench_engine,
     bench_histogram,
     bench_distance_oracle,
     bench_grid,
@@ -31,6 +41,7 @@ from benchmarks import (
     bench_tree_all_pairs,
     bench_tree_single_source,
 )
+from benchmarks.common import SEED, parse_rows
 
 EXPERIMENTS = [
     ("E1", bench_distance_oracle),
@@ -49,17 +60,63 @@ EXPERIMENTS = [
     ("E14", bench_histogram),
     ("E15", bench_covering_ablation),
     ("E16", bench_serving),
+    ("E17", bench_engine),
 ]
+
+REPORT_PATH = Path("BENCH_runall.json")
+
+
+def _coerce(cell: str) -> object:
+    """Parse a table cell back into a number where possible, so the
+    JSON report carries metrics as numbers rather than strings."""
+    for parser in (int, float):
+        try:
+            return parser(cell)
+        except ValueError:
+            continue
+    return cell
 
 
 def main() -> None:
     only = set(sys.argv[1:])
+    report: dict = {
+        "seed": SEED,
+        "generated_at_unix": time.time(),
+        "experiments": {},
+    }
     for tag, module in EXPERIMENTS:
         if only and tag not in only:
             continue
         print(f"==== {tag} " + "=" * 60)
-        print(module.run_experiment())
+        start = time.perf_counter()
+        table = module.run_experiment()
+        elapsed = time.perf_counter() - start
+        print(table)
         print()
+        report["experiments"][tag] = {
+            "module": module.__name__,
+            "seconds": round(elapsed, 4),
+            "rows": [[_coerce(c) for c in row] for row in parse_rows(table)],
+        }
+    report["total_seconds"] = round(
+        sum(e["seconds"] for e in report["experiments"].values()), 4
+    )
+    if only:
+        # A filtered run is a spot check, not a perf snapshot — never
+        # clobber the full-run report with a partial one.
+        print(
+            f"filtered run ({', '.join(sorted(only))}); "
+            f"not rewriting {REPORT_PATH}",
+            file=sys.stderr,
+        )
+        return
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"wrote {REPORT_PATH} "
+        f"({len(report['experiments'])} experiments, "
+        f"{report['total_seconds']}s)",
+        file=sys.stderr,
+    )
 
 
 if __name__ == "__main__":

@@ -20,6 +20,8 @@ Package map:
 * :mod:`repro.graphs` — graph/tree/multigraph substrates + generators.
 * :mod:`repro.algorithms` — exact shortest paths, MST, matching,
   k-coverings.
+* :mod:`repro.engine` — the vectorized CSR graph-kernel backend every
+  exact-recomputation hot path dispatches through.
 * :mod:`repro.dp` — Laplace mechanism, composition, budget accounting,
   and every closed-form bound from the paper.
 * :mod:`repro.core` — the paper's mechanisms (Algorithms 1–3, the
@@ -34,6 +36,7 @@ from .exceptions import (
     BudgetExceededError,
     DisconnectedGraphError,
     EdgeNotFoundError,
+    EngineError,
     GraphError,
     MatchingError,
     NotATreeError,
@@ -43,6 +46,13 @@ from .exceptions import (
     WeightError,
 )
 from .rng import Rng
+from .engine import (
+    CSRGraph,
+    available_backends,
+    compile_csr,
+    get_backend,
+    register_backend,
+)
 from .graphs import (
     RootedTree,
     WeightedGraph,
@@ -109,12 +119,19 @@ __all__ = [
     "PrivacyError",
     "BudgetExceededError",
     "MatchingError",
+    "EngineError",
     # substrates
     "Rng",
     "WeightedGraph",
     "WeightedMultiGraph",
     "RootedTree",
     "generators",
+    # engine
+    "CSRGraph",
+    "compile_csr",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     # dp
     "PrivacyParams",
     "LaplaceMechanism",

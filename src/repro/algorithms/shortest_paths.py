@@ -6,6 +6,13 @@ with an *exact* shortest-path computation (Algorithm 3, the
 synthetic-graph baseline of Section 4, Algorithm 2's distances between
 covering vertices).  Bellman–Ford handles the negative weights that the
 Appendix-B problems permit.
+
+:func:`dijkstra` and :func:`all_pairs_dijkstra` dispatch through the
+:mod:`repro.engine` backend registry: by default an (|V|, |E|)
+heuristic picks between this module's pure-Python reference
+implementation and the vectorized CSR kernels, and ``backend=`` forces
+a specific one.  All backends return bit-identical distances, so the
+choice is purely a performance knob.
 """
 
 from __future__ import annotations
@@ -35,20 +42,39 @@ def dijkstra(
     graph: WeightedGraph,
     source: Vertex,
     target: Vertex | None = None,
+    backend: str | None = None,
 ) -> Tuple[Dict[Vertex, float], Dict[Vertex, Vertex]]:
     """Single-source shortest paths with nonnegative weights.
 
     Returns ``(distances, parents)`` where ``parents`` maps each reached
     vertex (except the source) to its predecessor on a shortest path.
     With ``target`` given, the search stops once the target is settled.
+    ``backend`` selects an engine backend (``"python"``, ``"numpy"``;
+    default auto — see :mod:`repro.engine.backends`).
 
     Raises :class:`~repro.exceptions.WeightError` on a negative edge
     weight — use :func:`bellman_ford` for those.
     """
+    from ..engine.backends import resolve_backend
+
     if not graph.has_vertex(source):
         raise VertexNotFoundError(source)
     if target is not None and not graph.has_vertex(target):
         raise VertexNotFoundError(target)
+    engine = resolve_backend(backend, graph, all_pairs=False)
+    return engine.sssp(graph, source, target)
+
+
+def _dijkstra_reference(
+    graph: WeightedGraph,
+    source: Vertex,
+    target: Vertex | None = None,
+) -> Tuple[Dict[Vertex, float], Dict[Vertex, Vertex]]:
+    """The dict-based binary-heap implementation (the ``"python"``
+    backend).  Kept as the semantic reference the vectorized kernels
+    are tested against."""
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
     distances: Dict[Vertex, float] = {}
     parents: Dict[Vertex, Vertex] = {}
     counter = 0  # tiebreaker so heap never compares vertices
@@ -111,18 +137,32 @@ def dijkstra_path(
 
 
 def all_pairs_dijkstra(
-    graph: WeightedGraph, sources: Iterable[Vertex] | None = None
+    graph: WeightedGraph,
+    sources: Iterable[Vertex] | None = None,
+    backend: str | None = None,
 ) -> Dict[Vertex, Dict[Vertex, float]]:
     """Exact distances from every source (default: all vertices).
 
     Returns ``result[s][t] = d_w(s, t)`` for reachable pairs only.
+    This is the library's hottest exact-recomputation path; ``backend``
+    selects an engine backend (default auto, which vectorizes any
+    non-trivial sweep — see :mod:`repro.engine.backends`).
+
+    Nonnegativity is validated up front over *all* edges (not just
+    scanned ones), so the outcome is identical for every backend and
+    independent of the auto-selection heuristic; use
+    :func:`bellman_ford` for negative weights.
     """
-    chosen = list(sources) if sources is not None else graph.vertex_list()
-    result: Dict[Vertex, Dict[Vertex, float]] = {}
-    for s in chosen:
-        distances, _ = dijkstra(graph, s)
-        result[s] = distances
-    return result
+    from ..engine.backends import resolve_backend
+
+    graph.check_nonnegative()
+    if sources is not None:
+        sources = list(sources)
+        for s in sources:
+            if not graph.has_vertex(s):
+                raise VertexNotFoundError(s)
+    engine = resolve_backend(backend, graph, all_pairs=True)
+    return engine.all_pairs(graph, sources)
 
 
 def bellman_ford(

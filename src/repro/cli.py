@@ -12,7 +12,7 @@ Usage (after installing the package)::
     python -m repro.cli serve --graph city.json --eps 1.0 \
         --pairs 0:14 3:9 --synopsis-out synopsis.json
     python -m repro.cli simulate --rows 12 --cols 12 --eps 1.0 \
-        --epochs 2 --queries 500 --seed 0
+        --epochs 2 --queries 500 --seed 0 --backend numpy
 
 Graphs are read from the JSON format of :mod:`repro.graphs.io` (or,
 with ``--edge-list``, from whitespace ``u v w`` lines).  All randomness
@@ -45,6 +45,7 @@ from . import (
 from .exceptions import ReproError
 from .graphs.graph import WeightedGraph
 from .graphs.io import graph_to_json, load_graph, read_edge_list
+from .serving.service import MECHANISMS
 
 __all__ = ["main", "build_parser"]
 
@@ -176,10 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--mechanism",
-        choices=[
-            "tree", "bounded-weight", "all-pairs-basic",
-            "all-pairs-advanced",
-        ],
+        choices=list(MECHANISMS),
         default=None,
         help="force a mechanism instead of auto-selecting",
     )
@@ -189,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="X:Y",
         help="queries to serve, e.g. 3:17 0,0:4,4",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="engine backend for the exact-recomputation sweeps "
+        "(default: auto-select on graph size)",
     )
     p.add_argument(
         "--synopsis-out", help="also write the synopsis JSON here"
@@ -214,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="cap travel times at M and use the covering mechanism",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="engine backend for releases and ground-truth sweeps "
+        "(default: auto-select on graph size)",
     )
     p.add_argument("--seed", type=int, default=None)
 
@@ -318,6 +330,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rng,
         weight_bound=args.weight_bound,
         mechanism=args.mechanism,
+        backend=args.backend,
     )
     print(f"# mechanism: {service.mechanism}  budget: {service.epoch_budget}")
     for token in args.pairs:
@@ -342,6 +355,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         queries_per_epoch=args.queries,
         weight_bound=args.weight_bound,
+        backend=args.backend,
     )
     print(json.dumps(report.as_dict(), indent=2))
     return 0

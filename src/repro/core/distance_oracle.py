@@ -69,16 +69,23 @@ def _ordered_pairs(vertices: List[Vertex]) -> Iterator[Tuple[Vertex, Vertex]]:
 
 
 class _AllPairsReleaseBase:
-    """Shared machinery: exact all-pairs distances plus noisy answers."""
+    """Shared machinery: exact all-pairs distances plus noisy answers.
 
-    def __init__(self, graph: WeightedGraph) -> None:
+    The exact sweep — the release's entire computational cost — runs
+    on the :mod:`repro.engine` backend named by ``backend`` (default
+    auto-selection).
+    """
+
+    def __init__(
+        self, graph: WeightedGraph, backend: str | None = None
+    ) -> None:
         if not is_connected(graph):
             raise DisconnectedGraphError(
                 "all-pairs release requires a connected graph"
             )
         self._graph = graph
         self._vertices = graph.vertex_list()
-        self._exact = all_pairs_dijkstra(graph)
+        self._exact = all_pairs_dijkstra(graph, backend=backend)
         self._noisy: Dict[Tuple[Vertex, Vertex], float] = {}
         self._scale = 0.0  # set by _populate
 
@@ -133,8 +140,14 @@ class AllPairsBasicRelease(_AllPairsReleaseBase):
     the query vector has L1 sensitivity ``Q``.)
     """
 
-    def __init__(self, graph: WeightedGraph, eps: float, rng: Rng) -> None:
-        super().__init__(graph)
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        eps: float,
+        rng: Rng,
+        backend: str | None = None,
+    ) -> None:
+        super().__init__(graph, backend=backend)
         self._params = PrivacyParams(eps)
         num_pairs = max(
             len(self._vertices) * (len(self._vertices) - 1) // 2, 1
@@ -159,9 +172,14 @@ class AllPairsAdvancedRelease(_AllPairsReleaseBase):
     """
 
     def __init__(
-        self, graph: WeightedGraph, eps: float, delta: float, rng: Rng
+        self,
+        graph: WeightedGraph,
+        eps: float,
+        delta: float,
+        rng: Rng,
+        backend: str | None = None,
     ) -> None:
-        super().__init__(graph)
+        super().__init__(graph, backend=backend)
         self._params = PrivacyParams(eps, delta)
         num_pairs = max(
             len(self._vertices) * (len(self._vertices) - 1) // 2, 1

@@ -1,0 +1,223 @@
+"""Backend registry: who runs the exact shortest-path hot paths.
+
+Every public entry point that recomputes exact distances
+(:func:`repro.algorithms.shortest_paths.dijkstra`,
+:func:`~repro.algorithms.shortest_paths.all_pairs_dijkstra`, the
+release classes, the serving synopses) dispatches through a *backend*:
+
+* ``"python"`` — the reference dict-of-dicts implementation from
+  :mod:`repro.algorithms.shortest_paths`; lowest constant factors on
+  tiny graphs, O(interpreted everything) beyond that.
+* ``"numpy"`` — compiles the graph to a cached
+  :class:`~repro.engine.csr.CSRGraph` and runs the vectorized kernels
+  of :mod:`repro.engine.kernels`.  Distances are bit-identical to the
+  python backend (both are minima over left-associated floating-point
+  path sums).
+
+``resolve_backend(None | "auto", graph, ...)`` applies the
+auto-selection heuristic: vectorization has fixed per-call overhead
+(CSR compilation is cached, but index mapping and array setup are
+not), so small inputs stay on the python backend while anything with
+real work — all-pairs sweeps on dozens of vertices, single-source
+runs on thousands of arcs — moves to numpy.  Both thresholds depend
+only on public quantities (|V|, |E|), so the choice is
+data-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from ..exceptions import EngineError
+from ..graphs.graph import Vertex, WeightedGraph
+from .csr import CSRGraph
+from .kernels import multi_source_distances, sssp_dijkstra
+
+__all__ = [
+    "EngineBackend",
+    "PythonBackend",
+    "NumpyBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "auto_select",
+    "resolve_backend",
+    "APSP_NUMPY_MIN_VERTICES",
+    "SSSP_NUMPY_MIN_EDGES",
+]
+
+#: All-pairs sweeps amortize the vectorized setup almost immediately.
+APSP_NUMPY_MIN_VERTICES = 32
+
+#: Single-source runs only win once the relaxation loop dominates.
+SSSP_NUMPY_MIN_EDGES = 2048
+
+
+class EngineBackend:
+    """One implementation of the exact shortest-path surface.
+
+    Both methods speak the library's dict convention — vertices are the
+    caller's hashable labels, unreachable targets are simply absent —
+    so swapping backends never changes a caller-visible type.
+    """
+
+    name: str = ""
+
+    def sssp(
+        self,
+        graph: WeightedGraph,
+        source: Vertex,
+        target: Vertex | None = None,
+    ) -> Tuple[Dict[Vertex, float], Dict[Vertex, Vertex]]:
+        """Single-source distances and predecessors (Dijkstra
+        semantics: nonnegative weights, optional early exit)."""
+        raise NotImplementedError
+
+    def all_pairs(
+        self,
+        graph: WeightedGraph,
+        sources: Iterable[Vertex] | None = None,
+    ) -> Dict[Vertex, Dict[Vertex, float]]:
+        """Exact distances from every source (default: all vertices)."""
+        raise NotImplementedError
+
+
+class PythonBackend(EngineBackend):
+    """The pure-Python reference implementation."""
+
+    name = "python"
+
+    def sssp(self, graph, source, target=None):
+        from ..algorithms import shortest_paths
+
+        return shortest_paths._dijkstra_reference(graph, source, target)
+
+    def all_pairs(self, graph, sources=None):
+        chosen = (
+            list(sources) if sources is not None else graph.vertex_list()
+        )
+        result: Dict[Vertex, Dict[Vertex, float]] = {}
+        for s in chosen:
+            distances, _ = self.sssp(graph, s)
+            result[s] = distances
+        return result
+
+
+class NumpyBackend(EngineBackend):
+    """Vectorized CSR kernels from :mod:`repro.engine.kernels`."""
+
+    name = "numpy"
+
+    def sssp(self, graph, source, target=None):
+        csr = CSRGraph.from_graph(graph)
+        s = csr.index_of(source)
+        t = csr.index_of(target) if target is not None else None
+        dist, pred = sssp_dijkstra(csr, s, t)
+        vertices = csr.vertices
+        distances = {
+            vertices[i]: d
+            for i, d in enumerate(dist.tolist())
+            if d != float("inf")
+        }
+        parents = {
+            vertices[i]: vertices[p]
+            for i, p in enumerate(pred.tolist())
+            if p >= 0
+        }
+        return distances, parents
+
+    def all_pairs(self, graph, sources=None):
+        csr = CSRGraph.from_graph(graph)
+        chosen = (
+            list(sources) if sources is not None else list(csr.vertices)
+        )
+        matrix = multi_source_distances(csr, csr.indices_of(chosen))
+        vertices = csr.vertices
+        inf = float("inf")
+        # One C-level pass each for the values and the reachability
+        # mask; rows without unreachable targets take the zip fast path.
+        rows = matrix.tolist()
+        unreachable = np.isinf(matrix).any(axis=1).tolist()
+        result: Dict[Vertex, Dict[Vertex, float]] = {}
+        for s, values, has_inf in zip(chosen, rows, unreachable):
+            if has_inf:
+                result[s] = {
+                    vertices[i]: d
+                    for i, d in enumerate(values)
+                    if d != inf
+                }
+            else:
+                result[s] = dict(zip(vertices, values))
+        return result
+
+
+_REGISTRY: Dict[str, EngineBackend] = {}
+
+
+def register_backend(backend: EngineBackend) -> EngineBackend:
+    """Register a backend instance under its ``name``.
+
+    Third-party accelerator backends (numba, GPU, ...) plug in here;
+    the public API's ``backend=`` parameters accept any registered
+    name.
+    """
+    if not backend.name:
+        raise EngineError("backend must define a non-empty name")
+    if backend.name in _REGISTRY:
+        raise EngineError(
+            f"backend {backend.name!r} is already registered"
+        )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> EngineBackend:
+    """Look up a registered backend by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def auto_select(
+    num_vertices: int, num_edges: int, all_pairs: bool = False
+) -> str:
+    """The auto-selection heuristic on public size parameters."""
+    if all_pairs:
+        return (
+            "numpy" if num_vertices >= APSP_NUMPY_MIN_VERTICES else "python"
+        )
+    return "numpy" if num_edges >= SSSP_NUMPY_MIN_EDGES else "python"
+
+
+def resolve_backend(
+    backend: str | EngineBackend | None,
+    graph: WeightedGraph,
+    all_pairs: bool = False,
+) -> EngineBackend:
+    """Resolve a user-facing backend spec to a backend instance.
+
+    ``None`` and ``"auto"`` apply :func:`auto_select`; a string looks
+    up the registry; a backend instance passes through.
+    """
+    if isinstance(backend, EngineBackend):
+        return backend
+    if backend is None or backend == "auto":
+        backend = auto_select(
+            graph.num_vertices, graph.num_edges, all_pairs=all_pairs
+        )
+    return get_backend(backend)
+
+
+register_backend(PythonBackend())
+register_backend(NumpyBackend())

@@ -1,0 +1,297 @@
+"""Compiled CSR form of a :class:`~repro.graphs.graph.WeightedGraph`.
+
+Every exact-recomputation hot path in the library (Algorithm 3's
+post-processing, the Section-4 baselines, Algorithm 2's covering
+distances, the serving synopses) bottoms out in shortest-path sweeps
+over the same public topology.  :class:`CSRGraph` compiles that
+topology once into frozen integer-indexed numpy arrays — the standard
+compressed-sparse-row layout of ``indptr`` / ``indices`` / ``weights``
+— so the kernels in :mod:`repro.engine.kernels` can run over flat
+arrays instead of dict-of-dicts adjacency.
+
+Undirected edges are stored as two directed arcs.  ``arc_edge`` maps
+every arc back to the index of its canonical edge (the
+:meth:`~repro.graphs.graph.WeightedGraph.edge_list` order), which is
+what makes re-weighting cheap: a new weight function is one fancy-index
+gather, no topology work (:meth:`CSRGraph.with_weights`).
+
+Compilation is cached on the source graph and invalidated by the
+graph's version counters: a topology bump forces a full rebuild, while
+a weights-only change reuses the frozen structure and only regathers
+the weight array.  That cheap path covers both in-place
+``set_weight`` mutation and the per-epoch refresh pattern of
+:mod:`repro.serving` — ``WeightedGraph.with_weights`` hands the
+compiled structure of an already-compiled graph to its re-weighted
+clones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import EngineError, VertexNotFoundError, WeightError
+from ..graphs.graph import Vertex, WeightedGraph
+
+__all__ = ["CSRGraph", "compile_csr"]
+
+#: Attribute under which the compiled CSR is cached on the source graph.
+_CACHE_ATTR = "_engine_csr_cache"
+
+
+class _CSRStructure:
+    """The frozen topology half of a compiled graph.
+
+    Shared (never copied) between all re-weightings of the same
+    topology; everything here is independent of the private weights.
+    """
+
+    __slots__ = (
+        "directed",
+        "indptr",
+        "indices",
+        "arc_edge",
+        "vertices",
+        "index",
+        "_incoming",
+    )
+
+    def __init__(
+        self,
+        directed: bool,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        arc_edge: np.ndarray,
+        vertices: Tuple[Vertex, ...],
+        index: Dict[Vertex, int],
+    ) -> None:
+        self.directed = directed
+        self.indptr = indptr
+        self.indices = indices
+        self.arc_edge = arc_edge
+        self.vertices = vertices
+        self.index = index
+        self._incoming: Tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def incoming(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The incoming-arc view ``(in_indptr, in_tails, in_order)``.
+
+        ``in_order`` permutes the arc arrays into by-head order, so the
+        vectorized relaxation kernel can gather each arc's weight as
+        ``weights[in_order]``.  Computed lazily and cached — it is a
+        pure function of the structure.
+        """
+        if self._incoming is None:
+            n = len(self.vertices)
+            heads = self.indices
+            tails = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(self.indptr)
+            )
+            order = np.argsort(heads, kind="stable")
+            in_indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(heads, minlength=n), out=in_indptr[1:]
+            )
+            self._incoming = (in_indptr, tails[order], order)
+        return self._incoming
+
+
+def _build_structure(graph: WeightedGraph) -> _CSRStructure:
+    vertices = tuple(graph.vertex_list())
+    index = {v: i for i, v in enumerate(vertices)}
+    n = len(vertices)
+    m = graph.num_edges
+    arcs_per_edge = 1 if graph.directed else 2
+    num_arcs = m * arcs_per_edge
+    tails = np.empty(num_arcs, dtype=np.int64)
+    heads = np.empty(num_arcs, dtype=np.int64)
+    arc_edge = np.empty(num_arcs, dtype=np.int64)
+    for e, (u, v, _) in enumerate(graph.edges()):
+        ui, vi = index[u], index[v]
+        pos = e * arcs_per_edge
+        tails[pos], heads[pos], arc_edge[pos] = ui, vi, e
+        if not graph.directed:
+            tails[pos + 1], heads[pos + 1] = vi, ui
+            arc_edge[pos + 1] = e
+    order = np.argsort(tails, kind="stable")
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    if num_arcs:
+        np.cumsum(np.bincount(tails, minlength=n), out=indptr[1:])
+    return _CSRStructure(
+        graph.directed,
+        indptr,
+        heads[order],
+        arc_edge[order],
+        vertices,
+        index,
+    )
+
+
+class CSRGraph:
+    """A frozen, integer-indexed compilation of a weighted graph.
+
+    Vertices are mapped to contiguous indices in insertion order
+    (:meth:`index_of` / :meth:`vertex_at`); arc ``a`` runs from the
+    vertex owning slot ``a`` of ``indptr`` to ``indices[a]`` with weight
+    ``weights[a]``.  Instances are immutable — re-weighting produces a
+    new instance sharing the structure arrays.
+    """
+
+    __slots__ = ("_structure", "_weights", "_edge_weights")
+
+    def __init__(
+        self,
+        structure: _CSRStructure,
+        edge_weights: np.ndarray,
+    ) -> None:
+        self._structure = structure
+        self._edge_weights = edge_weights
+        self._weights = edge_weights[structure.arc_edge]
+        self._weights.setflags(write=False)
+        self._edge_weights.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(cls, graph: WeightedGraph, cache: bool = True) -> "CSRGraph":
+        """Compile a :class:`~repro.graphs.graph.WeightedGraph`.
+
+        With ``cache`` (the default) the compiled instance is memoized
+        on the graph object and invalidated by its
+        :attr:`~repro.graphs.graph.WeightedGraph.topology_version` /
+        :attr:`~repro.graphs.graph.WeightedGraph.weights_version`
+        counters: an unchanged graph returns the same object, a
+        weights-only change reuses the frozen structure arrays and just
+        regathers the weight vector.
+        """
+        cached = getattr(graph, _CACHE_ATTR, None)
+        topo, wver = graph.topology_version, graph.weights_version
+        if cached is not None:
+            cached_topo, cached_wver, csr = cached
+            if cached_topo == topo:
+                if cached_wver == wver:
+                    return csr
+                # Cheap path: same structure, fresh weights.
+                csr = cls(csr._structure, graph.weight_vector())
+                if cache:
+                    setattr(graph, _CACHE_ATTR, (topo, wver, csr))
+                return csr
+        csr = cls(_build_structure(graph), graph.weight_vector())
+        if cache:
+            setattr(graph, _CACHE_ATTR, (topo, wver, csr))
+        return csr
+
+    def with_weights(
+        self, edge_weights: np.ndarray | Sequence[float]
+    ) -> "CSRGraph":
+        """A re-weighted view sharing this instance's structure.
+
+        ``edge_weights`` is aligned with the source graph's
+        :meth:`~repro.graphs.graph.WeightedGraph.edge_list` order (one
+        value per canonical edge, not per arc) — the same convention as
+        :meth:`WeightedGraph.weight_vector`.
+        """
+        values = np.asarray(edge_weights, dtype=float)
+        if values.shape != (self.num_edges,):
+            raise WeightError(
+                f"expected {self.num_edges} edge weights, got shape "
+                f"{values.shape}"
+            )
+        return CSRGraph(self._structure, values.copy())
+
+    # ------------------------------------------------------------------
+    # Vertex <-> index mapping
+    # ------------------------------------------------------------------
+
+    def index_of(self, v: Vertex) -> int:
+        """The contiguous index assigned to a vertex."""
+        try:
+            return self._structure.index[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def vertex_at(self, i: int) -> Vertex:
+        """The vertex owning a contiguous index."""
+        vertices = self._structure.vertices
+        if not 0 <= i < len(vertices):
+            raise EngineError(
+                f"vertex index {i} out of range [0, {len(vertices)})"
+            )
+        return vertices[i]
+
+    def indices_of(self, vs: Sequence[Vertex]) -> np.ndarray:
+        """Vectorized :meth:`index_of` over a vertex sequence."""
+        return np.asarray([self.index_of(v) for v in vs], dtype=np.int64)
+
+    @property
+    def vertices(self) -> Tuple[Vertex, ...]:
+        """All vertices, ordered by their contiguous indices."""
+        return self._structure.vertices
+
+    # ------------------------------------------------------------------
+    # Array views
+    # ------------------------------------------------------------------
+
+    @property
+    def directed(self) -> bool:
+        """Whether the compiled graph was directed."""
+        return self._structure.directed
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self._structure.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of canonical edges (arcs / 2 when undirected)."""
+        return len(self._edge_weights)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs in the CSR arrays."""
+        return len(self._structure.indices)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointer: arcs of vertex ``i`` occupy
+        ``indptr[i]:indptr[i+1]``."""
+        return self._structure.indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column indices: the head vertex of each arc."""
+        return self._structure.indices
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-arc weights, aligned with :attr:`indices` (read-only)."""
+        return self._weights
+
+    @property
+    def edge_weights(self) -> np.ndarray:
+        """Per-canonical-edge weights in ``edge_list`` order
+        (read-only)."""
+        return self._edge_weights
+
+    @property
+    def arc_edge(self) -> np.ndarray:
+        """For each arc, the index of its canonical edge."""
+        return self._structure.arc_edge
+
+    def incoming(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Incoming-arc view for pull-style relaxation kernels; see
+        :meth:`_CSRStructure.incoming`."""
+        return self._structure.incoming()
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"CSRGraph({kind}, n={self.n}, arcs={self.num_arcs})"
+
+
+def compile_csr(graph: WeightedGraph, cache: bool = True) -> CSRGraph:
+    """Module-level alias for :meth:`CSRGraph.from_graph`."""
+    return CSRGraph.from_graph(graph, cache=cache)

@@ -71,3 +71,8 @@ class BudgetExceededError(PrivacyError):
 class MatchingError(ReproError):
     """A perfect matching was requested on a graph that has none, or a
     released matching fails validation."""
+
+
+class EngineError(ReproError):
+    """A problem with the graph-kernel engine (unknown backend name,
+    kernel precondition violation, ...)."""

@@ -56,6 +56,11 @@ class WeightedGraph:
         )
         # Canonical edge orientations, in insertion order.
         self._edges: Dict[Edge, float] = {}
+        # Monotone counters consumed by repro.engine's compiled-CSR
+        # cache: a topology bump invalidates the structure arrays, a
+        # weights bump only the weight array (cheap re-weighting path).
+        self._topology_version = 0
+        self._weights_version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -87,6 +92,7 @@ class WeightedGraph:
             self._adj[v] = {}
             if self._directed:
                 self._pred[v] = {}
+            self._topology_version += 1
 
     def add_edge(self, u: Vertex, v: Vertex, weight: float = 1.0) -> Edge:
         """Add an edge with the given weight and return its canonical key.
@@ -103,6 +109,9 @@ class WeightedGraph:
         existing = self.edge_key(u, v, missing_ok=True)
         key = existing if existing is not None else (u, v)
         weight = float(weight)
+        if existing is None:
+            self._topology_version += 1
+        self._weights_version += 1
         self._edges[key] = weight
         self._adj[u][v] = weight
         if self._directed:
@@ -120,6 +129,8 @@ class WeightedGraph:
             del self._pred[v][u]
         else:
             del self._adj[v][u]
+        self._topology_version += 1
+        self._weights_version += 1
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -129,6 +140,21 @@ class WeightedGraph:
     def directed(self) -> bool:
         """Whether the graph is directed."""
         return self._directed
+
+    @property
+    def topology_version(self) -> int:
+        """Monotone counter bumped by vertex/edge insertions and
+        removals.  :class:`repro.engine.CSRGraph` caches its compiled
+        structure arrays against this value."""
+        return self._topology_version
+
+    @property
+    def weights_version(self) -> int:
+        """Monotone counter bumped by every weight mutation (including
+        edge insertion/removal).  A matching topology version with a
+        stale weights version lets the engine reuse the compiled
+        structure and only refresh the weight array."""
+        return self._weights_version
 
     @property
     def num_vertices(self) -> int:
@@ -220,6 +246,7 @@ class WeightedGraph:
         key = self.edge_key(u, v)
         assert key is not None
         weight = float(weight)
+        self._weights_version += 1
         self._edges[key] = weight
         a, b = key
         self._adj[a][b] = weight
@@ -271,6 +298,19 @@ class WeightedGraph:
                 )
             for key, weight in zip(keys, values):
                 clone.set_weight(*key, float(weight))
+        # The clone carries the identical public topology (copy()
+        # preserves vertex and edge insertion order), so a compiled
+        # engine structure remains valid for it.  Hand it over with a
+        # deliberately stale weights version (-1) so the engine takes
+        # its cheap regather path instead of a full rebuild — this is
+        # what makes per-epoch re-weighting O(|E|) array work.
+        cached = getattr(self, "_engine_csr_cache", None)
+        if cached is not None and cached[0] == self._topology_version:
+            clone._engine_csr_cache = (  # type: ignore[attr-defined]
+                clone._topology_version,
+                -1,
+                cached[2],
+            )
         return clone
 
     def total_weight(self) -> float:

@@ -121,6 +121,10 @@ class DistanceService:
         construction.
     tenant:
         The ledger tenant name this service spends under.
+    backend:
+        The :mod:`repro.engine` backend for the exact-recomputation
+        half of every release (``"python"``, ``"numpy"``, or
+        ``None``/``"auto"`` for the size heuristic).
     """
 
     def __init__(
@@ -132,6 +136,7 @@ class DistanceService:
         mechanism: str | None = None,
         ledger: BudgetLedger | None = None,
         tenant: str = "distance-service",
+        backend: str | None = None,
     ) -> None:
         if isinstance(epoch_budget, (int, float)):
             epoch_budget = PrivacyParams(float(epoch_budget))
@@ -149,6 +154,7 @@ class DistanceService:
             epoch_budget
         )
         self._tenant = tenant
+        self._backend = backend
         self._stats = ServiceStats()
         self._cache: Dict[Tuple[Vertex, Vertex], float] = {}
         self._graph = graph
@@ -212,15 +218,18 @@ class DistanceService:
                 eps,
                 self._rng,
                 delta=delta,
+                backend=self._backend,
             )
             self._synopsis = BoundedWeightSynopsis.from_release(release)
         elif mechanism == "all-pairs-advanced":
             release = AllPairsAdvancedRelease(
-                self._graph, eps, delta, self._rng
+                self._graph, eps, delta, self._rng, backend=self._backend
             )
             self._synopsis = AllPairsSynopsis.from_release(release)
         else:
-            release = AllPairsBasicRelease(self._graph, eps, self._rng)
+            release = AllPairsBasicRelease(
+                self._graph, eps, self._rng, backend=self._backend
+            )
             self._synopsis = AllPairsSynopsis.from_release(release)
         self._mechanism = mechanism
         self._stats.epochs_built += 1
@@ -295,6 +304,12 @@ class DistanceService:
     def mechanism(self) -> str:
         """The mechanism backing the current synopsis."""
         return self._mechanism
+
+    @property
+    def backend(self) -> str | None:
+        """The engine backend spec the service builds releases with
+        (``None`` means auto-selection)."""
+        return self._backend
 
     @property
     def synopsis(self) -> DistanceSynopsis:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from ..algorithms.shortest_paths import dijkstra
+from ..algorithms.shortest_paths import all_pairs_dijkstra
 from ..dp.params import PrivacyParams
 from ..exceptions import GraphError
 from ..graphs.graph import Vertex, WeightedGraph
@@ -117,16 +117,15 @@ class SimulationReport:
 
 
 def _exact_distances(
-    graph: WeightedGraph, pairs: List[Tuple[Vertex, Vertex]]
+    graph: WeightedGraph,
+    pairs: List[Tuple[Vertex, Vertex]],
+    backend: str | None = None,
 ) -> List[float]:
-    """True distances for the pairs: one Dijkstra per distinct source."""
-    by_source: Dict[Vertex, Dict[Vertex, float]] = {}
-    values = []
-    for s, t in pairs:
-        if s not in by_source:
-            by_source[s], _ = dijkstra(graph, s)
-        values.append(by_source[s][t])
-    return values
+    """True distances for the pairs: one engine multi-source sweep
+    over the distinct sources."""
+    distinct = list(dict.fromkeys(s for s, _ in pairs))
+    sweep = all_pairs_dijkstra(graph, sources=distinct, backend=backend)
+    return [sweep[s][t] for s, t in pairs]
 
 
 def replay_rush_hour(
@@ -140,6 +139,7 @@ def replay_rush_hour(
     weight_bound: float | None = None,
     slowdown: float = 3.0,
     block_minutes: float = 2.0,
+    backend: str | None = None,
 ) -> SimulationReport:
     """Replay rush-hour traffic through a :class:`DistanceService`.
 
@@ -151,6 +151,9 @@ def replay_rush_hour(
     With ``weight_bound`` set, epoch weights are additionally capped
     (:func:`~repro.workloads.traffic.congestion_weights` semantics) so
     the service can auto-select the Section 4.2 covering mechanism.
+    ``backend`` selects the :mod:`repro.engine` kernel both for the
+    service's releases and for the replay's own exact ground-truth
+    sweeps (default auto).
     """
     if epochs < 1:
         raise GraphError(f"need at least 1 epoch, got {epochs}")
@@ -193,12 +196,13 @@ def replay_rush_hour(
                 PrivacyParams(eps, delta),
                 rng,
                 weight_bound=weight_bound,
+                backend=backend,
             )
         else:
             service.refresh(graph)
         pairs = uniform_pairs(graph, queries_per_epoch, rng)
         batch = service.query_batch(pairs)
-        exact = _exact_distances(graph, pairs)
+        exact = _exact_distances(graph, pairs, backend=backend)
         errors = [
             abs(answer - truth)
             for answer, truth in zip(batch.answers, exact)

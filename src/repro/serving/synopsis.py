@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Mapping, Tuple, Type
 
-from ..algorithms.shortest_paths import dijkstra
+from ..algorithms.shortest_paths import all_pairs_dijkstra
 from ..dp.params import PrivacyParams
 from ..exceptions import DisconnectedGraphError, GraphError, VertexNotFoundError
 from ..graphs.graph import Vertex, WeightedGraph
@@ -506,14 +506,16 @@ def build_single_pair_synopsis(
     pairs: Iterable[Tuple[Vertex, Vertex]],
     eps: float,
     rng: Rng,
+    backend: str | None = None,
 ) -> SinglePairSynopsis:
     """Release a fixed pair workload as a :class:`SinglePairSynopsis`.
 
     The distinct (unordered) pairs form a query vector of L1
     sensitivity ``Q`` (each distance query has sensitivity 1), so one
     vectorized ``Lap(Q/eps)`` draw over the whole vector is eps-DP.
-    Exact distances are computed with one Dijkstra per distinct source,
-    not per pair.
+    Exact distances come from one :mod:`repro.engine` multi-source
+    sweep over the distinct sources (``backend`` selects the kernel;
+    default auto), not one search per pair.
     """
     params = PrivacyParams(eps)  # validates eps before any work
     unique: List[Tuple[Vertex, Vertex]] = []
@@ -535,8 +537,11 @@ def build_single_pair_synopsis(
     for s, t in unique:
         by_source.setdefault(s, []).append(t)
     exact: Dict[Tuple[Vertex, Vertex], float] = {}
+    sweep = all_pairs_dijkstra(
+        graph, sources=list(by_source), backend=backend
+    )
     for s, targets in by_source.items():
-        distances, _ = dijkstra(graph, s)
+        distances = sweep[s]
         for t in targets:
             if t not in distances:
                 raise DisconnectedGraphError(

@@ -1,0 +1,158 @@
+"""Backend registry, auto-selection, and public-API threading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Rng
+from repro.algorithms.shortest_paths import all_pairs_dijkstra
+from repro.engine import backends
+from repro.engine.backends import (
+    APSP_NUMPY_MIN_VERTICES,
+    SSSP_NUMPY_MIN_EDGES,
+    EngineBackend,
+    auto_select,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.exceptions import EngineError
+from repro.graphs import generators
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert available_backends() == ("numpy", "python")
+        assert get_backend("python").name == "python"
+        assert get_backend("numpy").name == "numpy"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(EngineError):
+            get_backend("cuda")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(EngineError):
+            register_backend(backends.PythonBackend())
+
+    def test_nameless_backend_rejected(self):
+        with pytest.raises(EngineError):
+            register_backend(EngineBackend())
+
+    def test_third_party_backend_plugs_in(self):
+        class TracingBackend(backends.PythonBackend):
+            name = "tracing-test"
+            calls = 0
+
+            def all_pairs(self, graph, sources=None):
+                type(self).calls += 1
+                return super().all_pairs(graph, sources)
+
+        register_backend(TracingBackend())
+        try:
+            graph = generators.path_graph(4)
+            result = all_pairs_dijkstra(graph, backend="tracing-test")
+            assert TracingBackend.calls == 1
+            assert result == all_pairs_dijkstra(graph, backend="python")
+        finally:
+            del backends._REGISTRY["tracing-test"]
+
+
+class TestAutoSelection:
+    def test_all_pairs_threshold(self):
+        assert auto_select(APSP_NUMPY_MIN_VERTICES, 10, True) == "numpy"
+        assert (
+            auto_select(APSP_NUMPY_MIN_VERTICES - 1, 10, True) == "python"
+        )
+
+    def test_sssp_threshold(self):
+        assert auto_select(10, SSSP_NUMPY_MIN_EDGES, False) == "numpy"
+        assert auto_select(10, SSSP_NUMPY_MIN_EDGES - 1, False) == "python"
+
+    def test_resolve_none_and_auto(self):
+        big = generators.grid_graph(8, 8)  # 64 >= threshold
+        small = generators.path_graph(4)
+        assert resolve_backend(None, big, True).name == "numpy"
+        assert resolve_backend("auto", big, True).name == "numpy"
+        assert resolve_backend(None, small, True).name == "python"
+
+    def test_resolve_instance_passthrough(self):
+        instance = get_backend("numpy")
+        small = generators.path_graph(4)
+        assert resolve_backend(instance, small, True) is instance
+
+    def test_explicit_override_beats_heuristic(self):
+        small = generators.path_graph(4)
+        assert resolve_backend("numpy", small, True).name == "numpy"
+
+
+class TestThreading:
+    """The backend choice reaches the releases and the service."""
+
+    def test_all_pairs_release_backend_kwarg(self):
+        from repro import AllPairsBasicRelease
+
+        graph = generators.assign_random_weights(
+            generators.grid_graph(4, 4), Rng(1), low=1.0, high=2.0
+        )
+        a = AllPairsBasicRelease(graph, eps=1.0, rng=Rng(5), backend="python")
+        b = AllPairsBasicRelease(graph, eps=1.0, rng=Rng(5), backend="numpy")
+        pairs = list(a.all_released())
+        assert pairs == list(b.all_released())
+        # Identical exact distances + identical noise stream => the
+        # released values agree bit for bit across backends.
+        assert all(
+            a.all_released()[p] == b.all_released()[p] for p in pairs
+        )
+
+    def test_bounded_weight_release_backend_kwarg(self):
+        from repro import release_bounded_weight
+
+        graph = generators.assign_random_weights(
+            generators.grid_graph(5, 5), Rng(2), low=0.5, high=2.0
+        )
+        a = release_bounded_weight(
+            graph, weight_bound=2.0, eps=1.0, rng=Rng(6), backend="python"
+        )
+        b = release_bounded_weight(
+            graph, weight_bound=2.0, eps=1.0, rng=Rng(6), backend="numpy"
+        )
+        assert a.all_released() == b.all_released()
+
+    def test_service_backend_is_bit_reproducible(self):
+        from repro import DistanceService
+
+        graph = generators.assign_random_weights(
+            generators.grid_graph(6, 6), Rng(3), low=1.0, high=3.0
+        )
+        served = [
+            DistanceService(
+                graph, 1.0, Rng(7), backend=name
+            ).query((0, 0), (5, 5))
+            for name in ("python", "numpy")
+        ]
+        assert served[0] == served[1]
+
+    def test_single_pair_synopsis_backend_kwarg(self):
+        from repro.serving import build_single_pair_synopsis
+
+        graph = generators.assign_random_weights(
+            generators.grid_graph(4, 5), Rng(4), low=1.0, high=3.0
+        )
+        pairs = [((0, 0), (3, 4)), ((1, 1), (2, 3)), ((0, 0), (3, 4))]
+        a = build_single_pair_synopsis(
+            graph, pairs, eps=1.0, rng=Rng(8), backend="python"
+        )
+        b = build_single_pair_synopsis(
+            graph, pairs, eps=1.0, rng=Rng(8), backend="numpy"
+        )
+        assert a.distance((0, 0), (3, 4)) == b.distance((0, 0), (3, 4))
+
+    def test_replay_rush_hour_backend_kwarg(self):
+        from repro.serving import replay_rush_hour
+
+        report = replay_rush_hour(
+            Rng(9), rows=5, cols=5, eps=1.0, queries_per_epoch=50,
+            backend="numpy",
+        )
+        assert report.total_queries == 50

@@ -270,6 +270,37 @@ class TestServe:
         assert code == 0
         assert "mechanism: bounded-weight" in capsys.readouterr().out
 
+    def test_backend_flag_is_bit_reproducible(self, grid_file, capsys):
+        # Same seed, different engine backends: the exact sweeps agree
+        # bit for bit, so the served answers must be identical.
+        outputs = []
+        for backend in ("python", "numpy"):
+            code = main(
+                [
+                    "serve",
+                    "--graph", str(grid_file),
+                    "--eps", "1.0",
+                    "--seed", "0",
+                    "--pairs", "0,0:3,3",
+                    "--backend", backend,
+                ]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_unknown_backend_rejected(self, grid_file, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve",
+                    "--graph", str(grid_file),
+                    "--eps", "1.0",
+                    "--pairs", "0,0:3,3",
+                    "--backend", "cuda",
+                ]
+            )
+
 
 class TestSimulate:
     def test_report_json(self, capsys):
@@ -289,6 +320,21 @@ class TestSimulate:
         assert report["total_queries"] == 100
         assert report["ledger_spends"] == 2
         assert report["queries_per_second"] > 0
+
+    def test_backend_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--eps", "1.0",
+                "--queries", "25",
+                "--seed", "1",
+                "--backend", "numpy",
+            ]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["total_queries"] == 25
 
 
 class TestMst:

@@ -38,6 +38,10 @@ class TestExports:
             "repro.algorithms.spanning_tree",
             "repro.algorithms.matching",
             "repro.algorithms.covering",
+            "repro.engine",
+            "repro.engine.csr",
+            "repro.engine.kernels",
+            "repro.engine.backends",
             "repro.dp",
             "repro.dp.params",
             "repro.dp.mechanisms",
