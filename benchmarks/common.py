@@ -1,7 +1,7 @@
 """Shared infrastructure for the benchmark harness.
 
 Each ``bench_*.py`` module reproduces one experiment from the index
-registered in ``run_all.py`` (currently E1-E17).  Every module
+registered in ``run_all.py`` (currently E1-E18).  Every module
 exposes:
 
 * ``run_experiment(...) -> str`` — computes the paper-vs-measured table

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_runall.json`` files and flag wall-clock regressions.
+
+Usage::
+
+    python benchmarks/compare_runs.py BASE.json NEW.json [--threshold 0.25]
+
+Prints a per-experiment comparison of the recorded wall-clock seconds
+and exits non-zero when any experiment present in both runs regressed
+by more than ``threshold`` (default 25%, the ROADMAP's "perf
+trajectory" bar).  Experiments that only exist in one of the runs are
+reported but never flagged — a new experiment is not a regression.
+
+This is the machine-readable half of the perf trajectory: CI uploads
+each run's ``BENCH_runall.json`` as an artifact and runs this script
+against the committed baseline, so a slow commit is flagged in the
+check output instead of being discovered by eyeballing tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_seconds(path: Path) -> Dict[str, float]:
+    """Experiment tag -> recorded wall-clock seconds for one run file."""
+    document = json.loads(path.read_text())
+    experiments = document.get("experiments")
+    if not isinstance(experiments, dict):
+        raise ValueError(f"{path} is not a BENCH_runall.json report")
+    return {
+        tag: float(entry["seconds"])
+        for tag, entry in experiments.items()
+    }
+
+
+def compare(
+    base: Dict[str, float],
+    new: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[List[str]], List[str]]:
+    """Build comparison rows and the list of flagged experiment tags.
+
+    Rows are ``[tag, base_s, new_s, delta, status]``; an experiment
+    regresses when its new wall-clock exceeds the base by more than
+    ``threshold`` (relative).  Sub-millisecond bases are skipped — the
+    relative delta of a ~0s experiment is pure timer noise.
+    """
+    rows: List[List[str]] = []
+    flagged: List[str] = []
+
+    def sort_key(tag: str):
+        digits = "".join(c for c in tag if c.isdigit())
+        return (int(digits) if digits else 0, tag)
+
+    for tag in sorted(set(base) | set(new), key=sort_key):
+        if tag not in new:
+            rows.append([tag, f"{base[tag]:.3f}", "-", "-", "removed"])
+            continue
+        if tag not in base:
+            rows.append([tag, "-", f"{new[tag]:.3f}", "-", "new"])
+            continue
+        before, after = base[tag], new[tag]
+        if before < 1e-3:
+            rows.append(
+                [tag, f"{before:.3f}", f"{after:.3f}", "-", "too fast"]
+            )
+            continue
+        delta = (after - before) / before
+        status = "ok"
+        if delta > threshold:
+            status = f"REGRESSED >{threshold:.0%}"
+            flagged.append(tag)
+        rows.append(
+            [tag, f"{before:.3f}", f"{after:.3f}", f"{delta:+.1%}", status]
+        )
+    return rows, flagged
+
+
+def render(rows: List[List[str]]) -> str:
+    headers = ["experiment", "base s", "new s", "delta", "status"]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(c.rjust(widths[i]) for i, c in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="flag wall-clock regressions between two "
+        "BENCH_runall.json files"
+    )
+    parser.add_argument("base", type=Path, help="baseline run file")
+    parser.add_argument("new", type=Path, help="candidate run file")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative slowdown that counts as a regression "
+        "(default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+    rows, flagged = compare(
+        load_seconds(args.base), load_seconds(args.new), args.threshold
+    )
+    print(render(rows))
+    if flagged:
+        print(
+            f"\n{len(flagged)} experiment(s) regressed more than "
+            f"{args.threshold:.0%}: {', '.join(flagged)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Regenerate every experiment table (E1-E17) in one run.
+"""Regenerate every experiment table (E1-E18) in one run.
 
-Usage:  python benchmarks/run_all.py [E5 E17 ...] [> tables.txt]
+Usage:  python benchmarks/run_all.py [E5 E18 ...] [> tables.txt]
 
 This is what EXPERIMENTS.md's tables are produced from; the run is
 fully deterministic (seed in benchmarks/common.py).
@@ -23,6 +23,7 @@ from pathlib import Path
 sys.path.insert(0, ".")
 
 from benchmarks import (
+    bench_apsp_improved,
     bench_bounded_weight,
     bench_covering_ablation,
     bench_cycle,
@@ -61,6 +62,7 @@ EXPERIMENTS = [
     ("E15", bench_covering_ablation),
     ("E16", bench_serving),
     ("E17", bench_engine),
+    ("E18", bench_apsp_improved),
 ]
 
 REPORT_PATH = Path("BENCH_runall.json")

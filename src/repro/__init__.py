@@ -26,6 +26,8 @@ Package map:
   and every closed-form bound from the paper.
 * :mod:`repro.core` — the paper's mechanisms (Algorithms 1–3, the
   bounded-weight and Appendix-B releases, the lower-bound gadgets).
+* :mod:`repro.apsp` — the improved all-pairs mechanisms from follow-up
+  work (hub-set relays + local balls, plain and over coverings).
 * :mod:`repro.workloads` — synthetic road networks and query workloads.
 * :mod:`repro.serving` — the query-serving engine: synopses, budget
   ledger, batch planner, and traffic-replay simulator.
@@ -94,12 +96,17 @@ from .core import (
     release_tree_all_pairs,
     release_tree_single_source,
 )
+from .apsp import (
+    HubSetBoundedRelease,
+    HubSetRelease,
+)
 from .serving import (
     BatchPlanner,
     BatchReport,
     BudgetLedger,
     DistanceService,
     DistanceSynopsis,
+    build_all_pairs_synopsis,
     build_single_pair_synopsis,
     replay_rush_hour,
     synopsis_from_json,
@@ -165,12 +172,16 @@ __all__ = [
     "MatchingRelease",
     "release_private_matching",
     "lower_bounds",
+    # improved all-pairs mechanisms
+    "HubSetRelease",
+    "HubSetBoundedRelease",
     # serving
     "DistanceService",
     "BudgetLedger",
     "BatchPlanner",
     "BatchReport",
     "DistanceSynopsis",
+    "build_all_pairs_synopsis",
     "build_single_pair_synopsis",
     "synopsis_from_json",
     "replay_rush_hour",

@@ -1,0 +1,45 @@
+"""Improved all-pairs release mechanisms (follow-up work).
+
+The Section 4 intro baselines split the budget over all ``V(V-1)/2``
+pair queries.  This package implements the hub-set family from the
+follow-up work of Chen–Narayanan–Xu (arXiv:2204.02335) and Ghazi et
+al. (arXiv:2203.16476), which covers every pair with ``~V^{3/2}``
+released values — sampled hub relay tables plus hop-local balls — for
+``sqrt(V)``-type error improvements:
+
+* :class:`~repro.apsp.hubs.HubSetRelease` — the unbounded-weight
+  mechanism (hub relays + local balls over all vertices);
+* :class:`~repro.apsp.bounded.HubSetBoundedRelease` — the same hub
+  structure layered over Algorithm 2's k-covering for the sharper
+  bounded-weight trade-off.
+
+Both are engine-native: exact tables come from one
+:mod:`repro.engine` multi-source CSR sweep and the noise is drawn in
+vectorized Laplace blocks; no dict-of-dicts is materialized.  The
+serving layer wraps them as registered synopses
+(:class:`repro.serving.synopsis.HubSetSynopsis` /
+:class:`repro.serving.synopsis.HubBoundedSynopsis`).
+"""
+
+from .bounded import HubSetBoundedRelease, hub_bounded_optimal_k
+from .hubs import (
+    HubSetRelease,
+    HubStructure,
+    default_ball_size,
+    default_hub_count,
+    hub_noise_scale,
+    hub_pair_count_bound,
+    predicted_hub_scale,
+)
+
+__all__ = [
+    "HubSetRelease",
+    "HubSetBoundedRelease",
+    "HubStructure",
+    "default_hub_count",
+    "default_ball_size",
+    "hub_pair_count_bound",
+    "hub_noise_scale",
+    "predicted_hub_scale",
+    "hub_bounded_optimal_k",
+]

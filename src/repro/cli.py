@@ -115,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.add_argument("--source", required=True)
     p.add_argument("--target", required=True)
+    p.add_argument(
+        "--backend",
+        choices=["auto", "python", "numpy"],
+        default="auto",
+        help="engine backend for the exact Dijkstra half of the query",
+    )
 
     p = sub.add_parser(
         "paths",
@@ -221,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap travel times at M and use the covering mechanism",
     )
     p.add_argument(
+        "--mechanism",
+        choices=list(MECHANISMS),
+        default=None,
+        help="force a mechanism instead of auto-selecting",
+    )
+    p.add_argument(
         "--backend",
         choices=["auto", "python", "numpy"],
         default="auto",
@@ -256,6 +268,7 @@ def _cmd_distance(args: argparse.Namespace) -> int:
         _parse_vertex(args.target),
         eps=args.eps,
         rng=rng,
+        backend=args.backend,
     )
     print(f"{value:.6f}")
     return 0
@@ -356,6 +369,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         queries_per_epoch=args.queries,
         weight_bound=args.weight_bound,
         backend=args.backend,
+        mechanism=args.mechanism,
     )
     print(json.dumps(report.as_dict(), indent=2))
     return 0

@@ -25,18 +25,39 @@ from typing import Dict, Iterator, List, Tuple
 
 from ..algorithms.shortest_paths import all_pairs_dijkstra, dijkstra
 from ..algorithms.traversal import is_connected
-from ..dp.composition import advanced_composition_epsilon_per_query
+from ..dp.composition import composed_noise_scale
 from ..dp.mechanisms import LaplaceMechanism
 from ..dp.params import PrivacyParams
-from ..exceptions import DisconnectedGraphError, VertexNotFoundError
+from ..exceptions import (
+    DisconnectedGraphError,
+    PrivacyError,
+    VertexNotFoundError,
+)
 from ..graphs.graph import Vertex, WeightedGraph
 from ..rng import Rng
 
 __all__ = [
     "private_distance",
+    "all_pairs_noise_scale",
     "AllPairsBasicRelease",
     "AllPairsAdvancedRelease",
 ]
+
+
+def all_pairs_noise_scale(
+    num_vertices: int, eps: float, delta: float = 0.0
+) -> float:
+    """The per-answer Laplace scale of the intro all-pairs baselines.
+
+    The ``P = V(V-1)/2`` distinct unordered pair queries priced by the
+    shared :func:`~repro.dp.composition.composed_noise_scale`
+    accounting — used by the release classes, the engine-native
+    synopsis builder, and mechanism auto-selection (which contests
+    this scale against the hub mechanisms').
+    """
+    return composed_noise_scale(
+        num_vertices * (num_vertices - 1) // 2, eps, delta
+    )
 
 
 def private_distance(
@@ -45,13 +66,17 @@ def private_distance(
     target: Vertex,
     eps: float,
     rng: Rng,
+    backend: str | None = None,
 ) -> float:
     """Release a single distance with ``Lap(1/eps)`` noise.
 
     This is the straightforward application of the Laplace mechanism
-    mentioned in Section 1.2: one sensitivity-1 query, eps-DP.
+    mentioned in Section 1.2: one sensitivity-1 query, eps-DP.  The
+    exact Dijkstra half dispatches through the :mod:`repro.engine`
+    backend registry like every other hot path (``backend`` forces a
+    kernel; default auto-selection on graph size).
     """
-    distances, _ = dijkstra(graph, source, target=target)
+    distances, _ = dijkstra(graph, source, target=target, backend=backend)
     if target not in distances:
         raise DisconnectedGraphError(
             f"no path from {source!r} to {target!r}"
@@ -149,10 +174,7 @@ class AllPairsBasicRelease(_AllPairsReleaseBase):
     ) -> None:
         super().__init__(graph, backend=backend)
         self._params = PrivacyParams(eps)
-        num_pairs = max(
-            len(self._vertices) * (len(self._vertices) - 1) // 2, 1
-        )
-        self._scale = num_pairs / eps
+        self._scale = all_pairs_noise_scale(len(self._vertices), eps)
         self._populate(self._scale, rng)
 
     @property
@@ -180,15 +202,15 @@ class AllPairsAdvancedRelease(_AllPairsReleaseBase):
         backend: str | None = None,
     ) -> None:
         super().__init__(graph, backend=backend)
+        if delta <= 0:
+            raise PrivacyError(
+                f"advanced composition requires delta > 0, got {delta}"
+            )
         self._params = PrivacyParams(eps, delta)
-        num_pairs = max(
-            len(self._vertices) * (len(self._vertices) - 1) // 2, 1
+        # The whole delta is reserved for the composition slack delta'.
+        self._scale = all_pairs_noise_scale(
+            len(self._vertices), eps, delta
         )
-        # Reserve the whole delta for the composition slack delta'.
-        eps_q = advanced_composition_epsilon_per_query(
-            total_eps=eps, k=num_pairs, delta_prime=delta
-        )
-        self._scale = 1.0 / eps_q
         self._populate(self._scale, rng)
 
     @property

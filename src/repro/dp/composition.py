@@ -26,6 +26,7 @@ __all__ = [
     "basic_composition",
     "advanced_composition",
     "advanced_composition_epsilon_per_query",
+    "composed_noise_scale",
 ]
 
 
@@ -53,6 +54,28 @@ def advanced_composition(
     )
     total_delta = min(k * params.delta + delta_prime, 1.0 - 1e-15)
     return PrivacyParams(total_eps, total_delta)
+
+
+def composed_noise_scale(
+    num_queries: int, eps: float, delta: float = 0.0
+) -> float:
+    """The per-answer Laplace scale for ``num_queries`` sensitivity-1
+    queries under one ``(eps, delta)`` budget.
+
+    ``delta = 0``: the query vector has L1 sensitivity at most
+    ``num_queries``, so ``Lap(num_queries/eps)`` per entry is eps-DP
+    (equivalently, basic composition).  ``delta > 0``: ``Lap(1/eps_q)``
+    with ``eps_q`` from the Lemma 3.4 inverse.  This is the one shared
+    accounting behind the all-pairs baselines, the engine-native
+    synopsis builder, the hub-set releases, and mechanism
+    auto-selection — change it here and every consumer moves together.
+    """
+    q = max(num_queries, 1)
+    if delta > 0:
+        return 1.0 / advanced_composition_epsilon_per_query(
+            total_eps=eps, k=q, delta_prime=delta
+        )
+    return q / eps
 
 
 def advanced_composition_epsilon_per_query(

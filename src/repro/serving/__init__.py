@@ -25,8 +25,11 @@ from .synopsis import (
     AllPairsSynopsis,
     BoundedWeightSynopsis,
     DistanceSynopsis,
+    HubBoundedSynopsis,
+    HubSetSynopsis,
     SinglePairSynopsis,
     TreeSynopsis,
+    build_all_pairs_synopsis,
     build_single_pair_synopsis,
     register_synopsis,
     synopsis_from_json,
@@ -46,6 +49,9 @@ __all__ = [
     "AllPairsSynopsis",
     "TreeSynopsis",
     "BoundedWeightSynopsis",
+    "HubSetSynopsis",
+    "HubBoundedSynopsis",
+    "build_all_pairs_synopsis",
     "build_single_pair_synopsis",
     "register_synopsis",
     "synopsis_from_json",

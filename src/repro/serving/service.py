@@ -11,9 +11,13 @@ Mechanism auto-selection mirrors the paper's structure:
 
 * tree topology → Algorithm 1 + Theorem 4.2 (error ``O(log^1.5 V)``),
 * declared weight bound ``M`` → Algorithm 2's covering release
-  (error ``O~(sqrt(V M))`` approx / ``O((VM)^{2/3})`` pure),
-* otherwise → the Section 4 intro all-pairs baseline (basic
-  composition for pure budgets, advanced when ``delta > 0``).
+  (error ``O~(sqrt(V M))`` approx / ``O((VM)^{2/3})`` pure), upgraded
+  to the hub-over-covering release at road-network scale,
+* otherwise → a predicted-noise-scale contest between the Section 4
+  intro all-pairs baseline (basic composition for pure budgets,
+  advanced when ``delta > 0``) and the improved hub-set release of
+  :mod:`repro.apsp`, which wins once ``V`` is large enough for its
+  ``~V^{3/2}``-entry accounting to beat the baseline's ``V^2``.
 
 Epoch rotation (:meth:`DistanceService.refresh`) swaps in a fresh
 weight function — a new private database — rotates the ledger, clears
@@ -26,11 +30,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..algorithms.traversal import is_connected
+from ..apsp.bounded import HubSetBoundedRelease
+from ..apsp.hubs import HubSetRelease, predicted_hub_scale
 from ..core.bounded_weight import BoundedWeightRelease
-from ..core.distance_oracle import (
-    AllPairsAdvancedRelease,
-    AllPairsBasicRelease,
-)
+from ..core.distance_oracle import all_pairs_noise_scale
 from ..core.tree_distances import TreeAllPairsRelease
 from ..graphs.graph import Vertex, WeightedGraph
 from ..graphs.tree import RootedTree
@@ -40,10 +43,12 @@ from ..rng import Rng
 from .batching import BatchPlanner, BatchReport
 from .ledger import BudgetLedger
 from .synopsis import (
-    AllPairsSynopsis,
     BoundedWeightSynopsis,
     DistanceSynopsis,
+    HubBoundedSynopsis,
+    HubSetSynopsis,
     TreeSynopsis,
+    build_all_pairs_synopsis,
     canonical_pair,
 )
 
@@ -55,7 +60,24 @@ MECHANISMS = (
     "bounded-weight",
     "all-pairs-basic",
     "all-pairs-advanced",
+    "hub-set",
+    "hub-bounded",
 )
+
+#: Below this vertex count the hub relay detour dominates whatever the
+#: noise accounting saves, so auto-selection never picks hub-set.
+HUB_MIN_VERTICES = 128
+
+#: Safety factor on the hub mechanism's predicted noise scale before it
+#: may displace an all-pairs baseline: a hub answer is a *min over
+#: relay sums* (twice the per-entry noise, plus min-selection bias), so
+#: its scale must beat the baseline's by this margin to actually win.
+HUB_SELECTION_MARGIN = 4.0
+
+#: Crossover for layering hubs over Algorithm 2's covering: optimal
+#: coverings are small at moderate V, so the |Z|^2 table only loses to
+#: the hub structure's ~|Z|^{3/2} accounting at road-network scale.
+HUB_BOUNDED_MIN_VERTICES = 4096
 
 
 def select_mechanism(
@@ -66,7 +88,12 @@ def select_mechanism(
     """Pick the strongest release family the graph admits.
 
     The choice depends only on public facts (topology, declared bound,
-    budget shape), so it is itself data-independent.
+    budget shape, vertex count), so it is itself data-independent.
+    The all-pairs family is decided by comparing predicted per-entry
+    noise scales: the hub-set mechanism of :mod:`repro.apsp` releases
+    ``~V^{3/2}`` values instead of ``V^2``, so once ``V`` is large
+    enough for its (margin-adjusted) scale to undercut the baseline's,
+    the asymptotics win and it is preferred.
     """
     if (
         not graph.directed
@@ -75,10 +102,22 @@ def select_mechanism(
     ):
         return "tree"
     if weight_bound is not None:
+        if graph.num_vertices >= HUB_BOUNDED_MIN_VERTICES:
+            return "hub-bounded"
         return "bounded-weight"
-    if budget.delta > 0:
-        return "all-pairs-advanced"
-    return "all-pairs-basic"
+    n = graph.num_vertices
+    baseline = (
+        "all-pairs-advanced" if budget.delta > 0 else "all-pairs-basic"
+    )
+    baseline_scale = all_pairs_noise_scale(n, budget.eps, budget.delta)
+    if (
+        n >= HUB_MIN_VERTICES
+        and predicted_hub_scale(n, budget.eps, budget.delta)
+        * HUB_SELECTION_MARGIN
+        < baseline_scale
+    ):
+        return "hub-set"
+    return baseline
 
 
 @dataclass
@@ -111,8 +150,8 @@ class DistanceService:
         on non-tree graphs.
     mechanism:
         Force a mechanism from ``{"tree", "bounded-weight",
-        "all-pairs-basic", "all-pairs-advanced"}`` instead of
-        auto-selecting.
+        "all-pairs-basic", "all-pairs-advanced", "hub-set",
+        "hub-bounded"}`` instead of auto-selecting.
     ledger:
         Share a :class:`~repro.serving.ledger.BudgetLedger` with other
         products; defaults to a private ledger with ``epoch_budget``
@@ -123,8 +162,11 @@ class DistanceService:
         The ledger tenant name this service spends under.
     backend:
         The :mod:`repro.engine` backend for the exact-recomputation
-        half of every release (``"python"``, ``"numpy"``, or
-        ``None``/``"auto"`` for the size heuristic).
+        half of the paper's releases (``"python"``, ``"numpy"``, or
+        ``None``/``"auto"`` for the size heuristic).  The hub
+        mechanisms of :mod:`repro.apsp` are engine-native — built
+        directly on the CSR multi-source kernels — so they do not
+        consult this knob.
     """
 
     def __init__(
@@ -181,15 +223,15 @@ class DistanceService:
             rooted = RootedTree(
                 self._graph, next(iter(self._graph.vertices()))
             )
-        elif mechanism == "bounded-weight":
+        elif mechanism in ("bounded-weight", "hub-bounded"):
             if self._weight_bound is None:
                 raise GraphError(
-                    "bounded-weight mechanism requires a weight_bound"
+                    f"{mechanism} mechanism requires a weight_bound"
                 )
             self._graph.check_bounded(self._weight_bound)
             if not is_connected(self._graph):
                 raise DisconnectedGraphError(
-                    "bounded-weight release requires a connected graph"
+                    f"{mechanism} release requires a connected graph"
                 )
         else:
             if mechanism == "all-pairs-advanced" and delta <= 0:
@@ -198,7 +240,7 @@ class DistanceService:
                 )
             if not is_connected(self._graph):
                 raise DisconnectedGraphError(
-                    "all-pairs release requires a connected graph"
+                    f"{mechanism} release requires a connected graph"
                 )
         # Spend first, release second: if the ledger refuses, no noise
         # is ever drawn and nothing about the weights leaks.
@@ -221,16 +263,33 @@ class DistanceService:
                 backend=self._backend,
             )
             self._synopsis = BoundedWeightSynopsis.from_release(release)
-        elif mechanism == "all-pairs-advanced":
-            release = AllPairsAdvancedRelease(
-                self._graph, eps, delta, self._rng, backend=self._backend
+        elif mechanism == "hub-bounded":
+            release = HubSetBoundedRelease(
+                self._graph,
+                self._weight_bound,
+                eps,
+                self._rng,
+                delta=delta,
             )
-            self._synopsis = AllPairsSynopsis.from_release(release)
+            self._synopsis = HubBoundedSynopsis.from_release(release)
+        elif mechanism == "hub-set":
+            release = HubSetRelease(
+                self._graph, eps, self._rng, delta=delta
+            )
+            self._synopsis = HubSetSynopsis.from_release(release)
+        elif mechanism == "all-pairs-advanced":
+            # Engine-native build: matrix + vectorized triangle noise.
+            self._synopsis = build_all_pairs_synopsis(
+                self._graph,
+                eps,
+                self._rng,
+                delta=delta,
+                backend=self._backend,
+            )
         else:
-            release = AllPairsBasicRelease(
+            self._synopsis = build_all_pairs_synopsis(
                 self._graph, eps, self._rng, backend=self._backend
             )
-            self._synopsis = AllPairsSynopsis.from_release(release)
         self._mechanism = mechanism
         self._stats.epochs_built += 1
 

@@ -140,6 +140,7 @@ def replay_rush_hour(
     slowdown: float = 3.0,
     block_minutes: float = 2.0,
     backend: str | None = None,
+    mechanism: str | None = None,
 ) -> SimulationReport:
     """Replay rush-hour traffic through a :class:`DistanceService`.
 
@@ -153,7 +154,8 @@ def replay_rush_hour(
     the service can auto-select the Section 4.2 covering mechanism.
     ``backend`` selects the :mod:`repro.engine` kernel both for the
     service's releases and for the replay's own exact ground-truth
-    sweeps (default auto).
+    sweeps (default auto); ``mechanism`` forces a release mechanism on
+    the service instead of auto-selecting (the CLI's ``--mechanism``).
     """
     if epochs < 1:
         raise GraphError(f"need at least 1 epoch, got {epochs}")
@@ -196,6 +198,7 @@ def replay_rush_hour(
                 PrivacyParams(eps, delta),
                 rng,
                 weight_bound=weight_bound,
+                mechanism=mechanism,
                 backend=backend,
             )
         else:

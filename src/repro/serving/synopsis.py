@@ -16,7 +16,9 @@ One synopsis class wraps each release family of the paper:
   (:class:`~repro.core.distance_oracle.AllPairsBasicRelease` /
   :class:`~repro.core.distance_oracle.AllPairsAdvancedRelease`);
 * :class:`TreeSynopsis` — Algorithm 1 + the Theorem 4.2 LCA identity;
-* :class:`BoundedWeightSynopsis` — Algorithm 2's covering table.
+* :class:`BoundedWeightSynopsis` — Algorithm 2's covering table;
+* :class:`HubSetSynopsis` / :class:`HubBoundedSynopsis` — the improved
+  hub-relay releases of :mod:`repro.apsp` (follow-up work).
 
 Every synopsis exposes the same surface — ``distance(s, t)``,
 ``params``, ``kind`` — and serializes to a JSON document containing
@@ -29,10 +31,17 @@ registry keyed by ``kind``.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Mapping, Tuple, Type
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Type
+
+import numpy as np
 
 from ..algorithms.shortest_paths import all_pairs_dijkstra
+from ..algorithms.traversal import is_connected
+from ..apsp.hubs import HubStructure
+from ..core.distance_oracle import all_pairs_noise_scale
 from ..dp.params import PrivacyParams
+from ..engine.csr import CSRGraph
+from ..engine.kernels import multi_source_distances
 from ..exceptions import DisconnectedGraphError, GraphError, VertexNotFoundError
 from ..graphs.graph import Vertex, WeightedGraph
 from ..graphs.io import _decode_vertex, _encode_vertex
@@ -44,7 +53,10 @@ __all__ = [
     "AllPairsSynopsis",
     "TreeSynopsis",
     "BoundedWeightSynopsis",
+    "HubSetSynopsis",
+    "HubBoundedSynopsis",
     "build_single_pair_synopsis",
+    "build_all_pairs_synopsis",
     "register_synopsis",
     "synopsis_from_json",
     "SYNOPSIS_FORMAT",
@@ -499,6 +511,315 @@ class BoundedWeightSynopsis(DistanceSynopsis):
             float(payload["weight_bound"]),
             int(payload["k"]),
         )
+
+
+def _encode_hub_structure(structure: HubStructure) -> Dict[str, Any]:
+    """JSON-safe fields of a released hub structure (all entries are
+    released values or public topology)."""
+    m = structure.num_sites
+    return {
+        "num_sites": m,
+        "hubs": [int(p) for p in structure.hub_positions],
+        "matrix": [
+            [float(x) for x in row] for row in structure.matrix
+        ],
+        "ball": [
+            [int(key // m), int(key % m), value]
+            for key, value in sorted(structure.ball.items())
+        ],
+        "noise_scale": structure.noise_scale,
+        "pair_count": structure.pair_count,
+    }
+
+
+def _decode_hub_structure(payload: Dict[str, Any]) -> HubStructure:
+    m = int(payload["num_sites"])
+    return HubStructure(
+        num_sites=m,
+        hub_positions=np.asarray(payload["hubs"], dtype=np.int64),
+        matrix=np.asarray(payload["matrix"], dtype=float).reshape(
+            len(payload["hubs"]), m
+        ),
+        ball={
+            int(lo) * m + int(hi): float(value)
+            for lo, hi, value in payload["ball"]
+        },
+        noise_scale=float(payload["noise_scale"]),
+        pair_count=int(payload["pair_count"]),
+    )
+
+
+@register_synopsis
+class HubSetSynopsis(DistanceSynopsis):
+    """A synopsis of the improved hub-set release
+    (:class:`repro.apsp.hubs.HubSetRelease`).
+
+    Stores the ordered vertex list (site order), the noisy
+    vertex<->hub matrix, and the local-ball table; answers any pair by
+    the noisy min over hub relays refined by the ball entry — pure
+    post-processing, ``~V^{3/2}`` released values instead of ``V^2``.
+    """
+
+    kind = "hub-set"
+
+    def __init__(
+        self,
+        params: PrivacyParams,
+        vertices: Sequence[Vertex],
+        structure: HubStructure,
+    ) -> None:
+        super().__init__(params)
+        self._order = tuple(vertices)
+        if len(self._order) != structure.num_sites:
+            raise GraphError(
+                f"{len(self._order)} vertices do not match "
+                f"{structure.num_sites} hub-structure sites"
+            )
+        self._index = {v: i for i, v in enumerate(self._order)}
+        self._structure = structure
+
+    @classmethod
+    def from_release(cls, release: Any) -> "HubSetSynopsis":
+        """Wrap a :class:`repro.apsp.hubs.HubSetRelease`."""
+        return cls(release.params, release.vertex_order, release.structure)
+
+    @property
+    def vertices(self) -> frozenset:
+        """The vertex set this synopsis can answer about."""
+        return frozenset(self._order)
+
+    @property
+    def hubs(self) -> List[Vertex]:
+        """The sampled hub vertices."""
+        return [
+            self._order[int(p)]
+            for p in self._structure.hub_positions
+        ]
+
+    @property
+    def structure(self) -> HubStructure:
+        """The released hub structure."""
+        return self._structure
+
+    @property
+    def noise_scale(self) -> float:
+        """The Laplace scale on each released entry."""
+        return self._structure.noise_scale
+
+    def _site(self, v: Vertex) -> int:
+        try:
+            return self._index[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def distance(self, source: Vertex, target: Vertex) -> float:
+        return self._structure.estimate(
+            self._site(source), self._site(target)
+        )
+
+    def _payload(self) -> Dict[str, Any]:
+        payload = {
+            "vertices": [_encode_vertex(v) for v in self._order],
+        }
+        payload.update(_encode_hub_structure(self._structure))
+        return payload
+
+    @classmethod
+    def _from_payload(
+        cls, payload: Dict[str, Any], params: PrivacyParams
+    ) -> "HubSetSynopsis":
+        return cls(
+            params,
+            [_decode_vertex(v) for v in payload["vertices"]],
+            _decode_hub_structure(payload),
+        )
+
+
+@register_synopsis
+class HubBoundedSynopsis(DistanceSynopsis):
+    """A synopsis of the hub-over-covering release
+    (:class:`repro.apsp.bounded.HubSetBoundedRelease`).
+
+    Stores the (public) covering assignment as site indices per vertex
+    plus the inner hub structure over the covering vertices; a query
+    ``(u, v)`` is answered as ``hub(z(u), z(v))``.
+    """
+
+    kind = "hub-bounded"
+
+    def __init__(
+        self,
+        params: PrivacyParams,
+        vertices: Sequence[Vertex],
+        assignment: Sequence[int],
+        structure: HubStructure,
+        weight_bound: float,
+        k: int,
+    ) -> None:
+        super().__init__(params)
+        self._order = tuple(vertices)
+        self._assignment = [int(s) for s in assignment]
+        if len(self._assignment) != len(self._order):
+            raise GraphError(
+                f"{len(self._assignment)} assignments do not match "
+                f"{len(self._order)} vertices"
+            )
+        for s in self._assignment:
+            if not 0 <= s < structure.num_sites:
+                raise GraphError(
+                    f"assignment site {s} out of range "
+                    f"[0, {structure.num_sites})"
+                )
+        self._index = {v: i for i, v in enumerate(self._order)}
+        self._structure = structure
+        self._weight_bound = float(weight_bound)
+        self._k = int(k)
+
+    @classmethod
+    def from_release(cls, release: Any) -> "HubBoundedSynopsis":
+        """Wrap a :class:`repro.apsp.bounded.HubSetBoundedRelease`."""
+        site_of = {z: i for i, z in enumerate(release.covering)}
+        order = release.vertex_order
+        assignment = [
+            site_of[release.assigned_covering_vertex(v)] for v in order
+        ]
+        return cls(
+            release.params,
+            order,
+            assignment,
+            release.structure,
+            release.weight_bound,
+            release.k,
+        )
+
+    @property
+    def vertices(self) -> frozenset:
+        """The vertex set this synopsis can answer about."""
+        return frozenset(self._order)
+
+    @property
+    def weight_bound(self) -> float:
+        """The public weight bound ``M`` the release assumed."""
+        return self._weight_bound
+
+    @property
+    def k(self) -> int:
+        """The covering radius in hops (detour error ``<= 2kM``)."""
+        return self._k
+
+    @property
+    def structure(self) -> HubStructure:
+        """The released inner hub structure over the covering."""
+        return self._structure
+
+    def distance(self, source: Vertex, target: Vertex) -> float:
+        try:
+            i = self._index[source]
+        except KeyError:
+            raise VertexNotFoundError(source) from None
+        try:
+            j = self._index[target]
+        except KeyError:
+            raise VertexNotFoundError(target) from None
+        if source == target:
+            return 0.0
+        si, sj = self._assignment[i], self._assignment[j]
+        if si == sj:
+            return 0.0
+        return self._structure.estimate(si, sj)
+
+    def _payload(self) -> Dict[str, Any]:
+        payload = {
+            "vertices": [_encode_vertex(v) for v in self._order],
+            "assignment": list(self._assignment),
+            "weight_bound": self._weight_bound,
+            "k": self._k,
+        }
+        payload.update(_encode_hub_structure(self._structure))
+        return payload
+
+    @classmethod
+    def _from_payload(
+        cls, payload: Dict[str, Any], params: PrivacyParams
+    ) -> "HubBoundedSynopsis":
+        return cls(
+            params,
+            [_decode_vertex(v) for v in payload["vertices"]],
+            payload["assignment"],
+            _decode_hub_structure(payload),
+            float(payload["weight_bound"]),
+            int(payload["k"]),
+        )
+
+
+def build_all_pairs_synopsis(
+    graph: WeightedGraph,
+    eps: float,
+    rng: Rng,
+    delta: float = 0.0,
+    backend: str | None = None,
+) -> AllPairsSynopsis:
+    """Build an :class:`AllPairsSynopsis` straight from the engine.
+
+    The exact distances come as one CSR multi-source matrix and the
+    noise is a single vectorized Laplace draw over the upper triangle
+    — no intermediate dict-of-dicts or release object (the ROADMAP's
+    "engine-native synopsis builds" path).  ``delta = 0`` applies the
+    basic-composition accounting of
+    :class:`~repro.core.distance_oracle.AllPairsBasicRelease`
+    (``Lap(P/eps)`` over the ``P = V(V-1)/2`` unordered pairs);
+    ``delta > 0`` the advanced-composition accounting of
+    :class:`~repro.core.distance_oracle.AllPairsAdvancedRelease`.
+
+    Pair order and noise-draw order match the release classes exactly,
+    so with the same seed this builder releases bit-identical values
+    (every ``distance`` answer equals the release-wrapping path's) —
+    only faster.  Note the claim covers the released values, not the
+    serialized bytes: the JSON's public ``vertices`` list may be
+    ordered differently between the two paths.  A forced
+    ``backend`` is validated against the engine registry; any backend
+    other than ``"numpy"`` (the reference ``"python"``, a third-party
+    accelerator) runs the release-wrapping path so the forced kernel
+    really is the one doing the exact sweep.
+    """
+    params = PrivacyParams(eps, delta)
+    if backend is not None and backend != "auto":
+        # Raises EngineError on unknown names, exactly like the
+        # release path used to.
+        from ..engine.backends import get_backend
+
+        forced = get_backend(backend).name
+        if forced != "numpy":
+            from ..core.distance_oracle import (
+                AllPairsAdvancedRelease,
+                AllPairsBasicRelease,
+            )
+
+            if delta > 0:
+                release: Any = AllPairsAdvancedRelease(
+                    graph, eps, delta, rng, backend=backend
+                )
+            else:
+                release = AllPairsBasicRelease(
+                    graph, eps, rng, backend=backend
+                )
+            return AllPairsSynopsis.from_release(release)
+    if not is_connected(graph):
+        raise DisconnectedGraphError(
+            "all-pairs release requires a connected graph"
+        )
+    csr = CSRGraph.from_graph(graph)
+    n = csr.n
+    matrix = multi_source_distances(csr, np.arange(n, dtype=np.int64))
+    scale = all_pairs_noise_scale(n, eps, delta)
+    iu, ju = np.triu_indices(n, k=1)
+    values = matrix[iu, ju] + rng.laplace_vector(scale, len(iu))
+    vertices = csr.vertices
+    table = {
+        (vertices[i], vertices[j]): v
+        for i, j, v in zip(iu.tolist(), ju.tolist(), values.tolist())
+    }
+    return AllPairsSynopsis(params, table, vertices)
 
 
 def build_single_pair_synopsis(

@@ -1,0 +1,147 @@
+"""Unit tests for :mod:`repro.apsp.bounded` — the hub structure
+layered over Algorithm 2's covering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DisconnectedGraphError,
+    GraphError,
+    Rng,
+    VertexNotFoundError,
+    WeightError,
+)
+from repro.algorithms.covering import is_k_covering, nearest_in_set
+from repro.algorithms.shortest_paths import all_pairs_dijkstra
+from repro.apsp import HubSetBoundedRelease, hub_bounded_optimal_k
+from repro.exceptions import PrivacyError
+from repro.graphs import generators
+
+
+class TestOptimalK:
+    def test_smaller_than_algorithm2_pure_optimum(self):
+        # Algorithm 2's pure optimum is (V^2/(M eps))^{1/3}; the hub
+        # inner mechanism's cheaper noise tips the balance to a
+        # smaller radius for large V.
+        from repro.dp.bounds import bounded_weight_optimal_k_pure
+
+        v, m, eps = 100_000, 1.0, 1.0
+        assert hub_bounded_optimal_k(v, m, eps) < (
+            bounded_weight_optimal_k_pure(v, m, eps)
+        )
+
+    def test_approx_radius_below_pure(self):
+        assert hub_bounded_optimal_k(10_000, 1.0, 1.0, delta=1e-6) < (
+            hub_bounded_optimal_k(10_000, 1.0, 1.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            hub_bounded_optimal_k(0, 1.0, 1.0)
+        with pytest.raises(PrivacyError):
+            hub_bounded_optimal_k(10, -1.0, 1.0)
+        with pytest.raises(PrivacyError):
+            hub_bounded_optimal_k(10, 1.0, 0.0)
+
+
+class TestRelease:
+    def test_preconditions(self, rng):
+        graph = generators.grid_graph(4, 4)
+        with pytest.raises(PrivacyError):
+            HubSetBoundedRelease(graph, -1.0, 1.0, rng)
+        heavy = graph.with_weights([5.0] * graph.num_edges)
+        with pytest.raises(WeightError):
+            HubSetBoundedRelease(heavy, 1.0, 1.0, rng)
+        island = generators.grid_graph(3, 3)
+        island.add_vertex("island")
+        with pytest.raises(DisconnectedGraphError):
+            HubSetBoundedRelease(island, 1.0, 1.0, rng)
+
+    def test_assignment_within_k_hops(self, rng):
+        graph = generators.grid_graph(6, 6)
+        release = HubSetBoundedRelease(graph, 1.0, 1.0, rng, k=3)
+        assert is_k_covering(graph, release.covering, release.k)
+        hops = nearest_in_set(graph, release.covering)
+        for v in graph.vertices():
+            z = release.assigned_covering_vertex(v)
+            assert hops[v][1] <= release.k
+            assert z in release.covering
+
+    def test_same_covering_vertex_answers_zero(self, rng):
+        graph = generators.grid_graph(6, 6)
+        release = HubSetBoundedRelease(graph, 1.0, 1.0, rng, k=10)
+        # Radius 10 covers the whole 6x6 grid with one vertex.
+        assert release.covering_size == 1
+        assert release.distance((0, 0), (5, 5)) == 0.0
+
+    def test_explicit_covering_validated(self, rng):
+        graph = generators.grid_graph(5, 5)
+        with pytest.raises(GraphError):
+            HubSetBoundedRelease(
+                graph, 1.0, 1.0, rng, k=1, covering=[(0, 0)]
+            )
+
+    def test_unknown_vertex_raises(self, rng):
+        graph = generators.grid_graph(4, 4)
+        release = HubSetBoundedRelease(graph, 1.0, 1.0, rng)
+        with pytest.raises(VertexNotFoundError):
+            release.distance((7, 7), (0, 0))
+
+    def test_non_covering_vertex_rejected_by_exact_accessor(self, rng):
+        graph = generators.grid_graph(5, 5)
+        release = HubSetBoundedRelease(graph, 1.0, 1.0, rng, k=1)
+        z = release.covering[0]
+        outside = next(
+            v for v in graph.vertices() if v not in release.covering
+        )
+        with pytest.raises(GraphError):
+            release.exact_covering_distance(outside, z)
+        with pytest.raises(GraphError):
+            release.exact_covering_distance(z, (9, 9))
+
+    def test_deterministic_under_seed(self):
+        graph = generators.grid_graph(6, 6)
+        a = HubSetBoundedRelease(graph, 1.0, 1.0, Rng(5), k=2)
+        b = HubSetBoundedRelease(graph, 1.0, 1.0, Rng(5), k=2)
+        assert a.distance((0, 0), (5, 5)) == b.distance((0, 0), (5, 5))
+        assert a.hubs == b.hubs
+
+    def test_detour_bounded_by_2km_at_negligible_noise(self):
+        # With every covering vertex a hub, the inner structure holds
+        # the full covering table, so at eps ~ inf the answer is
+        # d(z(u), z(v)) exactly — within 2kM of the truth (Thm 4.5).
+        graph = generators.grid_graph(6, 6)
+        k, bound = 2, 1.0
+        release = HubSetBoundedRelease(
+            graph, bound, 1e9, Rng(6), k=k, hub_count=None, ball_size=None
+        )
+        full = HubSetBoundedRelease(
+            graph,
+            bound,
+            1e9,
+            Rng(6),
+            k=k,
+            hub_count=release.covering_size,
+            ball_size=0,
+        )
+        sweep = all_pairs_dijkstra(graph)
+        for s, t in [((0, 0), (5, 5)), ((0, 3), (4, 1)), ((2, 2), (3, 4))]:
+            assert abs(full.distance(s, t) - sweep[s][t]) <= (
+                2 * k * bound + 1e-3
+            )
+            # The sampled-hub estimate never undercuts the covering
+            # distance by more than the (negligible) noise.
+            zu = release.assigned_covering_vertex(s)
+            zv = release.assigned_covering_vertex(t)
+            if zu != zv:
+                assert release.distance(s, t) >= (
+                    release.exact_covering_distance(zu, zv) - 1e-3
+                )
+
+    def test_released_pair_count_subquadratic_in_covering(self, rng):
+        graph = generators.grid_graph(8, 8)
+        release = HubSetBoundedRelease(graph, 1.0, 1.0, rng, k=1)
+        z = release.covering_size
+        assert z > 4  # k=1 forces a real covering
+        assert release.released_pair_count <= z * (z - 1) // 2

@@ -1,0 +1,86 @@
+"""Empirical error-scaling regression: the hub-set mechanism's error
+must grow sublinearly in V while the basic baseline's grows (at least)
+linearly.
+
+This is the ISSUE's ladder test: on sparse graphs of V in
+{64, 256, 1024} at eps = 1, the basic all-pairs release pays noise
+scale ``V(V-1)/2 / eps`` (superlinear growth), while the hub-set
+release with advanced composition pays ``~V^{3/4} polylog`` — so the
+ratio of mean absolute errors across a 16x vertex-count spread must
+stay below 16x for hubs and reach at least 16x for the baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AllPairsBasicRelease, Rng
+from repro.apsp import HubSetRelease
+from repro.graphs import generators
+from repro.workloads import uniform_pairs
+
+LADDER = [64, 256, 1024]
+EPS = 1.0
+DELTA = 1e-6  # hub release uses the advanced-composition regime
+SAMPLES = 250
+SEED = 20220406  # arXiv:2204.02335 v1 submission date
+
+
+def _sparse_graph(n: int, rng: Rng):
+    return generators.erdos_renyi_graph(n, 2.0 / n, rng)
+
+
+def _mean_abs_error(release, exact, pairs) -> float:
+    errors = [
+        abs(release.distance(s, t) - exact(s, t)) for s, t in pairs
+    ]
+    return sum(errors) / len(errors)
+
+
+@pytest.fixture(scope="module")
+def ladder_errors():
+    basic, hub = {}, {}
+    for i, n in enumerate(LADDER):
+        rng = Rng(SEED + i)
+        graph = _sparse_graph(n, rng)
+        pairs = uniform_pairs(graph, SAMPLES, rng)
+        basic_release = AllPairsBasicRelease(graph, EPS, rng)
+        hub_release = HubSetRelease(graph, EPS, rng, delta=DELTA)
+        basic[n] = _mean_abs_error(
+            basic_release, basic_release.exact_distance, pairs
+        )
+        hub[n] = _mean_abs_error(
+            hub_release, hub_release.exact_distance, pairs
+        )
+    return basic, hub
+
+
+def test_hub_beats_basic_on_every_rung(ladder_errors):
+    basic, hub = ladder_errors
+    for n in LADDER:
+        assert hub[n] < basic[n], (
+            f"hub-set MAE {hub[n]:.1f} not below basic {basic[n]:.1f} "
+            f"at V={n}"
+        )
+
+
+def test_basic_error_grows_at_least_linearly(ladder_errors):
+    basic, _ = ladder_errors
+    spread = LADDER[-1] / LADDER[0]
+    assert basic[LADDER[-1]] / basic[LADDER[0]] >= spread
+
+
+def test_hub_error_grows_sublinearly(ladder_errors):
+    _, hub = ladder_errors
+    spread = LADDER[-1] / LADDER[0]
+    assert hub[LADDER[-1]] / hub[LADDER[0]] < spread
+
+
+def test_intermediate_rung_is_monotone_in_mechanism_gap(ladder_errors):
+    # The hub advantage must widen as V grows: the MAE ratio
+    # basic/hub at V=1024 exceeds the ratio at V=64.
+    basic, hub = ladder_errors
+    assert (
+        basic[LADDER[-1]] / hub[LADDER[-1]]
+        > basic[LADDER[0]] / hub[LADDER[0]]
+    )

@@ -240,3 +240,92 @@ class TestQueryServing:
         # Exactly one budget spend, no matter how many queries.
         assert len(service.ledger.records()) == 1
         assert service.ledger.records()[0].params == PrivacyParams(1.0)
+
+
+class TestHubMechanismSelection:
+    """Auto-selection of the improved repro.apsp mechanisms."""
+
+    def test_small_graphs_keep_the_baseline(self, rng):
+        small = generators.erdos_renyi_graph(48, 0.1, rng)
+        assert (
+            select_mechanism(small, PrivacyParams(1.0))
+            == "all-pairs-basic"
+        )
+
+    def test_large_sparse_graph_selects_hub_set(self, rng):
+        graph = generators.erdos_renyi_graph(1024, 2.0 / 1024, rng)
+        assert select_mechanism(graph, PrivacyParams(1.0)) == "hub-set"
+
+    def test_selection_threshold_uses_predicted_scales(self):
+        # At the margin-adjusted crossover the hub scale must actually
+        # undercut the baseline's, not just the vertex-count floor.
+        from repro.apsp import predicted_hub_scale
+        from repro.serving.service import (
+            HUB_MIN_VERTICES,
+            HUB_SELECTION_MARGIN,
+        )
+
+        n = 1024
+        baseline_scale = n * (n - 1) / 2 / 1.0
+        assert n >= HUB_MIN_VERTICES
+        assert (
+            predicted_hub_scale(n, 1.0) * HUB_SELECTION_MARGIN
+            < baseline_scale
+        )
+
+    def test_weight_bound_upgrades_at_road_scale(self, rng):
+        from repro.serving.service import HUB_BOUNDED_MIN_VERTICES
+
+        large = generators.grid_graph(64, 64)
+        assert large.num_vertices >= HUB_BOUNDED_MIN_VERTICES
+        assert (
+            select_mechanism(
+                large, PrivacyParams(1.0), weight_bound=1.0
+            )
+            == "hub-bounded"
+        )
+        small = generators.grid_graph(8, 8)
+        assert (
+            select_mechanism(
+                small, PrivacyParams(1.0), weight_bound=1.0
+            )
+            == "bounded-weight"
+        )
+
+    def test_forced_hub_set_on_small_graph(self, rng):
+        from repro.serving import HubSetSynopsis
+
+        grid = generators.grid_graph(4, 4)
+        service = DistanceService(grid, 1.0, rng, mechanism="hub-set")
+        assert service.mechanism == "hub-set"
+        assert isinstance(service.synopsis, HubSetSynopsis)
+        assert isinstance(service.query((0, 0), (3, 3)), float)
+
+    def test_forced_hub_bounded_requires_weight_bound(self, rng):
+        from repro import GraphError
+
+        ledger = BudgetLedger(PrivacyParams(1.0))
+        grid = generators.grid_graph(4, 4)
+        with pytest.raises(GraphError):
+            DistanceService(
+                grid, 1.0, rng, mechanism="hub-bounded", ledger=ledger
+            )
+        assert ledger.records() == []  # config error burns no budget
+
+    def test_acceptance_1024_sparse_auto_selects_and_roundtrips(self):
+        """The ISSUE acceptance scenario: on a seeded 1024-vertex
+        sparse graph at eps = 1 the service auto-selects hub-set and
+        its synopsis survives a JSON round-trip."""
+        from repro import Rng, synopsis_from_json
+        from repro.serving import HubSetSynopsis
+
+        rng = Rng(20220406)
+        graph = generators.erdos_renyi_graph(1024, 2.0 / 1024, rng)
+        service = DistanceService(graph, 1.0, rng)
+        assert service.mechanism == "hub-set"
+        assert isinstance(service.synopsis, HubSetSynopsis)
+        value = service.query(0, 1023)
+        restored = synopsis_from_json(service.synopsis.to_json())
+        assert isinstance(restored, HubSetSynopsis)
+        assert restored.distance(0, 1023) == value
+        assert len(service.ledger.records()) == 1

@@ -211,3 +211,173 @@ class TestRegistry:
             @register_synopsis
             class Clash(DistanceSynopsis):  # pragma: no cover
                 kind = "all-pairs"
+
+
+class TestHubSetSynopsis:
+    def _release(self, rng, n=6):
+        graph = generators.grid_graph(n, n)
+        from repro.apsp import HubSetRelease
+
+        return graph, HubSetRelease(graph, 1.0, rng)
+
+    def test_matches_release(self, rng):
+        from repro.serving import HubSetSynopsis
+
+        graph, release = self._release(rng)
+        synopsis = HubSetSynopsis.from_release(release)
+        for s, t in [((0, 0), (5, 5)), ((1, 2), (4, 0)), ((3, 3), (3, 3))]:
+            assert synopsis.distance(s, t) == release.distance(s, t)
+        assert synopsis.hubs == release.hubs
+
+    def test_json_roundtrip(self, rng):
+        from repro.serving import HubSetSynopsis
+
+        graph, release = self._release(rng)
+        synopsis = HubSetSynopsis.from_release(release)
+        restored = synopsis_from_json(synopsis.to_json())
+        assert isinstance(restored, HubSetSynopsis)
+        assert restored.params == synopsis.params
+        assert restored.hubs == synopsis.hubs
+        assert restored.noise_scale == synopsis.noise_scale
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert restored.distance(s, t) == synopsis.distance(s, t)
+
+    def test_unknown_vertex_raises(self, rng):
+        from repro.serving import HubSetSynopsis
+
+        _, release = self._release(rng)
+        synopsis = HubSetSynopsis.from_release(release)
+        with pytest.raises(VertexNotFoundError):
+            synopsis.distance((9, 9), (0, 0))
+
+    def test_vertex_structure_size_mismatch_rejected(self, rng):
+        from repro.serving import HubSetSynopsis
+
+        _, release = self._release(rng)
+        with pytest.raises(GraphError):
+            HubSetSynopsis(
+                release.params, [(0, 0)], release.structure
+            )
+
+
+class TestHubBoundedSynopsis:
+    def _release(self, rng):
+        graph = generators.grid_graph(6, 6)
+        from repro.apsp import HubSetBoundedRelease
+
+        return graph, HubSetBoundedRelease(graph, 1.0, 1.0, rng, k=2)
+
+    def test_matches_release(self, rng):
+        from repro.serving import HubBoundedSynopsis
+
+        graph, release = self._release(rng)
+        synopsis = HubBoundedSynopsis.from_release(release)
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert synopsis.distance(s, t) == release.distance(s, t)
+
+    def test_json_roundtrip(self, rng):
+        from repro.serving import HubBoundedSynopsis
+
+        graph, release = self._release(rng)
+        synopsis = HubBoundedSynopsis.from_release(release)
+        restored = synopsis_from_json(synopsis.to_json())
+        assert isinstance(restored, HubBoundedSynopsis)
+        assert restored.weight_bound == release.weight_bound
+        assert restored.k == release.k
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert restored.distance(s, t) == synopsis.distance(s, t)
+
+    def test_bad_assignment_rejected(self, rng):
+        from repro.serving import HubBoundedSynopsis
+
+        _, release = self._release(rng)
+        synopsis = HubBoundedSynopsis.from_release(release)
+        with pytest.raises(GraphError):
+            HubBoundedSynopsis(
+                release.params,
+                release.vertex_order,
+                [999] * len(release.vertex_order),
+                release.structure,
+                release.weight_bound,
+                release.k,
+            )
+        with pytest.raises(GraphError):
+            HubBoundedSynopsis(
+                release.params,
+                release.vertex_order,
+                [0],  # wrong length
+                release.structure,
+                release.weight_bound,
+                release.k,
+            )
+
+
+class TestEngineNativeAllPairsBuild:
+    """The ROADMAP's engine-native synopsis build: matrix + vectorized
+    triangle noise, seeded-identical to wrapping the release object."""
+
+    def test_seeded_equivalence_with_release_path_pure(self):
+        from repro.serving import build_all_pairs_synopsis
+
+        graph = generators.grid_graph(4, 5)
+        native = build_all_pairs_synopsis(graph, 1.0, Rng(11))
+        reference = build_all_pairs_synopsis(
+            graph, 1.0, Rng(11), backend="python"
+        )
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert native.distance(s, t) == reference.distance(s, t)
+
+    def test_seeded_equivalence_with_release_path_advanced(self):
+        from repro.serving import build_all_pairs_synopsis
+
+        graph = generators.grid_graph(4, 4)
+        native = build_all_pairs_synopsis(graph, 1.0, Rng(12), delta=1e-6)
+        reference = build_all_pairs_synopsis(
+            graph, 1.0, Rng(12), delta=1e-6, backend="python"
+        )
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert native.distance(s, t) == reference.distance(s, t)
+
+    def test_returns_registered_all_pairs_kind(self, rng):
+        from repro.serving import build_all_pairs_synopsis
+
+        graph = generators.grid_graph(3, 3)
+        synopsis = build_all_pairs_synopsis(graph, 1.0, rng)
+        assert isinstance(synopsis, AllPairsSynopsis)
+        restored = synopsis_from_json(synopsis.to_json())
+        assert restored.distance((0, 0), (2, 2)) == synopsis.distance(
+            (0, 0), (2, 2)
+        )
+
+    def test_disconnected_rejected(self, rng):
+        from repro import DisconnectedGraphError
+        from repro.serving import build_all_pairs_synopsis
+
+        graph = generators.grid_graph(2, 2)
+        graph.add_vertex("island")
+        with pytest.raises(DisconnectedGraphError):
+            build_all_pairs_synopsis(graph, 1.0, rng)
+
+    def test_unknown_backend_rejected(self, rng):
+        # A typo'd backend must fail loudly, exactly like the release
+        # path — not silently fall through to the engine-native build.
+        from repro.exceptions import EngineError
+        from repro.serving import build_all_pairs_synopsis
+
+        graph = generators.grid_graph(3, 3)
+        with pytest.raises(EngineError):
+            build_all_pairs_synopsis(graph, 1.0, rng, backend="nmupy")
+
+    def test_single_vertex_graph(self, rng):
+        from repro import WeightedGraph
+        from repro.serving import build_all_pairs_synopsis
+
+        graph = WeightedGraph()
+        graph.add_vertex("only")
+        synopsis = build_all_pairs_synopsis(graph, 1.0, rng)
+        assert synopsis.distance("only", "only") == 0.0

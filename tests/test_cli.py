@@ -114,6 +114,25 @@ class TestDistance:
         )
         assert code == 2
 
+    def test_backend_flag_is_bit_reproducible(self, grid_file, capsys):
+        # Backends compute bit-identical exact distances, so a fixed
+        # seed must print the same released value on each of them.
+        outputs = []
+        for backend in ("python", "numpy"):
+            main(
+                [
+                    "distance",
+                    "--graph", str(grid_file),
+                    "--eps", "1.0",
+                    "--source", "0,0",
+                    "--target", "3,3",
+                    "--seed", "3",
+                    "--backend", backend,
+                ]
+            )
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
 
 class TestPaths:
     def test_writes_released_graph(self, grid_file, tmp_path, capsys):
@@ -270,6 +289,31 @@ class TestServe:
         assert code == 0
         assert "mechanism: bounded-weight" in capsys.readouterr().out
 
+    def test_hub_set_override_and_synopsis(self, grid_file, tmp_path, capsys):
+        out = tmp_path / "hub.json"
+        code = main(
+            [
+                "serve",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--seed", "0",
+                "--mechanism", "hub-set",
+                "--pairs", "0,0:3,3",
+                "--synopsis-out", str(out),
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("# mechanism: hub-set")
+        from repro.serving import HubSetSynopsis, synopsis_from_json
+
+        synopsis = synopsis_from_json(out.read_text())
+        assert isinstance(synopsis, HubSetSynopsis)
+        served = float(lines[1].split("\t")[1])
+        assert synopsis.distance((0, 0), (3, 3)) == pytest.approx(
+            served, abs=1e-6
+        )
+
     def test_backend_flag_is_bit_reproducible(self, grid_file, capsys):
         # Same seed, different engine backends: the exact sweeps agree
         # bit for bit, so the served answers must be identical.
@@ -335,6 +379,35 @@ class TestSimulate:
         )
         assert code == 0
         assert json.loads(capsys.readouterr().out)["total_queries"] == 25
+
+    def test_mechanism_override(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--eps", "1.0",
+                "--queries", "25",
+                "--seed", "2",
+                "--mechanism", "hub-set",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["mechanism"] == "hub-set"
+        assert report["total_queries"] == 25
+
+    def test_unknown_mechanism_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate",
+                    "--rows", "4",
+                    "--cols", "4",
+                    "--eps", "1.0",
+                    "--mechanism", "quantum",
+                ]
+            )
 
 
 class TestMst:

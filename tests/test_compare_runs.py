@@ -1,0 +1,94 @@
+"""Unit tests for :mod:`benchmarks.compare_runs` — the perf-trajectory
+regression comparator."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.compare_runs import compare, load_seconds, main
+
+
+def _run_file(tmp_path: Path, name: str, seconds: dict) -> Path:
+    path = tmp_path / name
+    path.write_text(
+        json.dumps(
+            {
+                "seed": 0,
+                "experiments": {
+                    tag: {"module": f"benchmarks.bench_{tag}", "seconds": s}
+                    for tag, s in seconds.items()
+                },
+            }
+        )
+    )
+    return path
+
+
+class TestCompare:
+    def test_flags_regressions_beyond_threshold(self):
+        rows, flagged = compare(
+            {"E1": 1.0, "E2": 1.0}, {"E1": 1.3, "E2": 1.2}, threshold=0.25
+        )
+        assert flagged == ["E1"]
+        by_tag = {r[0]: r for r in rows}
+        assert by_tag["E1"][4].startswith("REGRESSED")
+        assert by_tag["E2"][4] == "ok"
+
+    def test_speedups_never_flagged(self):
+        _, flagged = compare({"E1": 2.0}, {"E1": 0.5})
+        assert flagged == []
+
+    def test_new_and_removed_experiments_reported_not_flagged(self):
+        rows, flagged = compare({"E1": 1.0}, {"E2": 1.0})
+        assert flagged == []
+        statuses = {r[0]: r[4] for r in rows}
+        assert statuses == {"E1": "removed", "E2": "new"}
+
+    def test_sub_millisecond_bases_skipped(self):
+        rows, flagged = compare({"E1": 0.0}, {"E1": 5.0})
+        assert flagged == []
+        assert rows[0][4] == "too fast"
+
+    def test_numeric_experiment_ordering(self):
+        rows, _ = compare(
+            {"E2": 1.0, "E10": 1.0, "E1": 1.0},
+            {"E2": 1.0, "E10": 1.0, "E1": 1.0},
+        )
+        assert [r[0] for r in rows] == ["E1", "E2", "E10"]
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        base = _run_file(tmp_path, "base.json", {"E1": 1.0})
+        ok = _run_file(tmp_path, "ok.json", {"E1": 1.1})
+        bad = _run_file(tmp_path, "bad.json", {"E1": 2.0})
+        assert main([str(base), str(ok)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+        assert main([str(base), str(bad)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path, capsys):
+        base = _run_file(tmp_path, "base.json", {"E1": 1.0})
+        new = _run_file(tmp_path, "new.json", {"E1": 1.4})
+        assert main([str(base), str(new), "--threshold", "0.5"]) == 0
+        capsys.readouterr()
+
+    def test_rejects_non_report_files(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            load_seconds(path)
+
+    def test_reads_real_committed_report(self):
+        # The repo root carries the baseline BENCH_runall.json this
+        # comparator is pointed at in CI; it must stay loadable.
+        report = Path(__file__).resolve().parent.parent / "BENCH_runall.json"
+        seconds = load_seconds(report)
+        assert seconds  # at least one experiment recorded
+        assert all(s >= 0 for s in seconds.values())
