@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 from typing import Dict, List, Tuple
@@ -56,8 +57,11 @@ def compare(
     flagged: List[str] = []
 
     def sort_key(tag: str):
-        digits = "".join(c for c in tag if c.isdigit())
-        return (int(digits) if digits else 0, tag)
+        # Key on the tag's *first* number only: concatenating every
+        # digit would order a multi-number tag like "E19_v4096" as
+        # 194096, after single-number tags it should precede.
+        match = re.search(r"\d+", tag)
+        return (int(match.group()) if match else 0, tag)
 
     for tag in sorted(set(base) | set(new), key=sort_key):
         if tag not in new:

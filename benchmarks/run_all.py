@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Regenerate every experiment table (E1-E18) in one run.
+"""Regenerate every experiment table (E1-E19) in one run.
 
-Usage:  python benchmarks/run_all.py [E5 E18 ...] [> tables.txt]
+Usage:  python benchmarks/run_all.py [E5 E19 ...] [> tables.txt]
 
 This is what EXPERIMENTS.md's tables are produced from; the run is
 fully deterministic (seed in benchmarks/common.py).
@@ -39,6 +39,7 @@ from benchmarks import (
     bench_private_paths,
     bench_scaling,
     bench_serving,
+    bench_sharding,
     bench_tree_all_pairs,
     bench_tree_single_source,
 )
@@ -63,6 +64,7 @@ EXPERIMENTS = [
     ("E16", bench_serving),
     ("E17", bench_engine),
     ("E18", bench_apsp_improved),
+    ("E19", bench_sharding),
 ]
 
 REPORT_PATH = Path("BENCH_runall.json")

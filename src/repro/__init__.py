@@ -106,8 +106,11 @@ from .serving import (
     BudgetLedger,
     DistanceService,
     DistanceSynopsis,
+    ShardPlan,
+    ShardedDistanceService,
     build_all_pairs_synopsis,
     build_single_pair_synopsis,
+    partition_graph,
     replay_rush_hour,
     synopsis_from_json,
 )
@@ -177,6 +180,9 @@ __all__ = [
     "HubSetBoundedRelease",
     # serving
     "DistanceService",
+    "ShardedDistanceService",
+    "ShardPlan",
+    "partition_graph",
     "BudgetLedger",
     "BatchPlanner",
     "BatchReport",

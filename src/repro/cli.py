@@ -202,7 +202,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: auto-select on graph size)",
     )
     p.add_argument(
-        "--synopsis-out", help="also write the synopsis JSON here"
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the graph into this many regional tenants and "
+        "relay cross-shard queries over the boundary hubs (default 1 "
+        "= unsharded)",
+    )
+    p.add_argument(
+        "--synopsis-out",
+        help="also write the synopsis JSON here (unsharded only)",
     )
 
     p = sub.add_parser(
@@ -238,6 +247,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="engine backend for releases and ground-truth sweeps "
         "(default: auto-select on graph size)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve through this many regional shard tenants plus a "
+        "boundary-hub relay (default 1 = unsharded)",
     )
     p.add_argument("--seed", type=int, default=None)
 
@@ -333,18 +349,39 @@ def _cmd_mst(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .dp.params import PrivacyParams
-    from .serving import DistanceService
+    from .exceptions import GraphError
+    from .serving import DistanceService, ShardedDistanceService
 
     graph = _load(args)
     rng = Rng(args.seed)
-    service = DistanceService(
-        graph,
-        PrivacyParams(args.eps, args.delta),
-        rng,
-        weight_bound=args.weight_bound,
-        mechanism=args.mechanism,
-        backend=args.backend,
-    )
+    if args.shards < 1:
+        raise GraphError(f"need at least 1 shard, got {args.shards}")
+    if args.shards > 1:
+        if args.synopsis_out:
+            raise GraphError(
+                "--synopsis-out is not supported with --shards > 1 "
+                "(a sharded service holds one synopsis per shard)"
+            )
+        service: DistanceService | ShardedDistanceService = (
+            ShardedDistanceService(
+                graph,
+                PrivacyParams(args.eps, args.delta),
+                rng,
+                shards=args.shards,
+                weight_bound=args.weight_bound,
+                mechanism=args.mechanism,
+                backend=args.backend,
+            )
+        )
+    else:
+        service = DistanceService(
+            graph,
+            PrivacyParams(args.eps, args.delta),
+            rng,
+            weight_bound=args.weight_bound,
+            mechanism=args.mechanism,
+            backend=args.backend,
+        )
     print(f"# mechanism: {service.mechanism}  budget: {service.epoch_budget}")
     for token in args.pairs:
         s_raw, _, t_raw = token.partition(":")
@@ -370,6 +407,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         weight_bound=args.weight_bound,
         backend=args.backend,
         mechanism=args.mechanism,
+        shards=args.shards,
     )
     print(json.dumps(report.as_dict(), indent=2))
     return 0

@@ -13,6 +13,9 @@ This package turns that observation into a serving architecture:
   point/batch queries with an answer cache;
 * :mod:`repro.serving.batching` — batch planning: dedupe, vectorized
   noise, latency reporting;
+* :mod:`repro.serving.sharding` — sharded serving: a topology-only
+  partitioner, one synopsis + ledger tenant per shard, and noisy
+  boundary-hub relays stitching cross-shard queries back together;
 * :mod:`repro.serving.simulate` — rush-hour traffic replay measuring
   throughput and empirical error.
 """
@@ -20,6 +23,11 @@ This package turns that observation into a serving architecture:
 from .batching import BatchPlanner, BatchReport, fresh_batch
 from .ledger import BudgetLedger, LedgerEntry
 from .service import DistanceService, ServiceStats, select_mechanism
+from .sharding import (
+    ShardPlan,
+    ShardedDistanceService,
+    partition_graph,
+)
 from .simulate import EpochResult, SimulationReport, replay_rush_hour
 from .synopsis import (
     AllPairsSynopsis,
@@ -39,6 +47,9 @@ __all__ = [
     "DistanceService",
     "ServiceStats",
     "select_mechanism",
+    "ShardPlan",
+    "ShardedDistanceService",
+    "partition_graph",
     "BudgetLedger",
     "LedgerEntry",
     "BatchPlanner",

@@ -129,6 +129,9 @@ class ServiceStats:
     batch_queries: int = 0
     batches: int = 0
     cache_hits: int = 0
+    #: Regional rebuilds (sharded serving only; full epoch rebuilds
+    #: count under ``epochs_built``).
+    shard_refreshes: int = 0
 
 
 class DistanceService:

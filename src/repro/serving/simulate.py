@@ -31,6 +31,7 @@ from ..workloads.traffic import (
     rush_hour_scenario,
 )
 from .service import DistanceService
+from .sharding import ShardedDistanceService
 
 __all__ = ["SimulationReport", "EpochResult", "replay_rush_hour"]
 
@@ -141,6 +142,7 @@ def replay_rush_hour(
     block_minutes: float = 2.0,
     backend: str | None = None,
     mechanism: str | None = None,
+    shards: int | None = None,
 ) -> SimulationReport:
     """Replay rush-hour traffic through a :class:`DistanceService`.
 
@@ -156,7 +158,13 @@ def replay_rush_hour(
     service's releases and for the replay's own exact ground-truth
     sweeps (default auto); ``mechanism`` forces a release mechanism on
     the service instead of auto-selecting (the CLI's ``--mechanism``).
+    With ``shards`` of 2 or more the replay stands up a
+    :class:`~repro.serving.sharding.ShardedDistanceService` instead —
+    one tenant per region plus the boundary-hub relay (the CLI's
+    ``--shards``); each epoch is then a full sharded rebuild.
     """
+    if shards is not None and shards < 1:
+        raise GraphError(f"need at least 1 shard, got {shards}")
     if epochs < 1:
         raise GraphError(f"need at least 1 epoch, got {epochs}")
     if queries_per_epoch < 1:
@@ -188,19 +196,30 @@ def replay_rush_hour(
             )
         return congested
 
-    service: DistanceService | None = None
+    service: DistanceService | ShardedDistanceService | None = None
     results: List[EpochResult] = []
     for epoch in range(epochs):
         graph = epoch_weights()
         if service is None:
-            service = DistanceService(
-                graph,
-                PrivacyParams(eps, delta),
-                rng,
-                weight_bound=weight_bound,
-                mechanism=mechanism,
-                backend=backend,
-            )
+            if shards is not None and shards > 1:
+                service = ShardedDistanceService(
+                    graph,
+                    PrivacyParams(eps, delta),
+                    rng,
+                    shards=shards,
+                    weight_bound=weight_bound,
+                    mechanism=mechanism,
+                    backend=backend,
+                )
+            else:
+                service = DistanceService(
+                    graph,
+                    PrivacyParams(eps, delta),
+                    rng,
+                    weight_bound=weight_bound,
+                    mechanism=mechanism,
+                    backend=backend,
+                )
         else:
             service.refresh(graph)
         pairs = uniform_pairs(graph, queries_per_epoch, rng)

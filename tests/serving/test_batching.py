@@ -58,6 +58,29 @@ class TestBatchPlanner:
         assert report.answers == []
         assert report.queries_per_second == 0.0
 
+    def test_num_unique_is_distinct_pair_count_with_cache_hits(
+        self, synopsis
+    ):
+        """Regression: ``num_unique`` must be the batch's true
+        distinct-pair count even when some of those pairs are served
+        from the cross-batch cache, with cache hits reported in their
+        own counter (they used to be folded into ``num_unique``)."""
+        cache = {}
+        planner = BatchPlanner(synopsis, cache=cache)
+        planner.run([((0, 0), (1, 1)), ((0, 0), (2, 2))])
+        report = planner.run(
+            [
+                ((0, 0), (1, 1)),  # cached by the earlier batch
+                ((1, 1), (0, 0)),  # in-batch duplicate of the above
+                ((0, 0), (2, 2)),  # cached by the earlier batch
+                ((0, 0), (3, 3)),  # fresh
+                ((3, 3), (0, 0)),  # in-batch duplicate of the fresh
+            ]
+        )
+        assert report.num_queries == 5
+        assert report.num_unique == 3  # the distinct unordered pairs
+        assert report.cache_hits == 2  # pairs an earlier batch resolved
+
 
 class TestFreshBatch:
     def test_one_vectorized_release_serves_whole_batch(self, rng):
@@ -77,3 +100,22 @@ class TestFreshBatch:
         _, a = fresh_batch(graph, pairs, 1.0, Rng(5))
         _, b = fresh_batch(graph, pairs, 1.0, Rng(5))
         assert a.answers == b.answers
+
+    def test_build_time_reported_separately_from_serving(self, rng):
+        """Regression: the one-time release build must land in
+        ``build_seconds``, not in ``elapsed_seconds`` — folding it
+        into the serving wall-clock silently deflated
+        ``queries_per_second``."""
+        graph = generators.grid_graph(6, 6)
+        pairs = [((0, 0), (5, 5)), ((0, 0), (3, 3)), ((2, 2), (4, 4))]
+        _, report = fresh_batch(graph, pairs, 1.0, rng)
+        assert report.build_seconds > 0.0
+        assert report.elapsed_seconds >= 0.0
+        if report.elapsed_seconds > 0.0:
+            assert report.queries_per_second == pytest.approx(
+                report.num_queries / report.elapsed_seconds
+            )
+
+    def test_standing_synopsis_batches_report_zero_build(self, synopsis):
+        report = BatchPlanner(synopsis).run([((0, 0), (1, 1))])
+        assert report.build_seconds == 0.0

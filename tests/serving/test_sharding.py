@@ -1,0 +1,407 @@
+"""Unit tests for :mod:`repro.serving.sharding` — the partitioner,
+the plan artifact, and the sharded service with its boundary-hub
+relays."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BudgetExceededError,
+    PrivacyParams,
+    Rng,
+)
+from repro.algorithms.shortest_paths import all_pairs_dijkstra
+from repro.algorithms.traversal import is_connected
+from repro.exceptions import (
+    DisconnectedGraphError,
+    GraphError,
+    PrivacyError,
+    VertexNotFoundError,
+)
+from repro.graphs import generators
+from repro.serving import (
+    DistanceService,
+    ShardPlan,
+    ShardedDistanceService,
+    partition_graph,
+)
+from repro.workloads import grid_road_network, uniform_pairs
+
+
+@pytest.fixture
+def road():
+    return grid_road_network(8, 8, Rng(21)).graph
+
+
+class TestPartitionGraph:
+    def test_balanced_connected_regions(self, road):
+        plan = partition_graph(road, 4, seed=7)
+        sizes = plan.shard_sizes()
+        assert sum(sizes) == road.num_vertices
+        assert min(sizes) >= 1
+        for shard in range(4):
+            assert is_connected(road.subgraph(plan.members(shard)))
+
+    def test_deterministic_given_seed(self, road):
+        a = partition_graph(road, 3, seed=5)
+        b = partition_graph(road, 3, seed=5)
+        assert a.assignment() == b.assignment()
+        assert a.boundary == b.boundary
+        assert a.cut_edges == b.cut_edges
+
+    def test_boundary_is_exactly_cut_endpoints(self, road):
+        plan = partition_graph(road, 3, seed=1)
+        endpoints = set()
+        for u, v in plan.cut_edges:
+            assert plan.shard_of(u) != plan.shard_of(v)
+            endpoints.update((u, v))
+        assert set(plan.boundary) == endpoints
+
+    def test_single_shard_has_no_cut(self, road):
+        plan = partition_graph(road, 1, seed=0)
+        assert plan.boundary == ()
+        assert plan.cut_edges == ()
+        assert plan.shard_sizes() == [road.num_vertices]
+
+    def test_invalid_args(self, road):
+        with pytest.raises(GraphError):
+            partition_graph(road, 0)
+        with pytest.raises(GraphError):
+            partition_graph(road, road.num_vertices + 1)
+        island = road.copy()
+        island.add_vertex("island")
+        with pytest.raises(DisconnectedGraphError):
+            partition_graph(island, 2)
+
+
+class TestShardPlan:
+    def test_shard_of_unknown_vertex(self, road):
+        plan = partition_graph(road, 2, seed=0)
+        with pytest.raises(VertexNotFoundError):
+            plan.shard_of("nowhere")
+
+    def test_members_partition_vertices(self, road):
+        plan = partition_graph(road, 3, seed=2)
+        seen = set()
+        for shard in range(3):
+            members = plan.members(shard)
+            assert all(plan.shard_of(v) == shard for v in members)
+            seen.update(members)
+        assert seen == set(road.vertices())
+        with pytest.raises(GraphError):
+            plan.members(3)
+
+    def test_json_round_trip(self, road):
+        plan = partition_graph(road, 3, seed=9)
+        restored = ShardPlan.from_json(plan.to_json())
+        assert restored.num_shards == 3
+        assert restored.assignment() == plan.assignment()
+        assert restored.boundary == plan.boundary
+        assert restored.cut_edges == plan.cut_edges
+        assert restored.seed == 9
+
+    def test_empty_shard_rejected(self, road):
+        assignment = {v: 0 for v in road.vertices()}
+        with pytest.raises(GraphError):
+            ShardPlan.from_assignment(road, assignment, num_shards=2)
+
+
+class TestSingleShardEquivalence:
+    """ISSUE acceptance: ``shards=1`` matches the unsharded service
+    bit for bit under the same seed."""
+
+    def test_queries_match_bit_for_bit(self):
+        graph = grid_road_network(6, 6, Rng(9)).graph
+        unsharded = DistanceService(graph, 1.0, Rng(42))
+        sharded = ShardedDistanceService(graph, 1.0, Rng(42), shards=1)
+        assert sharded.mechanism == unsharded.mechanism
+        assert sharded.num_shards == 1
+        assert sharded.relay is None
+        for s, t in uniform_pairs(graph, 60, Rng(5)):
+            assert sharded.query(s, t) == unsharded.query(s, t)
+
+    def test_batches_match_bit_for_bit(self):
+        graph = grid_road_network(5, 5, Rng(10)).graph
+        unsharded = DistanceService(graph, 1.0, Rng(7))
+        sharded = ShardedDistanceService(graph, 1.0, Rng(7), shards=1)
+        pairs = uniform_pairs(graph, 40, Rng(8))
+        a = unsharded.query_batch(pairs)
+        b = sharded.query_batch(pairs)
+        assert a.answers == b.answers
+        assert a.num_unique == b.num_unique
+
+    def test_refresh_matches_bit_for_bit(self):
+        graph = grid_road_network(5, 5, Rng(11)).graph
+        fresh = graph.with_weights(
+            {e: w * 1.5 for e, w in graph.weights().items()}
+        )
+        unsharded = DistanceService(graph, 1.0, Rng(3))
+        sharded = ShardedDistanceService(graph, 1.0, Rng(3), shards=1)
+        unsharded.refresh(fresh)
+        sharded.refresh(fresh)
+        for s, t in uniform_pairs(graph, 30, Rng(4)):
+            assert sharded.query(s, t) == unsharded.query(s, t)
+
+    def test_full_budget_goes_to_the_single_tenant(self):
+        graph = grid_road_network(4, 4, Rng(12)).graph
+        sharded = ShardedDistanceService(
+            graph, PrivacyParams(0.7, 1e-6), Rng(1), shards=1
+        )
+        assert sharded.shard_params == PrivacyParams(0.7, 1e-6)
+        assert sharded.relay_params is None
+        records = sharded.ledger.records()
+        assert len(records) == 1
+        assert records[0].params == PrivacyParams(0.7, 1e-6)
+
+
+class TestCrossShardRouting:
+    def test_near_noiseless_cross_answers_bracket_truth(self):
+        """With a huge eps the relay estimate must be at least the
+        true distance (triangle inequality on exact segments) and at
+        most a small relay-detour factor above it."""
+        graph = grid_road_network(8, 8, Rng(11)).graph
+        service = ShardedDistanceService(
+            graph, 1e9, Rng(13), shards=2, mechanism="hub-set"
+        )
+        plan = service.plan
+        pairs = uniform_pairs(graph, 150, Rng(17))
+        cross = [
+            (s, t)
+            for s, t in pairs
+            if plan.shard_of(s) != plan.shard_of(t)
+        ]
+        assert cross  # the sample must exercise the relay path
+        sweep = all_pairs_dijkstra(graph, sources=list({s for s, _ in cross}))
+        for s, t in cross:
+            true = sweep[s][t]
+            answer = service.query(s, t)
+            assert answer >= true - 1e-3
+            assert answer <= 3.0 * true + 1e-3
+
+    def test_intra_shard_capped_by_owning_synopsis(self, road):
+        """Intra answers are the min of the owning shard's synopsis
+        and the relay decomposition through the shard's own boundary
+        (a border pair's corridor may leave the shard), so they can
+        only improve on the induced-subgraph estimate."""
+        service = ShardedDistanceService(
+            road, 1.0, Rng(19), shards=2, mechanism="hub-set"
+        )
+        plan = service.plan
+        for shard in range(2):
+            members = plan.members(shard)
+            s, t = members[0], members[-1]
+            direct = service.shard_services[shard].synopsis.distance(s, t)
+            assert service.query(s, t) <= direct
+
+    def test_intra_relay_cap_beats_subgraph_detour(self):
+        """Near-noiseless: an intra-shard pair whose true corridor
+        dips into the neighboring shard must not be stuck with the
+        induced-subgraph detour — answers stay within the same detour
+        bracket as cross pairs."""
+        graph = grid_road_network(8, 8, Rng(11)).graph
+        service = ShardedDistanceService(
+            graph, 1e9, Rng(13), shards=2, mechanism="hub-set"
+        )
+        plan = service.plan
+        pairs = [
+            (s, t)
+            for s, t in uniform_pairs(graph, 150, Rng(18))
+            if plan.shard_of(s) == plan.shard_of(t)
+        ]
+        assert pairs
+        sweep = all_pairs_dijkstra(graph, sources=list({s for s, _ in pairs}))
+        for s, t in pairs:
+            true = sweep[s][t]
+            answer = service.query(s, t)
+            assert answer >= true - 1e-3
+            assert answer <= 3.0 * true + 1e-3
+
+    def test_cross_shard_estimate_matches_manual_relay_min(self, road):
+        """The routed answer must equal the decomposition
+        ``min d_i(s, b_s) + relay(b_s, b_t) + d_j(b_t, t)`` computed
+        by hand from the released pieces."""
+        service = ShardedDistanceService(
+            road, 1.0, Rng(23), shards=2, mechanism="hub-set"
+        )
+        plan = service.plan
+        s = plan.members(0)[0]
+        t = plan.members(1)[0]
+        relay = service.relay
+        site_of = {v: p for p, v in enumerate(plan.boundary)}
+        best = float("inf")
+        for a in plan.boundary:
+            if plan.shard_of(a) != 0:
+                continue
+            da = service.shard_services[0].synopsis.distance(s, a)
+            for b in plan.boundary:
+                if plan.shard_of(b) != 1:
+                    continue
+                db = service.shard_services[1].synopsis.distance(t, b)
+                mid = relay.estimate(site_of[a], site_of[b])
+                best = min(best, da + mid + db)
+        expected = max(best, 0.0)
+        # estimate() clamps relay legs at 0 individually; the routed
+        # answer uses the raw relay min, so it can only be tighter.
+        assert service.query(s, t) <= expected + 1e-9
+
+    def test_cross_and_point_queries_share_cache(self, road):
+        service = ShardedDistanceService(road, 1.0, Rng(29), shards=2)
+        plan = service.plan
+        s, t = plan.members(0)[0], plan.members(1)[0]
+        first = service.query(s, t)
+        assert service.query(t, s) == first
+        assert service.stats.cache_hits == 1
+        report = service.query_batch([(s, t), (t, s)])
+        assert report.answers == [first, first]
+        assert report.cache_hits == 1  # one distinct pair, cached
+        assert report.num_unique == 1
+
+    def test_query_unknown_vertex(self, road):
+        service = ShardedDistanceService(road, 1.0, Rng(31), shards=2)
+        with pytest.raises(VertexNotFoundError):
+            service.query("nowhere", plan_member(service, 0))
+
+
+def plan_member(service: ShardedDistanceService, shard: int):
+    return service.plan.members(shard)[0]
+
+
+class TestBudgetAccounting:
+    def test_budget_split_and_tenants(self, road):
+        service = ShardedDistanceService(
+            road, PrivacyParams(1.0, 1e-6), Rng(33), shards=3
+        )
+        assert service.shard_params == PrivacyParams(0.5, 5e-7)
+        assert service.relay_params == PrivacyParams(0.5, 5e-7)
+        tenants = set(service.ledger.tenants)
+        assert tenants == {
+            "sharded-distance-service/shard-0",
+            "sharded-distance-service/shard-1",
+            "sharded-distance-service/shard-2",
+            "sharded-distance-service/relay",
+        }
+        assert len(service.ledger.records()) == 4
+
+    def test_shard_tenant_fails_closed_on_exhaustion(self, road):
+        """ISSUE acceptance: per-shard-tenant budget exhaustion fails
+        closed — the dead shard refuses, the others keep serving."""
+        service = ShardedDistanceService(
+            road, 1.0, Rng(35), shards=2, mechanism="hub-set"
+        )
+        service.refresh_shard(0)  # shard-0 at 1.0, relay at 1.0
+        records = len(service.ledger.records())
+        with pytest.raises(BudgetExceededError):
+            service.refresh_shard(0)  # 1.5 > 1.0: refused pre-noise
+        assert len(service.ledger.records()) == records
+        s1 = service.plan.members(1)
+        assert isinstance(service.query(s1[0], s1[1]), float)
+        s0 = service.plan.members(0)
+        with pytest.raises(PrivacyError):
+            service.query(s0[0], s0[1])
+
+    def test_relay_failure_keeps_intra_serving(self, road):
+        service = ShardedDistanceService(
+            road, 1.0, Rng(37), shards=2, mechanism="hub-set"
+        )
+        service.refresh_shard(0)  # relay tenant now at its cap
+        with pytest.raises(BudgetExceededError):
+            service.refresh_shard(1)  # shard-1 ok, relay spend refused
+        assert service.relay is None
+        s0, s1 = service.plan.members(0), service.plan.members(1)
+        assert isinstance(service.query(s0[0], s0[1]), float)
+        assert isinstance(service.query(s1[0], s1[1]), float)
+        with pytest.raises(PrivacyError):
+            service.query(s0[0], s1[0])
+        # A full refresh (epoch rotation) restores cross-shard serving.
+        service.refresh()
+        assert isinstance(service.query(s0[0], s1[0]), float)
+
+    def test_invalid_relay_fraction(self, road):
+        with pytest.raises(PrivacyError):
+            ShardedDistanceService(
+                road, 1.0, Rng(39), shards=2, relay_fraction=1.0
+            )
+
+
+class TestRegionalRefresh:
+    def test_refresh_rebuilds_only_target_shard(self, road):
+        service = ShardedDistanceService(
+            road, 1.0, Rng(41), shards=2, mechanism="hub-set"
+        )
+        plan = service.plan
+        untouched = service.shard_services[1].synopsis
+        weights = road.weights()
+        for (u, v), w in list(weights.items()):
+            if plan.shard_of(u) == plan.shard_of(v) == 0:
+                weights[(u, v)] = w * 1.4
+        service.refresh_shard(0, weights)
+        # Shard 1's synopsis object is untouched; shard 0's is new.
+        assert service.shard_services[1].synopsis is untouched
+        assert service.stats.shard_refreshes == 1
+        assert service.shard_services[0].stats.epochs_built == 2
+        assert service.shard_services[1].stats.epochs_built == 1
+
+    def test_non_regional_update_rejected_before_spending(self, road):
+        service = ShardedDistanceService(
+            road, 1.0, Rng(43), shards=2, mechanism="hub-set"
+        )
+        plan = service.plan
+        records = len(service.ledger.records())
+        weights = road.weights()
+        for (u, v), w in list(weights.items()):
+            if plan.shard_of(u) == plan.shard_of(v) == 1:
+                weights[(u, v)] = w + 1.0
+                break
+        with pytest.raises(GraphError):
+            service.refresh_shard(0, weights)
+        assert len(service.ledger.records()) == records
+
+    def test_cut_edge_updates_are_regional(self, road):
+        service = ShardedDistanceService(
+            road, 1.0, Rng(45), shards=2, mechanism="hub-set"
+        )
+        weights = road.weights()
+        u, v = service.plan.cut_edges[0]
+        weights[service.plan.cut_edges[0]] = weights[(u, v)] + 0.5
+        service.refresh_shard(0, weights)  # must not raise
+        assert service.stats.shard_refreshes == 1
+
+    def test_bad_shard_id(self, road):
+        service = ShardedDistanceService(road, 1.0, Rng(47), shards=2)
+        with pytest.raises(GraphError):
+            service.refresh_shard(2)
+
+
+class TestConstruction:
+    def test_needs_shards_or_plan(self, road):
+        with pytest.raises(GraphError):
+            ShardedDistanceService(road, 1.0, Rng(49))
+
+    def test_explicit_plan(self, road):
+        plan = partition_graph(road, 2, seed=3)
+        service = ShardedDistanceService(road, 1.0, Rng(51), plan=plan)
+        assert service.plan is plan
+        with pytest.raises(GraphError):
+            ShardedDistanceService(
+                road, 1.0, Rng(53), shards=3, plan=plan
+            )
+
+    def test_mechanism_label(self, road):
+        service = ShardedDistanceService(
+            road, 1.0, Rng(55), shards=2, mechanism="hub-set"
+        )
+        assert service.mechanism == "sharded(2xhub-set+relay)"
+
+    def test_simulate_accepts_shards(self):
+        from repro.serving import replay_rush_hour
+
+        report = replay_rush_hour(
+            Rng(57), rows=6, cols=6, eps=1.0, epochs=2,
+            queries_per_epoch=40, shards=2,
+        )
+        assert report.total_queries == 80
+        assert report.mechanism.startswith("sharded(2x")
+        # Two epochs x (2 shard tenants + relay) = 6 ledger spends.
+        assert report.ledger_spends == 6

@@ -345,6 +345,50 @@ class TestServe:
                 ]
             )
 
+    def test_sharded_serving(self, grid_file, capsys):
+        code = main(
+            [
+                "serve",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--seed", "0",
+                "--shards", "2",
+                "--pairs", "0,0:3,3", "1,1:2,2",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("# mechanism: sharded(2x")
+        assert len(lines) == 3
+        assert float(lines[1].split("\t")[1]) >= 0.0
+
+    def test_zero_shards_rejected(self, grid_file, capsys):
+        code = main(
+            [
+                "serve",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--shards", "0",
+                "--pairs", "0,0:3,3",
+            ]
+        )
+        assert code == 2
+        assert "at least 1 shard" in capsys.readouterr().err
+
+    def test_sharded_rejects_synopsis_out(self, grid_file, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--shards", "2",
+                "--pairs", "0,0:3,3",
+                "--synopsis-out", str(tmp_path / "s.json"),
+            ]
+        )
+        assert code == 2
+        assert "--shards" in capsys.readouterr().err
+
 
 class TestSimulate:
     def test_report_json(self, capsys):
@@ -408,6 +452,26 @@ class TestSimulate:
                     "--mechanism", "quantum",
                 ]
             )
+
+    def test_shards_flag(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "6",
+                "--cols", "6",
+                "--eps", "1.0",
+                "--epochs", "1",
+                "--queries", "40",
+                "--seed", "3",
+                "--shards", "2",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["mechanism"].startswith("sharded(2x")
+        assert report["total_queries"] == 40
+        # One epoch spends 2 shard tenants + the boundary relay.
+        assert report["ledger_spends"] == 3
 
 
 class TestMst:

@@ -62,6 +62,15 @@ class TestCompare:
         )
         assert [r[0] for r in rows] == ["E1", "E2", "E10"]
 
+    def test_multi_number_tags_order_by_first_number(self):
+        """Regression: tags carrying a second number (like a vertex
+        count) used to sort by the concatenation of every digit —
+        ``E19_v4096`` as 194096, after ``E20`` — instead of by the
+        experiment number alone."""
+        tags = {"E20": 1.0, "E19_v4096": 1.0, "E2": 1.0, "E19": 1.0}
+        rows, _ = compare(tags, tags)
+        assert [r[0] for r in rows] == ["E2", "E19", "E19_v4096", "E20"]
+
 
 class TestCli:
     def test_exit_codes(self, tmp_path, capsys):
