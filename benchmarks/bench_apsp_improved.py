@@ -1,13 +1,16 @@
 """E18 — improved all-pairs mechanisms vs the Section 4 baselines.
 
 Puts the hub-set release of :mod:`repro.apsp` up against both intro
-baselines (``AllPairsBasicRelease`` pure, ``AllPairsAdvancedRelease``
-approx) on three 1024-vertex graph families — the Theorem 4.7 grid, a
-sparse Erdős–Rényi graph, and a road-like random geometric graph — at
-eps = 1.  Per mechanism the table reports build wall-clock, the number
-of released pair queries the budget was split over, the resulting
-per-entry noise scale, and empirical mean/max absolute query error
-over a fixed sample of uniform pairs.
+baselines (``all-pairs-basic`` pure, ``all-pairs-advanced`` approx) on
+three 1024-vertex graph families — the Theorem 4.7 grid, a sparse
+Erdős–Rényi graph, and a road-like random geometric graph — at
+eps = 1.  Every contender is stood up through the one serving
+interface (``serve(graph, ServingConfig(mechanism=...), rng)``), so
+the benchmark exercises exactly what a deployment would: per
+mechanism the table reports the epoch build wall-clock, the number of
+released pair queries the budget was split over, the per-entry noise
+scale the synopsis reports, and empirical mean/max absolute query
+error over a fixed sample of uniform pairs.
 
 Expected shape: the hub mechanisms release ``~V^{3/2}`` values instead
 of ``V^2``, so their noise scale — and with it the empirical error —
@@ -36,7 +39,8 @@ import time
 sys.path.insert(0, ".")  # allow `python benchmarks/bench_apsp_improved.py`
 
 from benchmarks.common import fresh_rng, print_experiment
-from repro import AllPairsAdvancedRelease, AllPairsBasicRelease, Rng
+from repro import AllPairsBasicRelease, Rng, ServingConfig, serve
+from repro.algorithms.shortest_paths import all_pairs_dijkstra
 from repro.analysis import render_table
 from repro.apsp import HubSetRelease
 from repro.graphs import generators
@@ -71,33 +75,25 @@ def graph_families(v: int, rng: Rng):
     ]
 
 
-def _mechanisms(graph, rng: Rng):
-    """(label, build_fn) for every contender, in table order."""
-    return [
-        (
-            "all-pairs-basic",
-            lambda: AllPairsBasicRelease(graph, EPS, rng),
-        ),
-        (
-            "all-pairs-advanced",
-            lambda: AllPairsAdvancedRelease(graph, EPS, DELTA, rng),
-        ),
-        (
-            "hub-set (pure)",
-            lambda: HubSetRelease(graph, EPS, rng),
-        ),
-        (
-            "hub-set (approx)",
-            lambda: HubSetRelease(graph, EPS, rng, delta=DELTA),
-        ),
-    ]
+#: (label, ServingConfig) for every contender, in table order.
+CONTENDERS = [
+    ("all-pairs-basic", ServingConfig(mechanism="all-pairs-basic", eps=EPS)),
+    (
+        "all-pairs-advanced",
+        ServingConfig(mechanism="all-pairs-advanced", eps=EPS, delta=DELTA),
+    ),
+    ("hub-set (pure)", ServingConfig(mechanism="hub-set", eps=EPS)),
+    (
+        "hub-set (approx)",
+        ServingConfig(mechanism="hub-set", eps=EPS, delta=DELTA),
+    ),
+]
 
 
-def _released_pairs(release) -> int:
-    if hasattr(release, "released_pair_count"):
-        return release.released_pair_count
-    n = release.graph.num_vertices
-    return n * (n - 1) // 2
+def _released_pairs(synopsis) -> int:
+    if hasattr(synopsis, "structure"):
+        return synopsis.structure.pair_count
+    return synopsis.num_entries
 
 
 def _synopsis_build_note(graph, rng: Rng) -> str:
@@ -126,21 +122,26 @@ def run_experiment(quick: bool = False) -> str:
         graph_families(v, fresh_rng(190))
     ):
         pairs = uniform_pairs(graph, QUERY_SAMPLE, fresh_rng(191 + g_index))
-        for label, build in _mechanisms(graph, fresh_rng(195 + g_index)):
+        sweep = all_pairs_dijkstra(
+            graph, sources=list(dict.fromkeys(s for s, _ in pairs))
+        )
+        exact = [sweep[s][t] for s, t in pairs]
+        service_rng = fresh_rng(195 + g_index)
+        for label, config in CONTENDERS:
             start = time.perf_counter()
-            release = build()
+            service = serve(graph, config, service_rng)
             build_seconds = time.perf_counter() - start
             errors = [
-                abs(release.distance(s, t) - release.exact_distance(s, t))
-                for s, t in pairs
+                abs(service.query(s, t) - truth)
+                for (s, t), truth in zip(pairs, exact)
             ]
             rows.append(
                 [
                     name,
                     label,
                     build_seconds,
-                    _released_pairs(release),
-                    release.noise_scale,
+                    _released_pairs(service.synopsis),
+                    service.synopsis.noise_scale,
                     sum(errors) / len(errors),
                     max(errors),
                 ]
@@ -161,7 +162,8 @@ def run_experiment(quick: bool = False) -> str:
         title=(
             f"E18  Improved all-pairs mechanisms vs the Section 4 "
             f"baselines: V={v}, eps={EPS}, delta={DELTA} (approx rows), "
-            f"{QUERY_SAMPLE} sampled queries.\n"
+            f"{QUERY_SAMPLE} sampled queries, all served through "
+            f"serve(graph, ServingConfig(...)).\n"
             "Expected shape: hub-set releases ~V^1.5 values instead of "
             "V^2, so its noise scale and empirical error sit far below "
             "the basic baseline's.\n"

@@ -20,12 +20,25 @@ import sys
 sys.path.insert(0, ".")  # allow `python benchmarks/bench_*.py`
 
 from benchmarks.common import fresh_rng, print_experiment
+from repro import ServingConfig, serve
 from repro.analysis import render_table
 from repro.serving import replay_rush_hour
+from repro.workloads import grid_road_network
 
 EPS_VALUES = [0.25, 1.0, 4.0]
 ROWS = COLS = 8
 QUERIES = 2000
+
+
+def _ci90_half_width(eps: float) -> float:
+    """The advertised 90% interval half-width of one estimate served
+    on the E16 road grid at this eps — the Estimate API's accuracy
+    disclosure, straight off the declarative serving path."""
+    rng = fresh_rng(165)
+    network = grid_road_network(ROWS, COLS, rng)
+    service = serve(network.graph, ServingConfig(eps=eps), rng)
+    estimate = service.estimate((0, 0), (ROWS - 1, COLS - 1))
+    return estimate.margin(0.90)
 
 
 def run_experiment() -> str:
@@ -48,6 +61,7 @@ def run_experiment() -> str:
                 report.ledger_spends,
                 report.mean_abs_error,
                 report.max_abs_error,
+                _ci90_half_width(eps),
             ]
         )
     return render_table(
@@ -59,13 +73,15 @@ def run_experiment() -> str:
             "spends",
             "mean abs err",
             "max abs err",
+            "ci90 half-width",
         ],
         rows,
         title=(
             f"E16  Serving engine on a {ROWS}x{COLS} rush-hour grid, "
             f"{QUERIES} queries/epoch.\n"
-            "Expected shape: error ~ 1/eps; throughput flat; one budget "
-            "spend per epoch."
+            "Expected shape: error ~ 1/eps, and the Estimate API's "
+            "advertised 90% interval tracks it; throughput flat; one "
+            "budget spend per epoch."
         ),
     )
 
@@ -84,6 +100,11 @@ def test_table_e16(capsys):
     # Error shrinks as eps grows (16x eps spread is far beyond the
     # sampling noise of a 2016-pair synopsis).
     assert float(rows[0][5]) > float(rows[-1][5])
+    # The advertised interval is nonzero and scales exactly as 1/eps
+    # (the all-pairs scale is pairs/eps and the quantile is linear in
+    # the scale).
+    assert all(float(r[7]) > 0 for r in rows)
+    assert float(rows[0][7]) > float(rows[-1][7])
 
 
 def test_benchmark_batch_serving(benchmark):

@@ -28,9 +28,14 @@ Package map:
   bounded-weight and Appendix-B releases, the lower-bound gadgets).
 * :mod:`repro.apsp` — the improved all-pairs mechanisms from follow-up
   work (hub-set relays + local balls, plain and over coverings).
+* :mod:`repro.mechanisms` — the release-mechanism registry: every
+  mechanism as a named, swappable entry with data-independent
+  applicability and noise-scale predictions; auto-selection is a
+  registry-wide contest.
 * :mod:`repro.workloads` — synthetic road networks and query workloads.
 * :mod:`repro.serving` — the query-serving engine: synopses, budget
-  ledger, batch planner, and traffic-replay simulator.
+  ledger, batch planner, declarative serving configs + the ``serve()``
+  factory, rich estimates, and the traffic-replay simulator.
 * :mod:`repro.analysis` — error metrics and the experiment harness.
 """
 
@@ -41,9 +46,11 @@ from .exceptions import (
     EngineError,
     GraphError,
     MatchingError,
+    MechanismError,
     NotATreeError,
     PrivacyError,
     ReproError,
+    SynopsisError,
     VertexNotFoundError,
     WeightError,
 )
@@ -100,18 +107,30 @@ from .apsp import (
     HubSetBoundedRelease,
     HubSetRelease,
 )
+from .mechanisms import (
+    Mechanism,
+    MechanismParams,
+    auto_select_mechanism,
+    available_mechanisms,
+    get_mechanism,
+    register_mechanism,
+)
 from .serving import (
     BatchPlanner,
     BatchReport,
     BudgetLedger,
+    DistanceServer,
     DistanceService,
     DistanceSynopsis,
+    Estimate,
+    ServingConfig,
     ShardPlan,
     ShardedDistanceService,
     build_all_pairs_synopsis,
     build_single_pair_synopsis,
     partition_graph,
     replay_rush_hour,
+    serve,
     synopsis_from_json,
 )
 
@@ -130,6 +149,8 @@ __all__ = [
     "BudgetExceededError",
     "MatchingError",
     "EngineError",
+    "SynopsisError",
+    "MechanismError",
     # substrates
     "Rng",
     "WeightedGraph",
@@ -178,9 +199,20 @@ __all__ = [
     # improved all-pairs mechanisms
     "HubSetRelease",
     "HubSetBoundedRelease",
+    # mechanism registry
+    "Mechanism",
+    "MechanismParams",
+    "register_mechanism",
+    "get_mechanism",
+    "available_mechanisms",
+    "auto_select_mechanism",
     # serving
     "DistanceService",
     "ShardedDistanceService",
+    "DistanceServer",
+    "ServingConfig",
+    "serve",
+    "Estimate",
     "ShardPlan",
     "partition_graph",
     "BudgetLedger",

@@ -187,6 +187,27 @@ class HubStructure:
             best = direct
         return max(best, 0.0)
 
+    def scale_for(self, i: int, j: int) -> float:
+        """The effective noise scale behind :meth:`estimate`.
+
+        A local-ball answer is one released entry (the direct scale);
+        a relay answer sums two released entries, so its effective
+        scale is twice the per-entry scale (the conservative L1
+        composition of the two Laplace terms).  Mirrors
+        :meth:`estimate`'s min exactly: a ball-covered pair still
+        reports the composed scale when the relay min actually won.
+        Identical sites answer a deterministic 0 with no noise at all.
+        """
+        if i == j:
+            return 0.0
+        lo, hi = (i, j) if i < j else (j, i)
+        direct = self.ball.get(lo * self.num_sites + hi)
+        if direct is not None and direct < float(
+            np.min(self.matrix[:, i] + self.matrix[:, j])
+        ):
+            return self.noise_scale
+        return 2.0 * self.noise_scale
+
 
 def build_hub_structure(
     csr: CSRGraph,

@@ -11,8 +11,17 @@ Usage (after installing the package)::
     python -m repro.cli info --graph net.json
     python -m repro.cli serve --graph city.json --eps 1.0 \
         --pairs 0:14 3:9 --synopsis-out synopsis.json
+    python -m repro.cli serve --graph city.json --config serving.json \
+        --pairs 0:14 --estimate --level 0.9
     python -m repro.cli simulate --rows 12 --cols 12 --eps 1.0 \
         --epochs 2 --queries 500 --seed 0 --backend numpy
+
+The ``serve`` and ``simulate`` subcommands speak the declarative
+serving API: ``--config`` loads a
+:class:`~repro.serving.config.ServingConfig` JSON document (explicit
+flags override its fields on ``serve``), ``--estimate`` prints rich
+estimates — value, effective noise scale, Laplace confidence
+interval — instead of bare floats.
 
 Graphs are read from the JSON format of :mod:`repro.graphs.io` (or,
 with ``--edge-list``, from whitespace ``u v w`` lines).  All randomness
@@ -170,9 +179,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="build a one-epoch distance synopsis and answer queries "
         "from it (post-processing; one budget spend total)",
     )
-    add_common(p)
+    add_common(p, needs_eps=False)
     p.add_argument(
-        "--delta", type=float, default=0.0, help="approx-DP budget delta"
+        "--eps", type=float, default=None, help="privacy budget "
+        "(required unless --config provides it)"
+    )
+    p.add_argument(
+        "--config",
+        default=None,
+        help="load a declarative ServingConfig JSON document; explicit "
+        "flags override its fields",
+    )
+    p.add_argument(
+        "--delta", type=float, default=None, help="approx-DP budget delta"
     )
     p.add_argument(
         "--weight-bound",
@@ -197,17 +216,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         choices=["auto", "python", "numpy"],
-        default="auto",
+        default=None,
         help="engine backend for the exact-recomputation sweeps "
         "(default: auto-select on graph size)",
     )
     p.add_argument(
         "--shards",
         type=int,
-        default=1,
+        default=None,
         help="partition the graph into this many regional tenants and "
         "relay cross-shard queries over the boundary hubs (default 1 "
         "= unsharded)",
+    )
+    p.add_argument(
+        "--estimate",
+        action="store_true",
+        help="print rich estimates (value, noise scale, confidence "
+        "interval) instead of bare values",
+    )
+    p.add_argument(
+        "--level",
+        type=float,
+        default=0.95,
+        help="confidence level for --estimate intervals (default 0.95)",
     )
     p.add_argument(
         "--synopsis-out",
@@ -221,8 +252,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--rows", type=int, default=12)
     p.add_argument("--cols", type=int, default=12)
-    p.add_argument("--eps", type=float, required=True, help="epoch budget")
-    p.add_argument("--delta", type=float, default=0.0)
+    p.add_argument(
+        "--eps", type=float, default=None, help="epoch budget "
+        "(required unless --config provides it)"
+    )
+    p.add_argument(
+        "--config",
+        default=None,
+        help="load a declarative ServingConfig JSON document instead "
+        "of the flag-style serving parameters",
+    )
+    p.add_argument("--delta", type=float, default=None)
     p.add_argument(
         "--epochs", type=int, default=1, help="data epochs to replay"
     )
@@ -244,14 +284,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--backend",
         choices=["auto", "python", "numpy"],
-        default="auto",
+        default=None,
         help="engine backend for releases and ground-truth sweeps "
         "(default: auto-select on graph size)",
     )
     p.add_argument(
         "--shards",
         type=int,
-        default=1,
+        default=None,
         help="serve through this many regional shard tenants plus a "
         "boundary-hub relay (default 1 = unsharded)",
     )
@@ -347,68 +387,142 @@ def _cmd_mst(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from .dp.params import PrivacyParams
+def _serving_config(args: argparse.Namespace):
+    """Assemble the declarative :class:`~repro.serving.ServingConfig`
+    for the ``serve`` subcommand: the ``--config`` document (if any)
+    as the base, explicit flags layered on top."""
     from .exceptions import GraphError
-    from .serving import DistanceService, ShardedDistanceService
+    from .serving import ServingConfig
+
+    if args.config:
+        text = Path(args.config).read_text()
+        config = ServingConfig.from_json(text)
+        # A DP budget is never defaulted: the document must state eps
+        # explicitly (ServingConfig's eps=1.0 dataclass default is for
+        # library callers who wrote it in code, not config files).
+        if args.eps is None and "eps" not in json.loads(text):
+            raise GraphError(
+                "serve needs --eps (or a --config document providing it)"
+            )
+    else:
+        if args.eps is None:
+            raise GraphError(
+                "serve needs --eps (or a --config document providing it)"
+            )
+        config = ServingConfig()
+    overrides: dict = {}
+    if args.eps is not None:
+        overrides["eps"] = args.eps
+    if args.delta is not None:
+        overrides["delta"] = args.delta
+    if args.weight_bound is not None:
+        overrides["weight_bound"] = args.weight_bound
+    if args.mechanism is not None:
+        overrides["mechanism"] = args.mechanism
+    if args.backend is not None:
+        # The CLI's "auto" spelling is the config's None.
+        overrides["backend"] = (
+            None if args.backend == "auto" else args.backend
+        )
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .exceptions import GraphError
+    from .serving import serve
 
     graph = _load(args)
     rng = Rng(args.seed)
-    if args.shards < 1:
-        raise GraphError(f"need at least 1 shard, got {args.shards}")
-    if args.shards > 1:
-        if args.synopsis_out:
-            raise GraphError(
-                "--synopsis-out is not supported with --shards > 1 "
-                "(a sharded service holds one synopsis per shard)"
-            )
-        service: DistanceService | ShardedDistanceService = (
-            ShardedDistanceService(
-                graph,
-                PrivacyParams(args.eps, args.delta),
-                rng,
-                shards=args.shards,
-                weight_bound=args.weight_bound,
-                mechanism=args.mechanism,
-                backend=args.backend,
-            )
+    config = _serving_config(args)
+    if config.shards > 1 and args.synopsis_out:
+        raise GraphError(
+            "--synopsis-out is not supported with --shards > 1 "
+            "(a sharded service holds one synopsis per shard)"
         )
-    else:
-        service = DistanceService(
-            graph,
-            PrivacyParams(args.eps, args.delta),
-            rng,
-            weight_bound=args.weight_bound,
-            mechanism=args.mechanism,
-            backend=args.backend,
-        )
+    service = serve(graph, config, rng)
     print(f"# mechanism: {service.mechanism}  budget: {service.epoch_budget}")
     for token in args.pairs:
         s_raw, _, t_raw = token.partition(":")
         s, t = _parse_vertex(s_raw), _parse_vertex(t_raw)
-        print(f"{token}\t{service.query(s, t):.6f}")
+        if args.estimate:
+            estimate = service.estimate(s, t)
+            lo, hi = estimate.confidence_interval(args.level)
+            print(
+                f"{token}\t{estimate.value:.6f}\t"
+                f"scale={estimate.noise_scale:g}\t"
+                f"ci{args.level:g}=[{lo:.6f}, {hi:.6f}]"
+            )
+        else:
+            print(f"{token}\t{service.query(s, t):.6f}")
     if args.synopsis_out:
         Path(args.synopsis_out).write_text(service.synopsis.to_json())
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .serving import replay_rush_hour
+    from .exceptions import GraphError
+    from .serving import ServingConfig, replay_rush_hour
 
     rng = Rng(args.seed)
-    report = replay_rush_hour(
-        rng,
-        rows=args.rows,
-        cols=args.cols,
-        eps=args.eps,
-        delta=args.delta,
-        epochs=args.epochs,
-        queries_per_epoch=args.queries,
-        weight_bound=args.weight_bound,
-        backend=args.backend,
-        mechanism=args.mechanism,
-        shards=args.shards,
-    )
+    if args.config:
+        # The config document is the single source of truth here —
+        # refuse explicit serving flags rather than silently dropping
+        # them (serve's flags-override-config layering would be
+        # ambiguous for a whole replay's worth of parameters).
+        clashes = sorted(
+            name
+            for name, value in (
+                ("--eps", args.eps),
+                ("--delta", args.delta),
+                ("--weight-bound", args.weight_bound),
+                ("--mechanism", args.mechanism),
+                ("--backend", args.backend),
+                ("--shards", args.shards),
+            )
+            if value is not None
+        )
+        if clashes:
+            raise GraphError(
+                "simulate got both --config and flag-style serving "
+                f"parameters ({', '.join(clashes)}); pass one or the "
+                "other"
+            )
+        text = Path(args.config).read_text()
+        config = ServingConfig.from_json(text)
+        if "eps" not in json.loads(text):
+            raise GraphError(
+                "simulate needs --eps (or a --config document "
+                "providing it)"
+            )
+        report = replay_rush_hour(
+            rng,
+            rows=args.rows,
+            cols=args.cols,
+            epochs=args.epochs,
+            queries_per_epoch=args.queries,
+            config=config,
+        )
+    else:
+        if args.eps is None:
+            raise GraphError(
+                "simulate needs --eps (or a --config document "
+                "providing it)"
+            )
+        report = replay_rush_hour(
+            rng,
+            rows=args.rows,
+            cols=args.cols,
+            eps=args.eps,
+            delta=args.delta if args.delta is not None else 0.0,
+            epochs=args.epochs,
+            queries_per_epoch=args.queries,
+            weight_bound=args.weight_bound,
+            backend=args.backend,
+            mechanism=args.mechanism,
+            shards=args.shards,
+        )
     print(json.dumps(report.as_dict(), indent=2))
     return 0
 

@@ -56,11 +56,33 @@ class WeightError(ReproError):
     """
 
 
+class SynopsisError(GraphError):
+    """A problem with a serialized distance synopsis (unknown ``kind``,
+    wrong format marker, unsupported version).
+
+    Subclasses :class:`GraphError` (synopsis documents are public
+    topology + released values, i.e. graph artifacts) and therefore
+    :class:`ReproError`; the message for an unknown kind lists the
+    registered kinds so a caller can see what its build supports.
+    """
+
+
 class PrivacyError(ReproError):
     """A privacy parameter or budget constraint is violated.
 
     Raised for non-positive ``eps``, ``delta`` outside ``[0, 1)``, or an
     exhausted privacy budget in :class:`repro.dp.accountant.Accountant`.
+    """
+
+
+class MechanismError(PrivacyError):
+    """A problem with the release-mechanism registry (unknown mechanism
+    name, duplicate registration, a mechanism asked to build outside
+    its preconditions).
+
+    Subclasses :class:`PrivacyError`: mechanisms are privacy mechanisms,
+    and the pre-redesign services raised ``PrivacyError`` for unknown
+    mechanism names, so existing ``except`` clauses keep working.
     """
 
 

@@ -5,28 +5,47 @@ post-processing property then makes every query answered from it free.
 This package turns that observation into a serving architecture:
 
 * :mod:`repro.serving.synopsis` — immutable, serializable synopsis
-  objects wrapping each release family, with a registry keyed by kind;
+  objects wrapping each release family, with a registry keyed by kind
+  and per-pair noise-scale introspection;
 * :mod:`repro.serving.ledger` — a multi-tenant, epoch-rotating budget
   ledger that fails closed;
 * :mod:`repro.serving.service` — :class:`DistanceService`, the façade
-  that auto-selects the best mechanism per graph family and serves
-  point/batch queries with an answer cache;
+  that picks the best mechanism from the :mod:`repro.mechanisms`
+  registry and serves point/batch queries with an answer cache;
+* :mod:`repro.serving.estimates` — :class:`Estimate`, the rich query
+  result (value + noise scale + Laplace-CDF confidence interval);
+* :mod:`repro.serving.config` — :class:`ServingConfig`, the
+  declarative JSON-round-trippable deployment document, and
+  :func:`serve`, the one factory returning a
+  :class:`DistanceServer` (sharded or not);
 * :mod:`repro.serving.batching` — batch planning: dedupe, vectorized
-  noise, latency reporting;
+  noise, latency reporting, the bounded answer cache;
 * :mod:`repro.serving.sharding` — sharded serving: a topology-only
   partitioner, one synopsis + ledger tenant per shard, and noisy
   boundary-hub relays stitching cross-shard queries back together;
 * :mod:`repro.serving.simulate` — rush-hour traffic replay measuring
-  throughput and empirical error.
+  throughput and empirical error through the one serving interface.
 """
 
-from .batching import BatchPlanner, BatchReport, fresh_batch
+from .batching import BatchPlanner, BatchReport, BoundedCache, fresh_batch
 from .ledger import BudgetLedger, LedgerEntry
-from .service import DistanceService, ServiceStats, select_mechanism
+from .estimates import Estimate
+from .service import (
+    DistanceService,
+    MECHANISMS,
+    ServiceStats,
+    select_mechanism,
+)
 from .sharding import (
     ShardPlan,
     ShardedDistanceService,
     partition_graph,
+)
+from .config import (
+    DistanceServer,
+    EPOCH_POLICIES,
+    ServingConfig,
+    serve,
 )
 from .simulate import EpochResult, SimulationReport, replay_rush_hour
 from .synopsis import (
@@ -45,8 +64,14 @@ from .synopsis import (
 
 __all__ = [
     "DistanceService",
+    "DistanceServer",
+    "ServingConfig",
+    "serve",
+    "EPOCH_POLICIES",
+    "Estimate",
     "ServiceStats",
     "select_mechanism",
+    "MECHANISMS",
     "ShardPlan",
     "ShardedDistanceService",
     "partition_graph",
@@ -54,6 +79,7 @@ __all__ = [
     "LedgerEntry",
     "BatchPlanner",
     "BatchReport",
+    "BoundedCache",
     "fresh_batch",
     "DistanceSynopsis",
     "SinglePairSynopsis",

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, MutableMapping, Sequence, Tuple
 
+from ..exceptions import GraphError
 from ..graphs.graph import Vertex, WeightedGraph
 from ..rng import Rng
 from .synopsis import (
@@ -35,9 +36,61 @@ from .synopsis import (
     canonical_pair,
 )
 
-__all__ = ["BatchPlanner", "BatchReport", "fresh_batch"]
+__all__ = ["BatchPlanner", "BatchReport", "BoundedCache", "fresh_batch"]
 
 Pair = Tuple[Vertex, Vertex]
+
+
+class BoundedCache(MutableMapping):
+    """An LRU-bounded answer cache for the serving services.
+
+    Drop-in for the unbounded dict cache (the
+    ``ServingConfig.cache_size`` knob): holds at most ``maxsize``
+    canonical pairs, evicting the least recently *used* entry on
+    overflow.  Purely a memory bound — an evicted answer is recomputed
+    bit-identically from the immutable synopsis on the next miss, it
+    just stops being free.
+    """
+
+    __slots__ = ("_maxsize", "_data")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise GraphError(
+                f"cache size must be at least 1, got {maxsize}"
+            )
+        self._maxsize = int(maxsize)
+        self._data: Dict[Pair, float] = {}
+
+    @property
+    def maxsize(self) -> int:
+        """The cache's entry bound."""
+        return self._maxsize
+
+    def __getitem__(self, key: Pair) -> float:
+        # Move-to-end on hit: dicts iterate in insertion order, so
+        # re-inserting makes the first key the least recently used.
+        value = self._data.pop(key)
+        self._data[key] = value
+        return value
+
+    def __setitem__(self, key: Pair, value: float) -> None:
+        self._data.pop(key, None)
+        self._data[key] = value
+        if len(self._data) > self._maxsize:
+            self._data.pop(next(iter(self._data)))
+
+    def __delitem__(self, key: Pair) -> None:
+        del self._data[key]
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
 
 
 @dataclass

@@ -1,0 +1,322 @@
+"""Declarative serving configuration: one document, one factory.
+
+Before this module, standing up a private distance server meant
+choosing between two unrelated classes
+(:class:`~repro.serving.service.DistanceService` /
+:class:`~repro.serving.sharding.ShardedDistanceService`) and threading
+half a dozen keyword arguments through every consumer.  Now a
+:class:`ServingConfig` captures the whole deployment — mechanism,
+budget split, epoch policy, backend, shard plan knobs, cache bound —
+as an immutable, JSON-round-trippable document, and
+:func:`serve` turns ``(graph, config, rng)`` into a running server.
+
+Both service classes implement the :class:`DistanceServer` protocol
+(``query``, ``query_batch``, ``estimate``, ``estimate_batch``,
+``refresh``, plus the ``mechanism`` / ``stats`` / ``ledger`` /
+``epoch`` surface), so the CLI, the traffic replay, and the
+benchmarks consume exactly one interface; whether the answers come
+from one synopsis or from regional tenants stitched by a boundary
+relay is a config field, not a code path.
+
+The config is public data — mechanism names, budgets, seeds, size
+knobs — so config documents can be shipped, versioned, and diffed
+like any deployment manifest without privacy implications.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Protocol, Sequence, Tuple, runtime_checkable
+
+from ..dp.params import PrivacyParams
+from ..exceptions import GraphError, PrivacyError
+from ..graphs.graph import Vertex, WeightedGraph
+from ..mechanisms import get_mechanism
+from ..rng import Rng
+from .batching import BatchReport
+from .estimates import Estimate
+from .ledger import BudgetLedger
+from .service import DistanceService, ServiceStats
+from .sharding import (
+    DEFAULT_RELAY_FRACTION,
+    ShardPlan,
+    ShardedDistanceService,
+)
+
+__all__ = [
+    "ServingConfig",
+    "DistanceServer",
+    "serve",
+    "EPOCH_POLICIES",
+    "CONFIG_FORMAT",
+]
+
+CONFIG_FORMAT = "repro-serving-config"
+_CONFIG_VERSION = 1
+
+#: How a server's budget behaves across :meth:`DistanceServer.refresh`:
+#: ``"rotate"`` treats every refresh as a new data epoch (the private
+#: ledger rotates and budgets reset — fresh weights are a new
+#: database); ``"fixed"`` pins the ledger epoch, so refreshes re-spend
+#: from the remaining epoch budget and fail closed when it runs out
+#: (the contract for rebuilding against the *same* database).
+EPOCH_POLICIES = ("rotate", "fixed")
+
+
+@runtime_checkable
+class DistanceServer(Protocol):
+    """The common serving surface of every server :func:`serve` returns.
+
+    Implemented by :class:`~repro.serving.service.DistanceService` and
+    :class:`~repro.serving.sharding.ShardedDistanceService`; consumers
+    written against this protocol never branch on sharding.
+    """
+
+    def query(self, source: Vertex, target: Vertex) -> float:
+        """One released distance (post-processing; free)."""
+        ...
+
+    def query_batch(
+        self, pairs: Sequence[Tuple[Vertex, Vertex]]
+    ) -> BatchReport:
+        """A deduplicated, cached batch of released distances."""
+        ...
+
+    def estimate(self, source: Vertex, target: Vertex) -> Estimate:
+        """One rich estimate: ``query()``'s value + noise scale."""
+        ...
+
+    def estimate_batch(
+        self, pairs: Sequence[Tuple[Vertex, Vertex]]
+    ) -> Sequence[Estimate]:
+        """A batch of rich estimates aligned with the input order."""
+        ...
+
+    def refresh(self, graph: WeightedGraph | None = None) -> None:
+        """Start a new epoch (rebuild under the epoch policy)."""
+        ...
+
+    @property
+    def mechanism(self) -> str:
+        """The mechanism label backing the current epoch."""
+        ...
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Shared serving counters (``num_queries``, ``cache_hits``,
+        ...)."""
+        ...
+
+    @property
+    def ledger(self) -> BudgetLedger:
+        """The audited budget ledger."""
+        ...
+
+    @property
+    def epoch(self) -> int:
+        """The ledger epoch currently being served."""
+        ...
+
+    @property
+    def epoch_budget(self) -> PrivacyParams:
+        """The per-epoch privacy budget."""
+        ...
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """A declarative description of one distance-serving deployment.
+
+    Every field is public (mechanism names, budgets, seeds, size
+    knobs), immutable, and JSON-serializable; ``ServingConfig`` is the
+    single argument — besides the graph and the rng — that
+    :func:`serve` needs.
+
+    Attributes
+    ----------
+    mechanism:
+        A registered mechanism name, or ``"auto"`` for the registry's
+        predicted-noise-scale contest.
+    eps, delta:
+        The per-epoch ``(eps, delta)`` budget.  With ``shards >= 2``
+        the budget splits ``(1 - relay_fraction)`` to every shard
+        tenant and ``relay_fraction`` to the boundary relay (parallel
+        composition over disjoint intra-shard edge sets).
+    weight_bound:
+        Public bound ``M`` on edge weights, if declared.
+    epoch_policy:
+        ``"rotate"`` (default) or ``"fixed"`` — see
+        :data:`EPOCH_POLICIES`.
+    backend:
+        :mod:`repro.engine` backend for exact sweeps (``None`` =
+        auto).
+    shards:
+        Regional tenants to partition into (1 = unsharded).
+    relay_fraction:
+        Boundary-relay share of the epoch budget (multi-shard only).
+    partition_seed:
+        Seed for the topology-only partitioner.
+    cache_size:
+        LRU bound on the answer cache (``None`` = unbounded).
+    tenant:
+        Ledger tenant name (``None`` = each service's default).
+    """
+
+    mechanism: str = "auto"
+    eps: float = 1.0
+    delta: float = 0.0
+    weight_bound: float | None = None
+    epoch_policy: str = "rotate"
+    backend: str | None = None
+    shards: int = 1
+    relay_fraction: float = DEFAULT_RELAY_FRACTION
+    partition_seed: int = 0
+    cache_size: int | None = None
+    tenant: str | None = None
+
+    def __post_init__(self) -> None:
+        PrivacyParams(self.eps, self.delta)  # validates the budget
+        if self.mechanism != "auto":
+            get_mechanism(self.mechanism)  # raises on unknown names
+        if self.epoch_policy not in EPOCH_POLICIES:
+            raise GraphError(
+                f"unknown epoch policy {self.epoch_policy!r}; expected "
+                f"one of {', '.join(EPOCH_POLICIES)}"
+            )
+        if self.shards < 1:
+            raise GraphError(
+                f"need at least 1 shard, got {self.shards}"
+            )
+        if not 0.0 < self.relay_fraction < 1.0:
+            raise PrivacyError(
+                f"relay_fraction must be in (0, 1), got "
+                f"{self.relay_fraction}"
+            )
+        if self.cache_size is not None and self.cache_size < 1:
+            raise GraphError(
+                f"cache size must be at least 1, got {self.cache_size}"
+            )
+
+    @property
+    def budget(self) -> PrivacyParams:
+        """The per-epoch budget as :class:`~repro.dp.params.PrivacyParams`."""
+        return PrivacyParams(self.eps, self.delta)
+
+    def with_overrides(self, **changes: object) -> "ServingConfig":
+        """A copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization (all fields are public deployment data)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to a JSON config document."""
+        document = {"format": CONFIG_FORMAT, "version": _CONFIG_VERSION}
+        document.update(asdict(self))
+        return json.dumps(document)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServingConfig":
+        """Restore a config serialized by :meth:`to_json`.
+
+        Missing fields take their defaults (forward compatibility for
+        configs written before a knob existed); unknown fields are
+        rejected (they are typos, not extensions).
+        """
+        document = json.loads(text)
+        if document.get("format") != CONFIG_FORMAT:
+            raise GraphError("not a repro-serving-config JSON document")
+        if document.get("version") != _CONFIG_VERSION:
+            raise GraphError(
+                f"unsupported serving-config version "
+                f"{document.get('version')!r}"
+            )
+        fields = {
+            k: v
+            for k, v in document.items()
+            if k not in ("format", "version")
+        }
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(fields) - known)
+        if unknown:
+            raise GraphError(
+                f"unknown serving-config fields: {', '.join(unknown)}"
+            )
+        return cls(**fields)
+
+    def __str__(self) -> str:
+        label = self.mechanism
+        if self.shards > 1:
+            label = f"{label} x{self.shards} shards"
+        return f"ServingConfig({label}, {self.budget})"
+
+
+def serve(
+    graph: WeightedGraph,
+    config: ServingConfig,
+    rng: Rng,
+    ledger: BudgetLedger | None = None,
+    plan: ShardPlan | None = None,
+) -> DistanceServer:
+    """Stand up a distance server described by a :class:`ServingConfig`.
+
+    The one construction path for every consumer (CLI, traffic
+    replay, benchmarks): returns a
+    :class:`~repro.serving.service.DistanceService` for
+    ``config.shards == 1`` and a
+    :class:`~repro.serving.sharding.ShardedDistanceService` otherwise
+    — both satisfying :class:`DistanceServer`.  With the same graph,
+    budget, and rng the returned server answers bit-for-bit
+    identically to constructing the class directly, so configs are a
+    pure convenience layer over the seeded reproducibility story.
+
+    Parameters
+    ----------
+    graph:
+        Public topology + the current epoch's private weights.
+    config:
+        The deployment description.
+    rng:
+        Noise source for the releases.
+    ledger:
+        Share a budget ledger with other products (a shared ledger is
+        never rotated by the server, regardless of the epoch policy —
+        its owner decides when the epoch turns).  Defaults to a
+        private ledger under ``config.epoch_policy``.
+    plan:
+        Use an existing :class:`~repro.serving.sharding.ShardPlan`
+        instead of partitioning (multi-shard configs only).
+    """
+    mechanism = None if config.mechanism == "auto" else config.mechanism
+    if ledger is None and config.epoch_policy == "fixed":
+        # A "fixed" policy pins the epoch: the server gets a ledger it
+        # does not own, so refreshes re-spend from the remaining epoch
+        # budget (failing closed) instead of rotating.
+        ledger = BudgetLedger(config.budget)
+    common = dict(
+        weight_bound=config.weight_bound,
+        mechanism=mechanism,
+        ledger=ledger,
+        backend=config.backend,
+        cache_size=config.cache_size,
+    )
+    if config.tenant is not None:
+        common["tenant"] = config.tenant
+    if config.shards > 1 or plan is not None:
+        return ShardedDistanceService(
+            graph,
+            config.budget,
+            rng,
+            # With an explicit plan a multi-shard config still passes
+            # its count through, so a config/plan disagreement raises
+            # instead of silently trusting the plan; the default
+            # shards=1 means "whatever the plan says".
+            shards=config.shards if config.shards > 1 else None,
+            plan=plan,
+            partition_seed=config.partition_seed,
+            relay_fraction=config.relay_fraction,
+            **common,
+        )
+    return DistanceService(graph, config.budget, rng, **common)

@@ -3,21 +3,31 @@
 :class:`DistanceService` is the paper's Section 1.1 navigation
 provider as a component: it holds the public topology plus the current
 epoch's private weights, picks the strongest release mechanism the
-graph admits, builds one synopsis per epoch under a ledgered budget,
-and then serves unlimited point and batch distance queries from that
-synopsis — pure post-processing, zero further privacy cost.
+graph admits from the :mod:`repro.mechanisms` registry, builds one
+synopsis per epoch under a ledgered budget, and then serves unlimited
+point and batch distance queries from that synopsis — pure
+post-processing, zero further privacy cost.
 
-Mechanism auto-selection mirrors the paper's structure:
+Mechanism choice is the registry's predicted-noise-scale contest
+(:func:`repro.mechanisms.auto_select_mechanism`), which mirrors the
+paper's structure:
 
 * tree topology → Algorithm 1 + Theorem 4.2 (error ``O(log^1.5 V)``),
 * declared weight bound ``M`` → Algorithm 2's covering release
   (error ``O~(sqrt(V M))`` approx / ``O((VM)^{2/3})`` pure), upgraded
   to the hub-over-covering release at road-network scale,
-* otherwise → a predicted-noise-scale contest between the Section 4
-  intro all-pairs baseline (basic composition for pure budgets,
-  advanced when ``delta > 0``) and the improved hub-set release of
-  :mod:`repro.apsp`, which wins once ``V`` is large enough for its
-  ``~V^{3/2}``-entry accounting to beat the baseline's ``V^2``.
+* otherwise → a contest between the Section 4 intro all-pairs baseline
+  (basic composition for pure budgets, advanced when ``delta > 0``)
+  and the improved hub-set release of :mod:`repro.apsp`, which wins
+  once ``V`` is large enough for its ``~V^{3/2}``-entry accounting to
+  beat the baseline's ``V^2``.
+
+Beyond bare ``query()`` floats, the :meth:`DistanceService.estimate`
+path returns :class:`~repro.serving.estimates.Estimate` objects
+carrying the answer's effective noise scale and a Laplace-CDF
+confidence interval; ``query()`` returns exactly
+``estimate().value``, so the rich path costs nothing in
+reproducibility.
 
 Epoch rotation (:meth:`DistanceService.refresh`) swaps in a fresh
 weight function — a new private database — rotates the ledger, clears
@@ -27,57 +37,40 @@ the answer cache, and rebuilds the synopsis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, MutableMapping, Sequence, Tuple
 
-from ..algorithms.traversal import is_connected
-from ..apsp.bounded import HubSetBoundedRelease
-from ..apsp.hubs import HubSetRelease, predicted_hub_scale
-from ..core.bounded_weight import BoundedWeightRelease
-from ..core.distance_oracle import all_pairs_noise_scale
-from ..core.tree_distances import TreeAllPairsRelease
-from ..graphs.graph import Vertex, WeightedGraph
-from ..graphs.tree import RootedTree
 from ..dp.params import PrivacyParams
-from ..exceptions import DisconnectedGraphError, GraphError, PrivacyError
+from ..exceptions import PrivacyError
+from ..graphs.graph import Vertex, WeightedGraph
+from ..mechanisms import (
+    HUB_BOUNDED_MIN_VERTICES,
+    HUB_MIN_VERTICES,
+    HUB_SELECTION_MARGIN,
+    MechanismParams,
+    auto_select_mechanism,
+    get_mechanism,
+    standalone_mechanisms,
+)
 from ..rng import Rng
-from .batching import BatchPlanner, BatchReport
+from .batching import BatchPlanner, BatchReport, BoundedCache
+from .estimates import Estimate
 from .ledger import BudgetLedger
-from .synopsis import (
-    BoundedWeightSynopsis,
-    DistanceSynopsis,
-    HubBoundedSynopsis,
-    HubSetSynopsis,
-    TreeSynopsis,
-    build_all_pairs_synopsis,
-    canonical_pair,
-)
+from .synopsis import DistanceSynopsis, canonical_pair
 
-__all__ = ["DistanceService", "ServiceStats", "select_mechanism"]
+__all__ = [
+    "DistanceService",
+    "ServiceStats",
+    "select_mechanism",
+    "MECHANISMS",
+    "HUB_MIN_VERTICES",
+    "HUB_SELECTION_MARGIN",
+    "HUB_BOUNDED_MIN_VERTICES",
+]
 
-#: Mechanism names used by :func:`select_mechanism` and the CLI.
-MECHANISMS = (
-    "tree",
-    "bounded-weight",
-    "all-pairs-basic",
-    "all-pairs-advanced",
-    "hub-set",
-    "hub-bounded",
-)
-
-#: Below this vertex count the hub relay detour dominates whatever the
-#: noise accounting saves, so auto-selection never picks hub-set.
-HUB_MIN_VERTICES = 128
-
-#: Safety factor on the hub mechanism's predicted noise scale before it
-#: may displace an all-pairs baseline: a hub answer is a *min over
-#: relay sums* (twice the per-entry noise, plus min-selection bias), so
-#: its scale must beat the baseline's by this margin to actually win.
-HUB_SELECTION_MARGIN = 4.0
-
-#: Crossover for layering hubs over Algorithm 2's covering: optimal
-#: coverings are small at moderate V, so the |Z|^2 table only loses to
-#: the hub structure's ~|Z|^{3/2} accounting at road-network scale.
-HUB_BOUNDED_MIN_VERTICES = 4096
+#: Mechanisms a service can be forced to (graph + budget suffice) —
+#: the CLI's ``--mechanism`` choices.  Derived from the registry; kept
+#: under its historical name for compatibility.
+MECHANISMS = standalone_mechanisms()
 
 
 def select_mechanism(
@@ -87,42 +80,25 @@ def select_mechanism(
 ) -> str:
     """Pick the strongest release family the graph admits.
 
-    The choice depends only on public facts (topology, declared bound,
-    budget shape, vertex count), so it is itself data-independent.
-    The all-pairs family is decided by comparing predicted per-entry
-    noise scales: the hub-set mechanism of :mod:`repro.apsp` releases
-    ``~V^{3/2}`` values instead of ``V^2``, so once ``V`` is large
-    enough for its (margin-adjusted) scale to undercut the baseline's,
-    the asymptotics win and it is preferred.
+    .. deprecated::
+        Thin shim over
+        :func:`repro.mechanisms.auto_select_mechanism`, kept for
+        callers of the pre-registry API; the registry contest makes
+        seeded-identical choices.  New code should call the registry
+        directly.
     """
-    if (
-        not graph.directed
-        and graph.num_edges == graph.num_vertices - 1
-        and is_connected(graph)
-    ):
-        return "tree"
-    if weight_bound is not None:
-        if graph.num_vertices >= HUB_BOUNDED_MIN_VERTICES:
-            return "hub-bounded"
-        return "bounded-weight"
-    n = graph.num_vertices
-    baseline = (
-        "all-pairs-advanced" if budget.delta > 0 else "all-pairs-basic"
-    )
-    baseline_scale = all_pairs_noise_scale(n, budget.eps, budget.delta)
-    if (
-        n >= HUB_MIN_VERTICES
-        and predicted_hub_scale(n, budget.eps, budget.delta)
-        * HUB_SELECTION_MARGIN
-        < baseline_scale
-    ):
-        return "hub-set"
-    return baseline
+    return auto_select_mechanism(graph, budget, weight_bound)
 
 
 @dataclass
 class ServiceStats:
-    """Running counters for one service instance."""
+    """Running counters for one service instance.
+
+    Shared verbatim by :class:`DistanceService` and
+    :class:`~repro.serving.sharding.ShardedDistanceService` (the
+    :class:`~repro.serving.config.DistanceServer` contract), so
+    consumers never special-case sharded services.
+    """
 
     epochs_built: int = 0
     point_queries: int = 0
@@ -132,6 +108,24 @@ class ServiceStats:
     #: Regional rebuilds (sharded serving only; full epoch rebuilds
     #: count under ``epochs_built``).
     shard_refreshes: int = 0
+
+    @property
+    def num_queries(self) -> int:
+        """Total queries served (point + batch) — the shared headline
+        counter of the ``DistanceServer`` surface."""
+        return self.point_queries + self.batch_queries
+
+    def as_dict(self) -> Dict[str, int]:
+        """A JSON-safe snapshot with the shared counter names."""
+        return {
+            "num_queries": self.num_queries,
+            "point_queries": self.point_queries,
+            "batch_queries": self.batch_queries,
+            "batches": self.batches,
+            "cache_hits": self.cache_hits,
+            "epochs_built": self.epochs_built,
+            "shard_refreshes": self.shard_refreshes,
+        }
 
 
 class DistanceService:
@@ -152,9 +146,9 @@ class DistanceService:
         (e.g. capped travel times); enables the Section 4.2 mechanism
         on non-tree graphs.
     mechanism:
-        Force a mechanism from ``{"tree", "bounded-weight",
-        "all-pairs-basic", "all-pairs-advanced", "hub-set",
-        "hub-bounded"}`` instead of auto-selecting.
+        Force a registered mechanism by name (see
+        :func:`repro.mechanisms.available_mechanisms`; only standalone
+        mechanisms qualify) instead of auto-selecting.
     ledger:
         Share a :class:`~repro.serving.ledger.BudgetLedger` with other
         products; defaults to a private ledger with ``epoch_budget``
@@ -170,6 +164,11 @@ class DistanceService:
         mechanisms of :mod:`repro.apsp` are engine-native — built
         directly on the CSR multi-source kernels — so they do not
         consult this knob.
+    cache_size:
+        Bound the cross-batch answer cache to this many pairs (LRU
+        eviction); ``None`` (the default) keeps every answered pair.
+        Purely a memory knob: evicted answers are recomputed
+        identically from the immutable synopsis.
     """
 
     def __init__(
@@ -182,6 +181,7 @@ class DistanceService:
         ledger: BudgetLedger | None = None,
         tenant: str = "distance-service",
         backend: str | None = None,
+        cache_size: int | None = None,
     ) -> None:
         if isinstance(epoch_budget, (int, float)):
             epoch_budget = PrivacyParams(float(epoch_budget))
@@ -189,11 +189,14 @@ class DistanceService:
         self._rng = rng
         self._weight_bound = weight_bound
         self._forced_mechanism = mechanism
-        if mechanism is not None and mechanism not in MECHANISMS:
-            raise PrivacyError(
-                f"unknown mechanism {mechanism!r}; expected one of "
-                f"{', '.join(MECHANISMS)}"
-            )
+        if mechanism is not None:
+            # Raises MechanismError (a PrivacyError) on unknown names.
+            if not get_mechanism(mechanism).standalone:
+                raise PrivacyError(
+                    f"mechanism {mechanism!r} needs extra inputs (an "
+                    "explicit workload or site subset) and cannot back "
+                    "a standalone service"
+                )
         self._owns_ledger = ledger is None
         self._ledger = ledger if ledger is not None else BudgetLedger(
             epoch_budget
@@ -201,7 +204,9 @@ class DistanceService:
         self._tenant = tenant
         self._backend = backend
         self._stats = ServiceStats()
-        self._cache: Dict[Tuple[Vertex, Vertex], float] = {}
+        self._cache: MutableMapping[Tuple[Vertex, Vertex], float] = (
+            {} if cache_size is None else BoundedCache(cache_size)
+        )
         self._graph = graph
         self._mechanism = ""
         self._synopsis: DistanceSynopsis | None = None
@@ -212,88 +217,29 @@ class DistanceService:
     # ------------------------------------------------------------------
 
     def _build_synopsis(self) -> None:
-        mechanism = self._forced_mechanism or select_mechanism(
+        name = self._forced_mechanism or auto_select_mechanism(
             self._graph, self._budget, self._weight_bound
         )
-        eps, delta = self._budget.eps, self._budget.delta
+        mech = get_mechanism(name)
+        params = MechanismParams(
+            budget=self._budget, weight_bound=self._weight_bound
+        )
         # Validate mechanism preconditions before touching the ledger,
         # so a config or precondition error never burns epoch budget.
-        # Topology checks are public; the weight-bound check mirrors
-        # the release's own pre-noise precondition, just earlier.
-        rooted: RootedTree | None = None
-        if mechanism == "tree":
-            # Topology-only validation (raises NotATreeError early).
-            rooted = RootedTree(
-                self._graph, next(iter(self._graph.vertices()))
-            )
-        elif mechanism in ("bounded-weight", "hub-bounded"):
-            if self._weight_bound is None:
-                raise GraphError(
-                    f"{mechanism} mechanism requires a weight_bound"
-                )
-            self._graph.check_bounded(self._weight_bound)
-            if not is_connected(self._graph):
-                raise DisconnectedGraphError(
-                    f"{mechanism} release requires a connected graph"
-                )
-        else:
-            if mechanism == "all-pairs-advanced" and delta <= 0:
-                raise PrivacyError(
-                    "all-pairs-advanced requires a delta > 0 budget"
-                )
-            if not is_connected(self._graph):
-                raise DisconnectedGraphError(
-                    f"{mechanism} release requires a connected graph"
-                )
+        # The checks are public (topology, connectivity, the declared
+        # bound's pre-noise precondition).
+        mech.validate(self._graph, params)
         # Spend first, release second: if the ledger refuses, no noise
         # is ever drawn and nothing about the weights leaks.
         self._ledger.spend(
             self._budget,
             tenant=self._tenant,
-            label=f"epoch {self._ledger.epoch} {mechanism} synopsis",
+            label=f"epoch {self._ledger.epoch} {name} synopsis",
         )
-        if mechanism == "tree":
-            assert rooted is not None
-            release = TreeAllPairsRelease(rooted, eps, self._rng)
-            self._synopsis = TreeSynopsis.from_release(release)
-        elif mechanism == "bounded-weight":
-            release = BoundedWeightRelease(
-                self._graph,
-                self._weight_bound,
-                eps,
-                self._rng,
-                delta=delta,
-                backend=self._backend,
-            )
-            self._synopsis = BoundedWeightSynopsis.from_release(release)
-        elif mechanism == "hub-bounded":
-            release = HubSetBoundedRelease(
-                self._graph,
-                self._weight_bound,
-                eps,
-                self._rng,
-                delta=delta,
-            )
-            self._synopsis = HubBoundedSynopsis.from_release(release)
-        elif mechanism == "hub-set":
-            release = HubSetRelease(
-                self._graph, eps, self._rng, delta=delta
-            )
-            self._synopsis = HubSetSynopsis.from_release(release)
-        elif mechanism == "all-pairs-advanced":
-            # Engine-native build: matrix + vectorized triangle noise.
-            self._synopsis = build_all_pairs_synopsis(
-                self._graph,
-                eps,
-                self._rng,
-                delta=delta,
-                backend=self._backend,
-            )
-        else:
-            self._synopsis = build_all_pairs_synopsis(
-                self._graph, eps, self._rng, backend=self._backend
-            )
-        self._mechanism = mechanism
+        self._synopsis = mech.build(
+            self._graph, params, self._rng, backend=self._backend
+        )
+        self._mechanism = name
         self._stats.epochs_built += 1
 
     def refresh(self, graph: WeightedGraph | None = None) -> None:
@@ -358,6 +304,43 @@ class DistanceService:
         self._stats.cache_hits += report.cache_hits
         return report
 
+    def estimate(self, source: Vertex, target: Vertex) -> Estimate:
+        """One distance query as a rich
+        :class:`~repro.serving.estimates.Estimate` — the ``query()``
+        value (bit-identical, shared cache and counters) plus the
+        answer's effective noise scale, mechanism, and epoch."""
+        value = self.query(source, target)
+        return Estimate(
+            value=value,
+            noise_scale=self._require_synopsis().noise_scale_for(
+                source, target
+            ),
+            mechanism=self._mechanism,
+            epoch=self._ledger.epoch,
+        )
+
+    def estimate_batch(
+        self, pairs: Sequence[Tuple[Vertex, Vertex]]
+    ) -> List[Estimate]:
+        """A batch of rich estimates, aligned with the input order.
+
+        Values come from :meth:`query_batch` (same dedupe, cache, and
+        counters); scales are free post-processing of the synopsis's
+        released-table structure.
+        """
+        report = self.query_batch(pairs)
+        synopsis = self._require_synopsis()
+        mechanism, epoch = self._mechanism, self._ledger.epoch
+        return [
+            Estimate(
+                value=value,
+                noise_scale=synopsis.noise_scale_for(s, t),
+                mechanism=mechanism,
+                epoch=epoch,
+            )
+            for (s, t), value in zip(pairs, report.answers)
+        ]
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -384,6 +367,11 @@ class DistanceService:
         return self._ledger
 
     @property
+    def epoch(self) -> int:
+        """The ledger epoch currently being served."""
+        return self._ledger.epoch
+
+    @property
     def epoch_budget(self) -> PrivacyParams:
         """The per-epoch privacy budget."""
         return self._budget
@@ -397,5 +385,5 @@ class DistanceService:
         return (
             f"DistanceService(mechanism={self._mechanism!r}, "
             f"budget={self._budget}, epoch={self._ledger.epoch}, "
-            f"queries={self._stats.point_queries + self._stats.batch_queries})"
+            f"queries={self._stats.num_queries})"
         )

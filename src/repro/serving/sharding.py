@@ -67,17 +67,12 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, MutableMapping, Sequence, Tuple
 
 import numpy as np
 
 from ..algorithms.traversal import is_connected
-from ..apsp.hubs import (
-    HubStructure,
-    build_hub_structure,
-    default_ball_size,
-    default_hub_count,
-)
+from ..apsp.hubs import HubStructure
 from ..dp.params import PrivacyParams
 from ..engine.csr import CSRGraph
 from ..exceptions import (
@@ -88,8 +83,10 @@ from ..exceptions import (
 )
 from ..graphs.graph import Edge, Vertex, WeightedGraph
 from ..graphs.io import _decode_vertex, _encode_vertex
+from ..mechanisms import MechanismParams, get_mechanism
 from ..rng import Rng
-from .batching import BatchPlanner, BatchReport
+from .batching import BatchPlanner, BatchReport, BoundedCache
+from .estimates import Estimate
 from .ledger import BudgetLedger
 from .service import DistanceService, ServiceStats
 from .synopsis import canonical_pair
@@ -442,6 +439,7 @@ class ShardedDistanceService:
         relay_fraction: float = DEFAULT_RELAY_FRACTION,
         relay_hub_count: int | None = None,
         relay_ball_size: int | None = None,
+        cache_size: int | None = None,
     ) -> None:
         if isinstance(epoch_budget, (int, float)):
             epoch_budget = PrivacyParams(float(epoch_budget))
@@ -473,7 +471,9 @@ class ShardedDistanceService:
             epoch_budget
         )
         self._stats = ServiceStats()
-        self._cache: Dict[Tuple[Vertex, Vertex], float] = {}
+        self._cache: MutableMapping[Tuple[Vertex, Vertex], float] = (
+            {} if cache_size is None else BoundedCache(cache_size)
+        )
         self._graph = graph
 
         if plan.num_shards == 1:
@@ -567,9 +567,10 @@ class ShardedDistanceService:
         """Release the boundary-hub relay table for the current epoch.
 
         Spends the relay tenant's budget first (fail closed — a
-        refused spend draws no noise), then builds the hub structure
-        over the boundary sites on the *full* graph's CSR, so relay
-        distances may traverse any shard.
+        refused spend draws no noise), then asks the registry's
+        ``boundary-relay`` mechanism for a hub structure over the
+        boundary sites on the *full* graph's CSR, so relay distances
+        may traverse any shard.
         """
         assert self._relay_params is not None
         boundary = self._plan.boundary
@@ -578,16 +579,14 @@ class ShardedDistanceService:
             raise GraphError(
                 "multi-shard plan has no boundary vertices"
             )
-        hub_count = (
-            default_hub_count(m)
-            if self._relay_hub_count is None
-            else self._relay_hub_count
+        relay_mechanism = get_mechanism("boundary-relay")
+        relay_params = MechanismParams(
+            budget=self._relay_params,
+            sites=boundary,
+            hub_count=self._relay_hub_count,
+            ball_size=self._relay_ball_size,
         )
-        ball_size = (
-            default_ball_size(m)
-            if self._relay_ball_size is None
-            else self._relay_ball_size
-        )
+        relay_mechanism.validate(self._graph, relay_params)
         self._ledger.spend(
             self._relay_params,
             tenant=f"{self._tenant}/relay",
@@ -596,16 +595,9 @@ class ShardedDistanceService:
                 f"({m} sites)"
             ),
         )
-        csr = CSRGraph.from_graph(self._graph)
-        structure, _ = build_hub_structure(
-            csr,
-            csr.indices_of(boundary),
-            hub_count,
-            ball_size,
-            self._relay_params.eps,
-            self._relay_params.delta,
-            self._rng,
-        )
+        structure = relay_mechanism.build(
+            self._graph, relay_params, self._rng
+        ).structure
         # Bucket the ball table by shard pair once per build (the hub
         # sample is redrawn each epoch, so exclusions change too).
         # Same-shard buckets ((i, i)) refine the intra-shard relay cap.
@@ -860,6 +852,80 @@ class ShardedDistanceService:
         self._stats.cache_hits += report.cache_hits
         return report
 
+    def _noise_scale_for(
+        self, s: Vertex, i: int, t: Vertex, j: int, value: float
+    ) -> float:
+        """The effective noise scale behind the routed answer
+        ``value``.
+
+        Intra-shard answers report the owning synopsis's per-pair
+        scale unless the relay cap won the min, in which case — like
+        every cross-shard answer — the scale is the composed relay
+        chain ``sigma_i + 2 rho + sigma_j`` (one released boundary leg
+        per endpoint shard at its synopsis's per-entry scale, plus the
+        two-entry relay term).  Which branch served the pair is read
+        off the value itself (``value == min(direct, cap)``, so the
+        direct estimate won iff it equals the value — one synopsis
+        lookup, no relay recomputation).  Deterministic
+        post-processing: no rng, no budget.
+        """
+        if s == t:
+            return 0.0
+        if i == j:
+            synopsis = self._services[i].synopsis
+            if (
+                self._relay is None
+                or synopsis.distance(s, t) == value
+            ):
+                return synopsis.noise_scale_for(s, t)
+        relay = self._require_relay()
+        return (
+            self._services[i].synopsis.noise_scale
+            + 2.0 * relay.noise_scale
+            + self._services[j].synopsis.noise_scale
+        )
+
+    def estimate(self, source: Vertex, target: Vertex) -> Estimate:
+        """One routed query as a rich
+        :class:`~repro.serving.estimates.Estimate` — the ``query()``
+        value (bit-identical, shared cache and counters) plus the
+        composed noise scale of the branch that served it."""
+        value = self.query(source, target)
+        i = self._plan.shard_of(source)
+        j = self._plan.shard_of(target)
+        return Estimate(
+            value=value,
+            noise_scale=self._noise_scale_for(
+                source, i, target, j, value
+            ),
+            mechanism=self.mechanism,
+            epoch=self._ledger.epoch,
+        )
+
+    def estimate_batch(
+        self, pairs: Sequence[Tuple[Vertex, Vertex]]
+    ) -> List[Estimate]:
+        """A batch of rich estimates, aligned with the input order
+        (values via :meth:`query_batch`; scales are free
+        post-processing)."""
+        report = self.query_batch(pairs)
+        mechanism, epoch = self.mechanism, self._ledger.epoch
+        return [
+            Estimate(
+                value=value,
+                noise_scale=self._noise_scale_for(
+                    s,
+                    self._plan.shard_of(s),
+                    t,
+                    self._plan.shard_of(t),
+                    value,
+                ),
+                mechanism=mechanism,
+                epoch=epoch,
+            )
+            for (s, t), value in zip(pairs, report.answers)
+        ]
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -914,6 +980,11 @@ class ShardedDistanceService:
     def ledger(self) -> BudgetLedger:
         """The budget ledger every tenant spends against."""
         return self._ledger
+
+    @property
+    def epoch(self) -> int:
+        """The ledger epoch currently being served."""
+        return self._ledger.epoch
 
     @property
     def epoch_budget(self) -> PrivacyParams:

@@ -4,10 +4,12 @@ This module closes the loop on the paper's motivating example.  It
 builds a synthetic city (:func:`repro.workloads.traffic.grid_road_network`),
 overlays a moving rush-hour hot-spot per epoch
 (:func:`repro.workloads.traffic.rush_hour_scenario`), stands up a
-:class:`~repro.serving.service.DistanceService`, and replays batches
-of rider queries against it — measuring what a provider actually cares
-about: throughput (queries/second), empirical error versus the true
-congested distances, and the audited budget spend per epoch.
+server through the declarative
+:func:`~repro.serving.config.serve` path (sharded or not — the replay
+never branches on it), and replays batches of rider queries against
+it — measuring what a provider actually cares about: throughput
+(queries/second), empirical error versus the true congested
+distances, and the audited budget spend per epoch.
 
 The replay is fully deterministic given the :class:`~repro.rng.Rng`,
 so simulation results are regenerable bit-for-bit.
@@ -19,7 +21,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..algorithms.shortest_paths import all_pairs_dijkstra
-from ..dp.params import PrivacyParams
 from ..exceptions import GraphError
 from ..graphs.graph import Vertex, WeightedGraph
 from ..rng import Rng
@@ -30,8 +31,7 @@ from ..workloads.traffic import (
     grid_road_network,
     rush_hour_scenario,
 )
-from .service import DistanceService
-from .sharding import ShardedDistanceService
+from .config import DistanceServer, ServingConfig, serve
 
 __all__ = ["SimulationReport", "EpochResult", "replay_rush_hour"]
 
@@ -66,6 +66,10 @@ class SimulationReport:
     num_epochs: int
     epochs: List[EpochResult] = field(default_factory=list)
     ledger_spends: int = 0
+    #: Final snapshot of the server's shared counters
+    #: (:meth:`~repro.serving.service.ServiceStats.as_dict`) — the
+    #: same names whether the replay ran sharded or not.
+    server_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_queries(self) -> int:
@@ -114,6 +118,7 @@ class SimulationReport:
             "mean_abs_error": self.mean_abs_error,
             "max_abs_error": self.max_abs_error,
             "ledger_spends": self.ledger_spends,
+            "server_stats": dict(self.server_stats),
         }
 
 
@@ -143,28 +148,57 @@ def replay_rush_hour(
     backend: str | None = None,
     mechanism: str | None = None,
     shards: int | None = None,
+    config: ServingConfig | None = None,
 ) -> SimulationReport:
-    """Replay rush-hour traffic through a :class:`DistanceService`.
+    """Replay rush-hour traffic through the serving engine.
 
     Each epoch places a fresh hot-spot at a random downtown location,
-    refreshes the service (one budget spend), and serves a batch of
-    ``queries_per_epoch`` uniform rider queries, comparing the served
-    answers against the true congested distances.
+    refreshes the server (one budget spend per tenant), and serves a
+    batch of ``queries_per_epoch`` uniform rider queries, comparing
+    the served answers against the true congested distances.
 
+    The server is stood up through the one
+    :func:`~repro.serving.config.serve` path: either from an explicit
+    declarative ``config`` (in which case ``eps`` / ``delta`` /
+    ``weight_bound`` / ``backend`` / ``mechanism`` / ``shards`` must
+    be left at their defaults — the config is the single source of
+    truth) or from those flag-style parameters assembled into one.
     With ``weight_bound`` set, epoch weights are additionally capped
     (:func:`~repro.workloads.traffic.congestion_weights` semantics) so
-    the service can auto-select the Section 4.2 covering mechanism.
-    ``backend`` selects the :mod:`repro.engine` kernel both for the
-    service's releases and for the replay's own exact ground-truth
-    sweeps (default auto); ``mechanism`` forces a release mechanism on
-    the service instead of auto-selecting (the CLI's ``--mechanism``).
-    With ``shards`` of 2 or more the replay stands up a
-    :class:`~repro.serving.sharding.ShardedDistanceService` instead —
-    one tenant per region plus the boundary-hub relay (the CLI's
-    ``--shards``); each epoch is then a full sharded rebuild.
+    the Section 4.2 covering mechanism can auto-select.  With 2+
+    shards each epoch is a full sharded rebuild (regional tenants +
+    boundary-hub relay); the replay itself never branches on sharding
+    — both server shapes speak
+    :class:`~repro.serving.config.DistanceServer`.
     """
-    if shards is not None and shards < 1:
-        raise GraphError(f"need at least 1 shard, got {shards}")
+    if config is not None:
+        overridden = {
+            "eps": eps != 1.0,
+            "delta": delta != 0.0,
+            "weight_bound": weight_bound is not None,
+            "mechanism": mechanism is not None,
+            "shards": shards is not None,
+            "backend": backend is not None,
+        }
+        clashes = sorted(k for k, v in overridden.items() if v)
+        if clashes:
+            raise GraphError(
+                "replay_rush_hour got both config= and flag-style "
+                f"parameters ({', '.join(clashes)}); pass one or the "
+                "other"
+            )
+        eps, delta = config.eps, config.delta
+        weight_bound = config.weight_bound
+        backend = config.backend
+    else:
+        config = ServingConfig(
+            mechanism=mechanism if mechanism is not None else "auto",
+            eps=eps,
+            delta=delta,
+            weight_bound=weight_bound,
+            backend=backend,
+            shards=shards if shards is not None else 1,
+        )
     if epochs < 1:
         raise GraphError(f"need at least 1 epoch, got {epochs}")
     if queries_per_epoch < 1:
@@ -196,30 +230,12 @@ def replay_rush_hour(
             )
         return congested
 
-    service: DistanceService | ShardedDistanceService | None = None
+    service: DistanceServer | None = None
     results: List[EpochResult] = []
     for epoch in range(epochs):
         graph = epoch_weights()
         if service is None:
-            if shards is not None and shards > 1:
-                service = ShardedDistanceService(
-                    graph,
-                    PrivacyParams(eps, delta),
-                    rng,
-                    shards=shards,
-                    weight_bound=weight_bound,
-                    mechanism=mechanism,
-                    backend=backend,
-                )
-            else:
-                service = DistanceService(
-                    graph,
-                    PrivacyParams(eps, delta),
-                    rng,
-                    weight_bound=weight_bound,
-                    mechanism=mechanism,
-                    backend=backend,
-                )
+            service = serve(graph, config, rng)
         else:
             service.refresh(graph)
         pairs = uniform_pairs(graph, queries_per_epoch, rng)
@@ -248,4 +264,5 @@ def replay_rush_hour(
         num_epochs=epochs,
         epochs=results,
         ledger_spends=len(service.ledger.records()),
+        server_stats=service.stats.as_dict(),
     )

@@ -31,6 +31,7 @@ registry keyed by ``kind``.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Type
 
 import numpy as np
@@ -39,10 +40,16 @@ from ..algorithms.shortest_paths import all_pairs_dijkstra
 from ..algorithms.traversal import is_connected
 from ..apsp.hubs import HubStructure
 from ..core.distance_oracle import all_pairs_noise_scale
+from ..dp.composition import composed_noise_scale
 from ..dp.params import PrivacyParams
 from ..engine.csr import CSRGraph
 from ..engine.kernels import multi_source_distances
-from ..exceptions import DisconnectedGraphError, GraphError, VertexNotFoundError
+from ..exceptions import (
+    DisconnectedGraphError,
+    GraphError,
+    SynopsisError,
+    VertexNotFoundError,
+)
 from ..graphs.graph import Vertex, WeightedGraph
 from ..graphs.io import _decode_vertex, _encode_vertex
 from ..rng import Rng
@@ -133,6 +140,28 @@ class DistanceSynopsis:
         """The released (noisy) distance between a pair of vertices."""
         raise NotImplementedError
 
+    @property
+    def noise_scale(self) -> float:
+        """The representative per-released-entry Laplace scale — what
+        one table entry of this synopsis was perturbed with.  The raw
+        material for :class:`~repro.serving.estimates.Estimate`."""
+        raise NotImplementedError
+
+    def noise_scale_for(self, source: Vertex, target: Vertex) -> float:
+        """The effective noise scale behind ``distance(source, target)``.
+
+        Default: the per-entry :attr:`noise_scale` (exact for synopses
+        whose answers are single released entries), except for the
+        deterministic ``distance(v, v) == 0.0`` answer, which every
+        synopsis serves without noise.  Synopses that compose entries
+        per answer override this — the hub synopses report the
+        composed two-entry relay scale unless the pair hits a direct
+        local-ball entry.
+        """
+        if source == target:
+            return 0.0
+        return self.noise_scale
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -167,14 +196,17 @@ def synopsis_from_json(text: str) -> DistanceSynopsis:
     output, dispatching on the document's ``kind``."""
     document = json.loads(text)
     if document.get("format") != SYNOPSIS_FORMAT:
-        raise GraphError("not a repro-synopsis JSON document")
+        raise SynopsisError("not a repro-synopsis JSON document")
     if document.get("version") != _FORMAT_VERSION:
-        raise GraphError(
+        raise SynopsisError(
             f"unsupported synopsis version {document.get('version')!r}"
         )
     kind = document.get("kind")
     if kind not in _REGISTRY:
-        raise GraphError(f"unknown synopsis kind {kind!r}")
+        raise SynopsisError(
+            f"unknown synopsis kind {kind!r}; registered kinds: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        )
     params = PrivacyParams(float(document["eps"]), float(document["delta"]))
     return _REGISTRY[kind]._from_payload(document, params)
 
@@ -239,6 +271,13 @@ class SinglePairSynopsis(_PairTableSynopsis):
 
     kind = "single-pair"
 
+    @property
+    def noise_scale(self) -> float:
+        """``Lap(Q/eps)`` over the ``Q`` distinct workload pairs —
+        recomputed from the table size, so it survives JSON round
+        trips exactly."""
+        return max(self.num_entries, 1) / self._params.eps
+
     def _payload(self) -> Dict[str, Any]:
         return {
             "vertices": [_encode_vertex(v) for v in self._vertices],
@@ -266,6 +305,15 @@ class AllPairsSynopsis(_PairTableSynopsis):
     """
 
     kind = "all-pairs"
+
+    @property
+    def noise_scale(self) -> float:
+        """The shared all-pairs accounting over ``V(V-1)/2`` pairs —
+        recomputed from the vertex set and budget, so it survives JSON
+        round trips exactly."""
+        return all_pairs_noise_scale(
+            len(self._vertices), self._params.eps, self._params.delta
+        )
 
     @classmethod
     def from_release(cls, release: Any) -> "AllPairsSynopsis":
@@ -318,12 +366,20 @@ class TreeSynopsis(DistanceSynopsis):
         estimates: Mapping[Vertex, float],
         parent: Mapping[Vertex, Vertex | None],
         depth: Mapping[Vertex, int],
+        noise_scale: float | None = None,
     ) -> None:
         super().__init__(params)
         self._root = root
         self._estimates = dict(estimates)
         self._parent = dict(parent)
         self._depth = dict(depth)
+        if noise_scale is None:
+            # Fallback for documents predating the stored scale: the
+            # release noises one value per centroid-recursion level,
+            # so ceil(log2 V)/eps upper-bounds the per-entry scale.
+            n = max(len(self._estimates), 2)
+            noise_scale = max(math.ceil(math.log2(n)), 1) / params.eps
+        self._noise_scale = float(noise_scale)
 
     @classmethod
     def from_release(cls, release: Any) -> "TreeSynopsis":
@@ -337,7 +393,16 @@ class TreeSynopsis(DistanceSynopsis):
             release.single_source.all_distances(),
             parent,
             depth,
+            noise_scale=release.single_source.noise_scale,
         )
+
+    @property
+    def noise_scale(self) -> float:
+        """The Laplace scale per released recursion value.  A pair
+        answer combines up to three root estimates (each a short sum
+        of released values), so per-answer noise is a small multiple
+        of this scale rather than a single Laplace draw."""
+        return self._noise_scale
 
     @property
     def root(self) -> Vertex:
@@ -376,6 +441,7 @@ class TreeSynopsis(DistanceSynopsis):
     def _payload(self) -> Dict[str, Any]:
         return {
             "root": _encode_vertex(self._root),
+            "noise_scale": self._noise_scale,
             "vertices": [
                 # One row per vertex: label, released estimate, depth,
                 # parent (None for the root).
@@ -403,8 +469,14 @@ class TreeSynopsis(DistanceSynopsis):
             estimates[v] = float(row[1])
             depth[v] = int(row[2])
             parent[v] = None if row[3] is None else _decode_vertex(row[3])
+        scale = payload.get("noise_scale")
         return cls(
-            params, _decode_vertex(payload["root"]), estimates, parent, depth
+            params,
+            _decode_vertex(payload["root"]),
+            estimates,
+            parent,
+            depth,
+            noise_scale=None if scale is None else float(scale),
         )
 
 
@@ -427,6 +499,7 @@ class BoundedWeightSynopsis(DistanceSynopsis):
         covering_table: Mapping[Tuple[Vertex, Vertex], float],
         weight_bound: float,
         k: int,
+        noise_scale: float | None = None,
     ) -> None:
         super().__init__(params)
         self._assignment = dict(assignment)
@@ -436,6 +509,14 @@ class BoundedWeightSynopsis(DistanceSynopsis):
         }
         self._weight_bound = float(weight_bound)
         self._k = int(k)
+        if noise_scale is None:
+            # Fallback for documents predating the stored scale: the
+            # release prices its |Z|(|Z|-1)/2 covering pairs through
+            # the shared composition accounting.
+            noise_scale = composed_noise_scale(
+                max(len(self._table), 1), params.eps, params.delta
+            )
+        self._noise_scale = float(noise_scale)
 
     @classmethod
     def from_release(cls, release: Any) -> "BoundedWeightSynopsis":
@@ -450,7 +531,16 @@ class BoundedWeightSynopsis(DistanceSynopsis):
             release.all_released(),
             release.weight_bound,
             release.k,
+            noise_scale=release.noise_scale,
         )
+
+    @property
+    def noise_scale(self) -> float:
+        """The Laplace scale per released covering-pair distance
+        (per-answer exact: each query reads one table entry).  The
+        covering detour ``<= 2kM`` is a separate, deterministic error
+        term not captured here."""
+        return self._noise_scale
 
     @property
     def vertices(self) -> frozenset:
@@ -485,10 +575,25 @@ class BoundedWeightSynopsis(DistanceSynopsis):
             )
         return self._table[key]
 
+    def noise_scale_for(self, source: Vertex, target: Vertex) -> float:
+        """0 for pairs sharing a covering site (their answer is a
+        deterministic 0); the per-entry table scale otherwise."""
+        if source not in self._assignment:
+            raise VertexNotFoundError(source)
+        if target not in self._assignment:
+            raise VertexNotFoundError(target)
+        if (
+            source == target
+            or self._assignment[source] == self._assignment[target]
+        ):
+            return 0.0
+        return self._noise_scale
+
     def _payload(self) -> Dict[str, Any]:
         return {
             "weight_bound": self._weight_bound,
             "k": self._k,
+            "noise_scale": self._noise_scale,
             "assignment": [
                 [_encode_vertex(v), _encode_vertex(z)]
                 for v, z in self._assignment.items()
@@ -504,12 +609,14 @@ class BoundedWeightSynopsis(DistanceSynopsis):
             _decode_vertex(v): _decode_vertex(z)
             for v, z in payload["assignment"]
         }
+        scale = payload.get("noise_scale")
         return cls(
             params,
             assignment,
             _decode_pair_table(payload["covering_pairs"]),
             float(payload["weight_bound"]),
             int(payload["k"]),
+            noise_scale=None if scale is None else float(scale),
         )
 
 
@@ -617,6 +724,14 @@ class HubSetSynopsis(DistanceSynopsis):
             self._site(source), self._site(target)
         )
 
+    def noise_scale_for(self, source: Vertex, target: Vertex) -> float:
+        """The composed relay scale (two summed entries), or the
+        direct per-entry scale when the pair hits a local-ball
+        release."""
+        return self._structure.scale_for(
+            self._site(source), self._site(target)
+        )
+
     def _payload(self) -> Dict[str, Any]:
         payload = {
             "vertices": [_encode_vertex(v) for v in self._order],
@@ -712,7 +827,12 @@ class HubBoundedSynopsis(DistanceSynopsis):
         """The released inner hub structure over the covering."""
         return self._structure
 
-    def distance(self, source: Vertex, target: Vertex) -> float:
+    @property
+    def noise_scale(self) -> float:
+        """The Laplace scale on each released inner-hub entry."""
+        return self._structure.noise_scale
+
+    def _sites(self, source: Vertex, target: Vertex) -> Tuple[int, int]:
         try:
             i = self._index[source]
         except KeyError:
@@ -721,12 +841,22 @@ class HubBoundedSynopsis(DistanceSynopsis):
             j = self._index[target]
         except KeyError:
             raise VertexNotFoundError(target) from None
-        if source == target:
-            return 0.0
-        si, sj = self._assignment[i], self._assignment[j]
-        if si == sj:
+        return self._assignment[i], self._assignment[j]
+
+    def distance(self, source: Vertex, target: Vertex) -> float:
+        si, sj = self._sites(source, target)
+        if source == target or si == sj:
             return 0.0
         return self._structure.estimate(si, sj)
+
+    def noise_scale_for(self, source: Vertex, target: Vertex) -> float:
+        """The composed scale of the inner hub answer for the pair's
+        covering sites (0 for same-site pairs: their answer is a
+        deterministic 0)."""
+        si, sj = self._sites(source, target)
+        if source == target or si == sj:
+            return 0.0
+        return self._structure.scale_for(si, sj)
 
     def _payload(self) -> Dict[str, Any]:
         payload = {

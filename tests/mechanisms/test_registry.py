@@ -1,0 +1,249 @@
+"""Unit tests for :mod:`repro.mechanisms` — the release-mechanism
+registry and its auto-selection contest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    MechanismError,
+    PrivacyParams,
+    Rng,
+    auto_select_mechanism,
+    available_mechanisms,
+    get_mechanism,
+    register_mechanism,
+)
+from repro.algorithms.traversal import is_connected
+from repro.apsp import predicted_hub_scale
+from repro.core.distance_oracle import all_pairs_noise_scale
+from repro.graphs import generators
+from repro.mechanisms import (
+    HUB_BOUNDED_MIN_VERTICES,
+    HUB_MIN_VERTICES,
+    HUB_SELECTION_MARGIN,
+    Mechanism,
+    MechanismParams,
+    registered_mechanisms,
+    standalone_mechanisms,
+)
+
+
+def legacy_select_mechanism(graph, budget, weight_bound=None):
+    """The pre-registry if/elif ladder, frozen verbatim as the
+    equivalence reference for the contest."""
+    if (
+        not graph.directed
+        and graph.num_edges == graph.num_vertices - 1
+        and is_connected(graph)
+    ):
+        return "tree"
+    if weight_bound is not None:
+        if graph.num_vertices >= HUB_BOUNDED_MIN_VERTICES:
+            return "hub-bounded"
+        return "bounded-weight"
+    n = graph.num_vertices
+    baseline = (
+        "all-pairs-advanced" if budget.delta > 0 else "all-pairs-basic"
+    )
+    baseline_scale = all_pairs_noise_scale(n, budget.eps, budget.delta)
+    if (
+        n >= HUB_MIN_VERTICES
+        and predicted_hub_scale(n, budget.eps, budget.delta)
+        * HUB_SELECTION_MARGIN
+        < baseline_scale
+    ):
+        return "hub-set"
+    return baseline
+
+
+class TestRegistry:
+    def test_all_eight_mechanisms_registered(self):
+        assert available_mechanisms() == (
+            "all-pairs-advanced",
+            "all-pairs-basic",
+            "boundary-relay",
+            "bounded-weight",
+            "hub-bounded",
+            "hub-set",
+            "single-pair",
+            "tree",
+        )
+
+    def test_standalone_excludes_workload_mechanisms(self):
+        names = standalone_mechanisms()
+        assert "single-pair" not in names
+        assert "boundary-relay" not in names
+        assert set(names) == {
+            "tree",
+            "bounded-weight",
+            "hub-bounded",
+            "all-pairs-basic",
+            "all-pairs-advanced",
+            "hub-set",
+        }
+
+    def test_get_mechanism_unknown_name(self):
+        with pytest.raises(MechanismError) as excinfo:
+            get_mechanism("quantum")
+        assert "quantum" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(Mechanism):
+            name = "tree"  # collides with the registered tree entry
+
+        with pytest.raises(MechanismError):
+            register_mechanism(Dup())
+
+    def test_unnamed_registration_rejected(self):
+        with pytest.raises(MechanismError):
+            register_mechanism(Mechanism())
+
+    def test_registration_order_is_stable(self):
+        names = [m.name for m in registered_mechanisms()]
+        # Tie-break order: tree first, baselines before hub-set.
+        assert names.index("tree") == 0
+        assert names.index("all-pairs-basic") < names.index("hub-set")
+        assert names.index("all-pairs-advanced") < names.index("hub-set")
+
+
+class TestPredictions:
+    """Every registered mechanism predicts a positive noise scale."""
+
+    def test_predicted_scales_positive(self, rng):
+        graph = generators.grid_graph(6, 6)
+        params = MechanismParams(
+            budget=PrivacyParams(1.0, 1e-6),
+            weight_bound=2.0,
+            pairs=(((0, 0), (5, 5)),),
+            sites=tuple(graph.vertices())[:6],
+        )
+        tree = generators.random_tree(12, rng)
+        for mechanism in registered_mechanisms():
+            target = tree if mechanism.name == "tree" else graph
+            scale = mechanism.predicted_noise_scale(target, params)
+            assert scale > 0.0, mechanism.name
+
+    def test_workload_mechanisms_never_auto_eligible(self):
+        graph = generators.grid_graph(6, 6)
+        params = MechanismParams(
+            budget=PrivacyParams(1.0),
+            pairs=(((0, 0), (5, 5)),),
+            sites=tuple(graph.vertices()),
+        )
+        assert not get_mechanism("single-pair").auto_eligible(
+            graph, params
+        )
+        assert not get_mechanism("boundary-relay").auto_eligible(
+            graph, params
+        )
+
+    def test_selection_score_applies_margin(self):
+        graph = generators.grid_graph(16, 16)
+        params = MechanismParams(budget=PrivacyParams(1.0))
+        hub = get_mechanism("hub-set")
+        assert hub.selection_score(graph, params) == (
+            HUB_SELECTION_MARGIN
+            * hub.predicted_noise_scale(graph, params)
+        )
+
+
+class TestAutoSelectionEquivalence:
+    """The registry contest makes seeded-identical choices to the
+    retired if/elif ladder — the ISSUE's equivalence bar, across
+    V in {64, 256, 1024} grid / sparse / tree families."""
+
+    BUDGETS = [
+        PrivacyParams(1.0),
+        PrivacyParams(0.25),
+        PrivacyParams(4.0),
+        PrivacyParams(1.0, 1e-6),
+        PrivacyParams(0.5, 1e-4),
+    ]
+    BOUNDS = [None, 2.0]
+
+    def _families(self, v, rng):
+        side = int(round(v ** 0.5))
+        return [
+            generators.grid_graph(side, side),
+            generators.erdos_renyi_graph(v, 2.0 / v, rng),
+            generators.random_tree(v, rng),
+        ]
+
+    @pytest.mark.parametrize("v", [64, 256, 1024])
+    def test_equivalence_across_families(self, v):
+        rng = Rng(20160501 + v)
+        for graph in self._families(v, rng):
+            for budget in self.BUDGETS:
+                for bound in self.BOUNDS:
+                    assert auto_select_mechanism(
+                        graph, budget, bound
+                    ) == legacy_select_mechanism(
+                        graph, budget, bound
+                    ), (v, graph.num_edges, budget, bound)
+
+    def test_equivalence_at_road_scale_with_bound(self):
+        # The hub-bounded crossover (V >= 4096, bound declared).
+        graph = generators.grid_graph(64, 64)
+        for budget in (PrivacyParams(1.0), PrivacyParams(1.0, 1e-6)):
+            assert auto_select_mechanism(
+                graph, budget, 1.0
+            ) == legacy_select_mechanism(graph, budget, 1.0)
+            assert auto_select_mechanism(graph, budget, 1.0) == (
+                "hub-bounded"
+            )
+
+    def test_equivalence_on_ladder_corner_cases(self, rng):
+        # E = V - 1 without being a tree (the misclassification trap).
+        almost = generators.cycle_graph(3)
+        almost.add_vertex(99)
+        budget = PrivacyParams(1.0)
+        assert auto_select_mechanism(
+            almost, budget
+        ) == legacy_select_mechanism(almost, budget)
+        # Tiny graphs (V = 1, V = 2).
+        single = generators.path_graph(1)
+        pair = generators.path_graph(2)
+        for graph in (single, pair):
+            for bound in (None, 1.0):
+                assert auto_select_mechanism(
+                    graph, budget, bound
+                ) == legacy_select_mechanism(graph, budget, bound)
+
+    def test_tree_with_declared_bound_still_selects_tree(self, rng):
+        tree = generators.random_tree(64, rng)
+        assert (
+            auto_select_mechanism(tree, PrivacyParams(1.0), 5.0)
+            == "tree"
+        )
+
+
+class TestServiceIntegration:
+    def test_workload_mechanism_cannot_back_a_service(self, rng):
+        from repro import DistanceService, PrivacyError
+
+        grid = generators.grid_graph(3, 3)
+        for name in ("single-pair", "boundary-relay"):
+            with pytest.raises(PrivacyError):
+                DistanceService(grid, 1.0, rng, mechanism=name)
+
+    def test_forced_build_matches_direct_mechanism_build(self, rng):
+        """Forcing a mechanism through the service draws the same
+        noise as calling the registry entry directly (same rng
+        consumption, same synopsis values)."""
+        from repro import DistanceService
+
+        grid = generators.grid_graph(4, 4)
+        service = DistanceService(grid, 1.0, Rng(7), mechanism="hub-set")
+        direct = get_mechanism("hub-set").build(
+            grid, MechanismParams(budget=PrivacyParams(1.0)), Rng(7)
+        )
+        assert service.query((0, 0), (3, 3)) == direct.distance(
+            (0, 0), (3, 3)
+        )
+
+    def test_mechanism_error_is_a_privacy_error(self):
+        from repro import PrivacyError, ReproError
+
+        assert issubclass(MechanismError, PrivacyError)
+        assert issubclass(MechanismError, ReproError)

@@ -389,6 +389,26 @@ class TestServe:
         assert code == 2
         assert "--shards" in capsys.readouterr().err
 
+    def test_config_without_eps_rejected(
+        self, grid_file, tmp_path, capsys
+    ):
+        cfg = tmp_path / "serving.json"
+        cfg.write_text(
+            json.dumps(
+                {"format": "repro-serving-config", "version": 1}
+            )
+        )
+        code = main(
+            [
+                "serve",
+                "--graph", str(grid_file),
+                "--config", str(cfg),
+                "--pairs", "0,0:3,3",
+            ]
+        )
+        assert code == 2
+        assert "--eps" in capsys.readouterr().err
+
 
 class TestSimulate:
     def test_report_json(self, capsys):
@@ -472,6 +492,71 @@ class TestSimulate:
         assert report["total_queries"] == 40
         # One epoch spends 2 shard tenants + the boundary relay.
         assert report["ledger_spends"] == 3
+
+    def test_config_document(self, tmp_path, capsys):
+        from repro import ServingConfig
+
+        cfg = tmp_path / "serving.json"
+        cfg.write_text(ServingConfig(eps=1.0).to_json())
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--config", str(cfg),
+                "--queries", "25",
+                "--seed", "4",
+            ]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["total_queries"] == 25
+
+    def test_config_clashes_with_serving_flags(self, tmp_path, capsys):
+        """Regression: flags the config already decides are refused,
+        not silently dropped."""
+        from repro import ServingConfig
+
+        cfg = tmp_path / "serving.json"
+        cfg.write_text(ServingConfig(eps=1.0).to_json())
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--config", str(cfg),
+                "--mechanism", "hub-set",
+                "--shards", "2",
+                "--seed", "4",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--mechanism" in err and "--shards" in err
+
+    def test_config_without_eps_rejected(self, tmp_path, capsys):
+        """Regression: a DP budget is never silently defaulted — a
+        config document that omits eps needs an explicit --eps."""
+        cfg = tmp_path / "serving.json"
+        cfg.write_text(
+            json.dumps(
+                {
+                    "format": "repro-serving-config",
+                    "version": 1,
+                    "mechanism": "hub-set",
+                }
+            )
+        )
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--config", str(cfg),
+                "--seed", "4",
+            ]
+        )
+        assert code == 2
+        assert "--eps" in capsys.readouterr().err
 
 
 class TestMst:

@@ -62,11 +62,15 @@ class TestExports:
             "repro.workloads",
             "repro.workloads.traffic",
             "repro.workloads.queries",
+            "repro.mechanisms",
             "repro.serving",
             "repro.serving.synopsis",
             "repro.serving.service",
             "repro.serving.ledger",
             "repro.serving.batching",
+            "repro.serving.config",
+            "repro.serving.estimates",
+            "repro.serving.sharding",
             "repro.serving.simulate",
             "repro.analysis",
             "repro.analysis.errors",
