@@ -38,8 +38,14 @@ import time
 
 sys.path.insert(0, ".")  # allow `python benchmarks/bench_apsp_improved.py`
 
-from benchmarks.common import fresh_rng, print_experiment
-from repro import AllPairsBasicRelease, Rng, ServingConfig, serve
+from benchmarks.common import fresh_rng, latency_summary, print_experiment
+from repro import (
+    AllPairsBasicRelease,
+    Rng,
+    ServingConfig,
+    Telemetry,
+    serve,
+)
 from repro.algorithms.shortest_paths import all_pairs_dijkstra
 from repro.analysis import render_table
 from repro.apsp import HubSetRelease
@@ -114,7 +120,18 @@ def _synopsis_build_note(graph, rng: Rng) -> str:
     )
 
 
+#: Records every contender's served queries; ``run_all.py`` reads the
+#: merged quantiles through :func:`latency_metrics`.
+_TELEMETRY = Telemetry()
+
+
+def latency_metrics() -> dict | None:
+    """Per-query latency quantiles of the last :func:`run_experiment`."""
+    return latency_summary(_TELEMETRY)
+
+
 def run_experiment(quick: bool = False) -> str:
+    _TELEMETRY.clear()
     v = QUICK_V if quick else V
     rows = []
     note = ""
@@ -129,7 +146,9 @@ def run_experiment(quick: bool = False) -> str:
         service_rng = fresh_rng(195 + g_index)
         for label, config in CONTENDERS:
             start = time.perf_counter()
-            service = serve(graph, config, service_rng)
+            service = serve(
+                graph, config, service_rng, telemetry=_TELEMETRY
+            )
             build_seconds = time.perf_counter() - start
             errors = [
                 abs(service.query(s, t) - truth)

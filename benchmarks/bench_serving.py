@@ -19,8 +19,8 @@ import sys
 
 sys.path.insert(0, ".")  # allow `python benchmarks/bench_*.py`
 
-from benchmarks.common import fresh_rng, print_experiment
-from repro import ServingConfig, serve
+from benchmarks.common import fresh_rng, latency_summary, print_experiment
+from repro import ServingConfig, Telemetry, serve
 from repro.analysis import render_table
 from repro.serving import replay_rush_hour
 from repro.workloads import grid_road_network
@@ -28,6 +28,15 @@ from repro.workloads import grid_road_network
 EPS_VALUES = [0.25, 1.0, 4.0]
 ROWS = COLS = 8
 QUERIES = 2000
+
+#: The bundle the experiment's replays record into; ``run_all.py``
+#: reads the resulting latency quantiles through :func:`latency_metrics`.
+_TELEMETRY = Telemetry()
+
+
+def latency_metrics() -> dict | None:
+    """Per-query latency quantiles of the last :func:`run_experiment`."""
+    return latency_summary(_TELEMETRY)
 
 
 def _ci90_half_width(eps: float) -> float:
@@ -42,6 +51,7 @@ def _ci90_half_width(eps: float) -> float:
 
 
 def run_experiment() -> str:
+    _TELEMETRY.clear()
     rows = []
     for i, eps in enumerate(EPS_VALUES):
         report = replay_rush_hour(
@@ -51,6 +61,7 @@ def run_experiment() -> str:
             eps=eps,
             epochs=1,
             queries_per_epoch=QUERIES,
+            telemetry=_TELEMETRY,
         )
         rows.append(
             [

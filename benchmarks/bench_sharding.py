@@ -33,8 +33,8 @@ import time
 
 sys.path.insert(0, ".")  # allow `python benchmarks/bench_sharding.py`
 
-from benchmarks.common import fresh_rng, print_experiment
-from repro import Rng, ServingConfig, serve
+from benchmarks.common import fresh_rng, latency_summary, print_experiment
+from repro import Rng, ServingConfig, Telemetry, serve
 from repro.algorithms.shortest_paths import all_pairs_dijkstra
 from repro.analysis import render_table
 from repro.workloads import grid_road_network, uniform_pairs
@@ -60,7 +60,18 @@ def _mean_abs_errors(service, pairs, exact):
     )
 
 
+#: Records both configurations' served queries; ``run_all.py`` reads
+#: the merged quantiles through :func:`latency_metrics`.
+_TELEMETRY = Telemetry()
+
+
+def latency_metrics() -> dict | None:
+    """Per-query latency quantiles of the last :func:`run_experiment`."""
+    return latency_summary(_TELEMETRY)
+
+
 def run_experiment(quick: bool = False) -> str:
+    _TELEMETRY.clear()
     side = QUICK_SIDE if quick else SIDE
     network = grid_road_network(side, side, fresh_rng(210))
     graph = network.graph
@@ -72,6 +83,7 @@ def run_experiment(quick: bool = False) -> str:
         graph,
         ServingConfig(mechanism="hub-set", eps=EPS),
         fresh_rng(211),
+        telemetry=_TELEMETRY,
     )
     t_build_unsharded = time.perf_counter() - start
 
@@ -80,6 +92,7 @@ def run_experiment(quick: bool = False) -> str:
         graph,
         ServingConfig(mechanism="hub-set", eps=EPS, shards=SHARDS),
         fresh_rng(212),
+        telemetry=_TELEMETRY,
     )
     t_build_sharded = time.perf_counter() - start
     plan = sharded.plan

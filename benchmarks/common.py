@@ -62,3 +62,19 @@ def parse_rows(table: str) -> list[list[str]]:
             continue
         rows.append(re.split(r"\s{2,}", line.strip()))
     return rows
+
+
+def latency_summary(telemetry) -> dict | None:
+    """p50/p95/p99 per-query serving latency (seconds) a benchmark's
+    telemetry bundle recorded, or ``None`` when nothing was observed.
+    This is what ``run_all.py`` folds into ``BENCH_runall.json`` so
+    the perf trajectory tracks tail latency, not just wall-clock."""
+    sketch = telemetry.registry.merged_histogram("serving.query.latency")
+    if sketch is None or sketch.count == 0:
+        return None
+    return {
+        "p50": sketch.quantile(0.50),
+        "p95": sketch.quantile(0.95),
+        "p99": sketch.quantile(0.99),
+        "count": sketch.count,
+    }

@@ -41,6 +41,75 @@ def load_seconds(path: Path) -> Dict[str, float]:
     }
 
 
+def load_p99(path: Path) -> Dict[str, float]:
+    """Experiment tag -> recorded p99 per-query latency (seconds) for
+    the experiments that carry a ``latency`` entry (the serving
+    benchmarks E16/E18/E19)."""
+    document = json.loads(path.read_text())
+    experiments = document.get("experiments")
+    if not isinstance(experiments, dict):
+        raise ValueError(f"{path} is not a BENCH_runall.json report")
+    out: Dict[str, float] = {}
+    for tag, entry in experiments.items():
+        latency = entry.get("latency")
+        if isinstance(latency, dict) and "p99" in latency:
+            out[tag] = float(latency["p99"])
+    return out
+
+
+def compare_p99(
+    base: Dict[str, float],
+    new: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[List[str]], List[str]]:
+    """Diff recorded p99 latencies; warn-only, never gates the build.
+
+    Rows are ``[tag, base_us, new_us, delta, status]`` with latencies
+    rendered in microseconds (per-query serving latency is a few µs).
+    Returns the rows and the tags whose p99 grew beyond ``threshold``
+    — callers print those as warnings; the exit code stays governed
+    by wall-clock.  Tail latency on a CI box is noisy enough that a
+    hard gate would flake, but a silent regression is how a 2x p99
+    ships, so it is surfaced loudly instead.
+    """
+    rows: List[List[str]] = []
+    warned: List[str] = []
+    for tag in sorted(set(base) | set(new)):
+        if tag not in new:
+            rows.append([tag, f"{base[tag] * 1e6:.1f}", "-", "-", "removed"])
+            continue
+        if tag not in base:
+            rows.append([tag, "-", f"{new[tag] * 1e6:.1f}", "-", "new"])
+            continue
+        before, after = base[tag], new[tag]
+        if before <= 0.0:
+            rows.append(
+                [
+                    tag,
+                    f"{before * 1e6:.1f}",
+                    f"{after * 1e6:.1f}",
+                    "-",
+                    "too fast",
+                ]
+            )
+            continue
+        delta = (after - before) / before
+        status = "ok"
+        if delta > threshold:
+            status = f"WARN p99 >{threshold:.0%}"
+            warned.append(tag)
+        rows.append(
+            [
+                tag,
+                f"{before * 1e6:.1f}",
+                f"{after * 1e6:.1f}",
+                f"{delta:+.1%}",
+                status,
+            ]
+        )
+    return rows, warned
+
+
 def compare(
     base: Dict[str, float],
     new: Dict[str, float],
@@ -87,8 +156,14 @@ def compare(
     return rows, flagged
 
 
-def render(rows: List[List[str]]) -> str:
-    headers = ["experiment", "base s", "new s", "delta", "status"]
+def render(rows: List[List[str]], unit: str = "s") -> str:
+    headers = [
+        "experiment",
+        f"base {unit}",
+        f"new {unit}",
+        "delta",
+        "status",
+    ]
     widths = [
         max(len(headers[i]), *(len(r[i]) for r in rows))
         if rows
@@ -125,6 +200,19 @@ def main(argv: List[str] | None = None) -> int:
         load_seconds(args.base), load_seconds(args.new), args.threshold
     )
     print(render(rows))
+    p99_rows, p99_warned = compare_p99(
+        load_p99(args.base), load_p99(args.new), args.threshold
+    )
+    if p99_rows:
+        print("\nper-query p99 latency (warn-only):")
+        print(render(p99_rows, unit="p99 us"))
+        if p99_warned:
+            print(
+                f"warning: p99 latency grew more than "
+                f"{args.threshold:.0%} in {', '.join(p99_warned)} "
+                "(informational; does not fail the check)",
+                file=sys.stderr,
+            )
     if flagged:
         print(
             f"\n{len(flagged)} experiment(s) regressed more than "

@@ -97,11 +97,19 @@ def main() -> None:
         elapsed = time.perf_counter() - start
         print(table)
         print()
-        report["experiments"][tag] = {
+        entry = {
             "module": module.__name__,
             "seconds": round(elapsed, 4),
             "rows": [[_coerce(c) for c in row] for row in parse_rows(table)],
         }
+        # Serving experiments record per-query latency quantiles into
+        # a telemetry bundle; fold them into the perf trajectory.
+        latency_metrics = getattr(module, "latency_metrics", None)
+        if latency_metrics is not None:
+            latency = latency_metrics()
+            if latency is not None:
+                entry["latency"] = latency
+        report["experiments"][tag] = entry
     report["total_seconds"] = round(
         sum(e["seconds"] for e in report["experiments"].values()), 4
     )

@@ -32,6 +32,10 @@ Package map:
   mechanism as a named, swappable entry with data-independent
   applicability and noise-scale predictions; auto-selection is a
   registry-wide contest.
+* :mod:`repro.telemetry` — zero-dependency observability: the metrics
+  registry (counters, gauges, streaming quantile histograms), the span
+  tracer, and JSON / Prometheus exporters the serving stack records
+  into.
 * :mod:`repro.workloads` — synthetic road networks and query workloads.
 * :mod:`repro.serving` — the query-serving engine: synopses, budget
   ledger, batch planner, declarative serving configs + the ``serve()``
@@ -51,6 +55,7 @@ from .exceptions import (
     PrivacyError,
     ReproError,
     SynopsisError,
+    TelemetryError,
     VertexNotFoundError,
     WeightError,
 )
@@ -115,6 +120,18 @@ from .mechanisms import (
     get_mechanism,
     register_mechanism,
 )
+from .telemetry import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    QuantileSketch,
+    Telemetry,
+    Tracer,
+    get_telemetry,
+    set_default_telemetry,
+    use_telemetry,
+)
 from .serving import (
     BatchPlanner,
     BatchReport,
@@ -151,6 +168,7 @@ __all__ = [
     "EngineError",
     "SynopsisError",
     "MechanismError",
+    "TelemetryError",
     # substrates
     "Rng",
     "WeightedGraph",
@@ -223,4 +241,15 @@ __all__ = [
     "build_single_pair_synopsis",
     "synopsis_from_json",
     "replay_rush_hour",
+    # telemetry
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Tracer",
+    "NullTracer",
+    "QuantileSketch",
+    "get_telemetry",
+    "set_default_telemetry",
+    "use_telemetry",
 ]

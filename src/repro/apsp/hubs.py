@@ -41,6 +41,7 @@ release object, which keeps it for non-private error measurement
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -53,6 +54,7 @@ from ..engine.kernels import multi_source_distances
 from ..exceptions import DisconnectedGraphError, GraphError
 from ..graphs.graph import Vertex, WeightedGraph
 from ..rng import Rng
+from ..telemetry import get_telemetry
 
 __all__ = [
     "HubStructure",
@@ -235,6 +237,30 @@ def build_hub_structure(
             f"ball_size must be in [0, {max(m - 1, 0)}], got {ball_size}"
         )
 
+    telemetry = get_telemetry()
+    build_start = time.perf_counter()
+    with telemetry.span(
+        "hubs.build", sites=m, hubs=hub_count, ball_size=ball_size
+    ):
+        structure, exact = _build_hub_structure_inner(
+            csr, site_idx, m, hub_count, ball_size, eps, delta, rng
+        )
+    telemetry.registry.histogram(
+        "build.latency", phase="hubs", mechanism="hub-set"
+    ).observe(time.perf_counter() - build_start)
+    return structure, exact
+
+
+def _build_hub_structure_inner(
+    csr: CSRGraph,
+    site_idx: np.ndarray,
+    m: int,
+    hub_count: int,
+    ball_size: int,
+    eps: float,
+    delta: float,
+    rng: Rng,
+) -> Tuple[HubStructure, np.ndarray]:
     # One engine sweep for the exact site-to-site weighted distances;
     # the hub rows are a slice of it, never a separate computation.
     exact = multi_source_distances(csr, site_idx)[:, site_idx]

@@ -15,13 +15,22 @@ Usage (after installing the package)::
         --pairs 0:14 --estimate --level 0.9
     python -m repro.cli simulate --rows 12 --cols 12 --eps 1.0 \
         --epochs 2 --queries 500 --seed 0 --backend numpy
+    python -m repro.cli simulate --rows 8 --cols 8 --eps 1.0 --seed 0 \
+        --metrics-out metrics.json
+    python -m repro.cli metrics --in metrics.json --format prom
+    python -m repro.cli metrics --in metrics.json --tenant distance-service
 
 The ``serve`` and ``simulate`` subcommands speak the declarative
 serving API: ``--config`` loads a
 :class:`~repro.serving.config.ServingConfig` JSON document (explicit
 flags override its fields on ``serve``), ``--estimate`` prints rich
 estimates — value, effective noise scale, Laplace confidence
-interval — instead of bare floats.
+interval — instead of bare floats.  Both accept ``--metrics-out`` to
+dump the run's telemetry snapshot (all metrics and spans, including
+per-tenant budget gauges); the ``metrics`` subcommand reads such a
+snapshot back and renders it as JSON or Prometheus text exposition,
+or answers "how much budget does tenant X have left" directly with
+``--tenant``.
 
 Graphs are read from the JSON format of :mod:`repro.graphs.io` (or,
 with ``--edge-list``, from whitespace ``u v w`` lines).  All randomness
@@ -244,6 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--synopsis-out",
         help="also write the synopsis JSON here (unsharded only)",
     )
+    _add_metrics_out(p)
 
     p = sub.add_parser(
         "simulate",
@@ -296,8 +306,50 @@ def build_parser() -> argparse.ArgumentParser:
         "boundary-hub relay (default 1 = unsharded)",
     )
     p.add_argument("--seed", type=int, default=None)
+    _add_metrics_out(p)
+
+    p = sub.add_parser(
+        "metrics",
+        help="render a telemetry snapshot written by serve/simulate "
+        "--metrics-out (no privacy cost: snapshots hold only "
+        "operational measurements)",
+    )
+    p.add_argument(
+        "--in",
+        dest="metrics_in",
+        required=True,
+        help="telemetry snapshot JSON written by --metrics-out",
+    )
+    p.add_argument(
+        "--format",
+        choices=["json", "prom"],
+        default="json",
+        help="render as pretty JSON or Prometheus text exposition",
+    )
+    p.add_argument(
+        "--tenant",
+        default=None,
+        help="print this ledger tenant's remaining budget gauges "
+        "instead of the full snapshot",
+    )
 
     return parser
+
+
+def _add_metrics_out(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's telemetry snapshot here (metrics + "
+        "spans; readable by the metrics subcommand)",
+    )
+    p.add_argument(
+        "--metrics-format",
+        choices=["json", "prom"],
+        default="json",
+        help="format for --metrics-out (default json snapshot; prom "
+        "drops spans)",
+    )
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -429,9 +481,18 @@ def _serving_config(args: argparse.Namespace):
     return config.with_overrides(**overrides) if overrides else config
 
 
+def _write_metrics(telemetry, path: str, fmt: str) -> None:
+    """Dump a run's telemetry bundle for the ``metrics`` subcommand."""
+    if fmt == "prom":
+        Path(path).write_text(telemetry.prometheus_text())
+    else:
+        Path(path).write_text(json.dumps(telemetry.snapshot(), indent=2))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .exceptions import GraphError
     from .serving import serve
+    from .telemetry import Telemetry
 
     graph = _load(args)
     rng = Rng(args.seed)
@@ -441,7 +502,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "--synopsis-out is not supported with --shards > 1 "
             "(a sharded service holds one synopsis per shard)"
         )
-    service = serve(graph, config, rng)
+    # A fresh bundle per invocation: the snapshot measures this run
+    # alone, not whatever else the process default has accumulated.
+    telemetry = Telemetry() if args.metrics_out else None
+    service = serve(graph, config, rng, telemetry=telemetry)
     print(f"# mechanism: {service.mechanism}  budget: {service.epoch_budget}")
     for token in args.pairs:
         s_raw, _, t_raw = token.partition(":")
@@ -458,14 +522,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"{token}\t{service.query(s, t):.6f}")
     if args.synopsis_out:
         Path(args.synopsis_out).write_text(service.synopsis.to_json())
+    if args.metrics_out:
+        _write_metrics(
+            service.telemetry, args.metrics_out, args.metrics_format
+        )
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .exceptions import GraphError
     from .serving import ServingConfig, replay_rush_hour
+    from .telemetry import Telemetry
 
     rng = Rng(args.seed)
+    telemetry = Telemetry() if args.metrics_out else None
     if args.config:
         # The config document is the single source of truth here —
         # refuse explicit serving flags rather than silently dropping
@@ -503,6 +573,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             epochs=args.epochs,
             queries_per_epoch=args.queries,
             config=config,
+            telemetry=telemetry,
         )
     else:
         if args.eps is None:
@@ -522,9 +593,64 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             backend=args.backend,
             mechanism=args.mechanism,
             shards=args.shards,
+            telemetry=telemetry,
         )
+    if args.metrics_out:
+        _write_metrics(telemetry, args.metrics_out, args.metrics_format)
     print(json.dumps(report.as_dict(), indent=2))
     return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .exceptions import TelemetryError
+    from .telemetry import snapshot_to_prometheus, validate_snapshot
+
+    try:
+        document = json.loads(Path(args.metrics_in).read_text())
+    except json.JSONDecodeError as error:
+        raise TelemetryError(
+            f"{args.metrics_in} is not valid JSON: {error}"
+        ) from None
+    validate_snapshot(document)
+    if args.tenant is not None:
+        print(json.dumps(_tenant_budget(document, args.tenant), indent=2))
+    elif args.format == "prom":
+        print(snapshot_to_prometheus(document), end="")
+    else:
+        print(json.dumps(document, indent=2))
+    return 0
+
+
+def _tenant_budget(document: dict, tenant: str) -> dict:
+    """One tenant's budget position from a snapshot's gauges."""
+    from .exceptions import TelemetryError
+
+    gauges = {
+        entry["name"]: entry["value"]
+        for entry in document["metrics"]
+        if entry["kind"] == "gauge"
+        and entry["name"].startswith("budget.")
+        and entry.get("labels", {}).get("tenant") == tenant
+    }
+    if not gauges:
+        known = sorted(
+            {
+                entry["labels"]["tenant"]
+                for entry in document["metrics"]
+                if entry["name"].startswith("budget.")
+                and "tenant" in entry.get("labels", {})
+            }
+        )
+        raise TelemetryError(
+            f"no budget gauges for tenant {tenant!r} in the snapshot"
+            + (f"; known tenants: {', '.join(known)}" if known else "")
+        )
+    return {
+        "tenant": tenant,
+        "eps_spent": gauges.get("budget.eps.spent", 0.0),
+        "eps_remaining": gauges.get("budget.eps.remaining", 0.0),
+        "delta_remaining": gauges.get("budget.delta.remaining", 0.0),
+    }
 
 
 _COMMANDS = {
@@ -536,6 +662,7 @@ _COMMANDS = {
     "mst": _cmd_mst,
     "serve": _cmd_serve,
     "simulate": _cmd_simulate,
+    "metrics": _cmd_metrics,
 }
 
 

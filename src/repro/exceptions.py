@@ -98,3 +98,9 @@ class MatchingError(ReproError):
 class EngineError(ReproError):
     """A problem with the graph-kernel engine (unknown backend name,
     kernel precondition violation, ...)."""
+
+
+class TelemetryError(ReproError):
+    """A problem with the telemetry subsystem (metric type clash on a
+    registered name, malformed metrics snapshot document, invalid
+    quantile or accuracy parameter)."""

@@ -60,6 +60,7 @@ from .exceptions import (
 from .graphs.graph import Vertex, WeightedGraph
 from .graphs.tree import RootedTree
 from .rng import Rng
+from .telemetry import get_telemetry
 
 # NOTE: repro.serving.* is imported lazily inside build() methods —
 # repro.serving.service consumes this registry, so a module-scope
@@ -301,18 +302,25 @@ def auto_select_mechanism(
     undercut an incumbent).  Eligibility and prediction depend only on
     public facts, so the choice is itself data-independent.
     """
-    params = MechanismParams(budget=budget, weight_bound=weight_bound)
-    candidates = [
-        m for m in _ORDER if m.auto_eligible(graph, params)
-    ]
-    if not candidates:
-        raise MechanismError(
-            "no registered mechanism is auto-eligible for this graph "
-            "and budget"
+    telemetry = get_telemetry()
+    with telemetry.span("mechanism.select") as span:
+        params = MechanismParams(budget=budget, weight_bound=weight_bound)
+        candidates = [
+            m for m in _ORDER if m.auto_eligible(graph, params)
+        ]
+        if not candidates:
+            raise MechanismError(
+                "no registered mechanism is auto-eligible for this graph "
+                "and budget"
+            )
+        winner = min(
+            candidates, key=lambda m: m.selection_score(graph, params)
         )
-    winner = min(
-        candidates, key=lambda m: m.selection_score(graph, params)
-    )
+        span.set_attribute("winner", winner.name)
+        span.set_attribute("candidates", len(candidates))
+    telemetry.registry.counter(
+        "mechanism.selected", mechanism=winner.name
+    ).inc()
     return winner.name
 
 

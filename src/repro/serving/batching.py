@@ -29,6 +29,7 @@ from typing import Dict, List, MutableMapping, Sequence, Tuple
 from ..exceptions import GraphError
 from ..graphs.graph import Vertex, WeightedGraph
 from ..rng import Rng
+from ..telemetry import Telemetry, get_telemetry
 from .synopsis import (
     DistanceSynopsis,
     SinglePairSynopsis,
@@ -131,16 +132,34 @@ class BatchPlanner:
     cache:
         A mutable mapping shared across batches; pass ``None`` for a
         private per-planner cache.  Keys are canonical unordered pairs.
+    telemetry:
+        The :class:`~repro.telemetry.Telemetry` bundle per-query
+        latencies and ``batch.serve`` spans are recorded into;
+        ``None`` captures the process's current bundle.  Timing never
+        touches the synopsis or any rng, so answers are bit-identical
+        regardless.
+    labels:
+        Extra labels for the ``serving.query.latency`` histogram
+        (the services pass ``service``/``mechanism``).
     """
 
     def __init__(
         self,
         synopsis: DistanceSynopsis,
         cache: MutableMapping[Pair, float] | None = None,
+        telemetry: Telemetry | None = None,
+        labels: Dict[str, str] | None = None,
     ) -> None:
         self._synopsis = synopsis
         self._cache: MutableMapping[Pair, float] = (
             cache if cache is not None else {}
+        )
+        self._telemetry = (
+            telemetry if telemetry is not None else get_telemetry()
+        )
+        self._labels = dict(labels) if labels else {}
+        self._latency = self._telemetry.registry.histogram(
+            "serving.query.latency", **self._labels
         )
 
     @property
@@ -158,23 +177,35 @@ class BatchPlanner:
         start = time.perf_counter()
         report = BatchReport(num_queries=len(pairs))
         resolved: Dict[Pair, float] = {}
-        for s, t in pairs:
-            key = canonical_pair(s, t)
-            if key in resolved:
-                value = resolved[key]
-            elif key in self._cache:
-                value = self._cache[key]
-                resolved[key] = value
-                report.cache_hits += 1
-            else:
-                value = self._synopsis.distance(s, t)
-                resolved[key] = value
-                self._cache[key] = value
-            report.answers.append(value)
-        # num_unique is the batch's true distinct-pair count (its
-        # documented meaning); cache hits stay a separate counter.
-        report.num_unique = len(resolved)
+        # Per-query durations are buffered and bulk-ingested after the
+        # loop, so the hot path pays two clock reads and an append per
+        # query — the sketch math is vectorized once per batch.
+        durations: List[float] = []
+        with self._telemetry.span(
+            "batch.serve", queries=len(pairs), **self._labels
+        ) as span:
+            for s, t in pairs:
+                q_start = time.perf_counter()
+                key = canonical_pair(s, t)
+                if key in resolved:
+                    value = resolved[key]
+                elif key in self._cache:
+                    value = self._cache[key]
+                    resolved[key] = value
+                    report.cache_hits += 1
+                else:
+                    value = self._synopsis.distance(s, t)
+                    resolved[key] = value
+                    self._cache[key] = value
+                report.answers.append(value)
+                durations.append(time.perf_counter() - q_start)
+            # num_unique is the batch's true distinct-pair count (its
+            # documented meaning); cache hits stay a separate counter.
+            report.num_unique = len(resolved)
+            span.set_attribute("unique", report.num_unique)
+            span.set_attribute("cache_hits", report.cache_hits)
         report.elapsed_seconds = time.perf_counter() - start
+        self._latency.observe_many(durations)
         return report
 
 
@@ -191,10 +222,17 @@ def fresh_batch(
     query from the resulting synopsis.  Returns the synopsis too, so
     follow-up batches over the same pairs are free.
     """
+    telemetry = get_telemetry()
     start = time.perf_counter()
-    synopsis = build_single_pair_synopsis(graph, pairs, eps, rng)
+    with telemetry.span(
+        "fresh_batch.release", queries=len(pairs), eps=eps
+    ):
+        synopsis = build_single_pair_synopsis(graph, pairs, eps, rng)
     build_seconds = time.perf_counter() - start
-    report = BatchPlanner(synopsis).run(pairs)
+    telemetry.registry.histogram(
+        "build.latency", phase="fresh-batch", mechanism="single-pair"
+    ).observe(build_seconds)
+    report = BatchPlanner(synopsis, telemetry=telemetry).run(pairs)
     # The one-time release build is reported separately so
     # ``elapsed_seconds`` (and queries_per_second) stay pure serving
     # time.

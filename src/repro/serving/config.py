@@ -34,6 +34,7 @@ from ..exceptions import GraphError, PrivacyError
 from ..graphs.graph import Vertex, WeightedGraph
 from ..mechanisms import get_mechanism
 from ..rng import Rng
+from ..telemetry import NULL_TELEMETRY, Telemetry, get_telemetry
 from .batching import BatchReport
 from .estimates import Estimate
 from .ledger import BudgetLedger
@@ -161,6 +162,12 @@ class ServingConfig:
         LRU bound on the answer cache (``None`` = unbounded).
     tenant:
         Ledger tenant name (``None`` = each service's default).
+    telemetry:
+        Whether the server records metrics and spans (default on).
+        ``False`` forces the null bundle regardless of what
+        :func:`serve` is passed — the config is the deployment's
+        single source of truth.  Purely observational either way:
+        answers are bit-identical on or off.
     """
 
     mechanism: str = "auto"
@@ -174,6 +181,7 @@ class ServingConfig:
     partition_seed: int = 0
     cache_size: int | None = None
     tenant: str | None = None
+    telemetry: bool = True
 
     def __post_init__(self) -> None:
         PrivacyParams(self.eps, self.delta)  # validates the budget
@@ -259,6 +267,7 @@ def serve(
     rng: Rng,
     ledger: BudgetLedger | None = None,
     plan: ShardPlan | None = None,
+    telemetry: Telemetry | None = None,
 ) -> DistanceServer:
     """Stand up a distance server described by a :class:`ServingConfig`.
 
@@ -288,8 +297,18 @@ def serve(
     plan:
         Use an existing :class:`~repro.serving.sharding.ShardPlan`
         instead of partitioning (multi-shard configs only).
+    telemetry:
+        Inject a :class:`~repro.telemetry.Telemetry` bundle for the
+        server to record into; ``None`` captures the process's
+        current bundle.  ``config.telemetry = False`` wins — a
+        deployment that declares itself uninstrumented stays that
+        way.
     """
     mechanism = None if config.mechanism == "auto" else config.mechanism
+    if not config.telemetry:
+        telemetry = NULL_TELEMETRY
+    elif telemetry is None:
+        telemetry = get_telemetry()
     if ledger is None and config.epoch_policy == "fixed":
         # A "fixed" policy pins the epoch: the server gets a ledger it
         # does not own, so refreshes re-spend from the remaining epoch
@@ -301,6 +320,7 @@ def serve(
         ledger=ledger,
         backend=config.backend,
         cache_size=config.cache_size,
+        telemetry=telemetry,
     )
     if config.tenant is not None:
         common["tenant"] = config.tenant

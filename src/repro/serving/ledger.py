@@ -26,6 +26,7 @@ from typing import Dict, List
 from ..dp.accountant import Accountant
 from ..dp.params import PrivacyParams
 from ..exceptions import PrivacyError
+from ..telemetry import get_telemetry
 
 __all__ = ["BudgetLedger", "LedgerEntry"]
 
@@ -110,7 +111,46 @@ class BudgetLedger:
             epoch=self._epoch, tenant=tenant, label=label, params=params
         )
         self._entries.append(entry)
+        self._record_spend(tenant, params, label, accountant)
         return entry
+
+    def _record_spend(
+        self,
+        tenant: str,
+        params: PrivacyParams,
+        label: str,
+        accountant: Accountant,
+    ) -> None:
+        """Publish the tenant's budget position after a spend.
+
+        The bundle is looked up dynamically
+        (:func:`~repro.telemetry.get_telemetry`), so a spend made
+        inside a service's build lands in that service's registry —
+        and a refused spend (which raises before reaching here)
+        publishes nothing, matching the no-trace contract.
+        """
+        telemetry = get_telemetry()
+        registry = telemetry.registry
+        remaining_eps = accountant.remaining_eps()
+        remaining_delta = accountant.remaining_delta()
+        registry.counter("budget.spends", tenant=tenant).inc()
+        registry.gauge("budget.eps.spent", tenant=tenant).set(
+            self._epoch_budget.eps - remaining_eps
+        )
+        registry.gauge("budget.eps.remaining", tenant=tenant).set(
+            remaining_eps
+        )
+        registry.gauge("budget.delta.remaining", tenant=tenant).set(
+            remaining_delta
+        )
+        telemetry.tracer.event(
+            "budget.spend",
+            tenant=tenant,
+            label=label,
+            epoch=self._epoch,
+            eps=params.eps,
+            delta=params.delta,
+        )
 
     def remaining_eps(self, tenant: str = DEFAULT_TENANT) -> float:
         """Epoch eps the tenant has not yet spent."""
@@ -127,6 +167,15 @@ class BudgetLedger:
         every tenant's accountant resets to the full epoch budget.
         Returns the new epoch index.
         """
+        registry = get_telemetry().registry
+        for tenant in self._accountants:
+            registry.gauge("budget.eps.spent", tenant=tenant).set(0.0)
+            registry.gauge("budget.eps.remaining", tenant=tenant).set(
+                self._epoch_budget.eps
+            )
+            registry.gauge("budget.delta.remaining", tenant=tenant).set(
+                self._epoch_budget.delta
+            )
         self._epoch += 1
         self._accountants = {}
         return self._epoch

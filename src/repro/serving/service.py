@@ -36,7 +36,7 @@ the answer cache, and rebuilds the synopsis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
 from typing import Dict, List, MutableMapping, Sequence, Tuple
 
 from ..dp.params import PrivacyParams
@@ -52,6 +52,8 @@ from ..mechanisms import (
     standalone_mechanisms,
 )
 from ..rng import Rng
+from ..telemetry import Telemetry, get_telemetry, use_telemetry
+from ..telemetry.registry import Counter
 from .batching import BatchPlanner, BatchReport, BoundedCache
 from .estimates import Estimate
 from .ledger import BudgetLedger
@@ -90,7 +92,6 @@ def select_mechanism(
     return auto_select_mechanism(graph, budget, weight_bound)
 
 
-@dataclass
 class ServiceStats:
     """Running counters for one service instance.
 
@@ -98,16 +99,84 @@ class ServiceStats:
     :class:`~repro.serving.sharding.ShardedDistanceService` (the
     :class:`~repro.serving.config.DistanceServer` contract), so
     consumers never special-case sharded services.
+
+    The counters are single-sourced in the service's telemetry
+    registry (``serving.stats.*`` with ``tenant``/``instance``
+    labels); this class is the compatibility *view* over them — the
+    attribute names, :attr:`num_queries`, and :meth:`as_dict` are
+    byte-for-byte what the pre-telemetry dataclass exposed.  With
+    telemetry disabled the counters are private unregistered
+    instruments, so counting (and ``as_dict``) works identically
+    either way.
     """
 
-    epochs_built: int = 0
-    point_queries: int = 0
-    batch_queries: int = 0
-    batches: int = 0
-    cache_hits: int = 0
-    #: Regional rebuilds (sharded serving only; full epoch rebuilds
-    #: count under ``epochs_built``).
-    shard_refreshes: int = 0
+    _FIELDS = (
+        "point_queries",
+        "batch_queries",
+        "batches",
+        "cache_hits",
+        "epochs_built",
+        "shard_refreshes",
+    )
+
+    __slots__ = ("_counters", "_cache_misses")
+
+    def __init__(
+        self,
+        telemetry: Telemetry | None = None,
+        tenant: str = "service",
+    ) -> None:
+        registry = telemetry.registry if telemetry is not None else None
+        if registry is None or not registry.enabled:
+            self._counters = {
+                name: Counter(f"serving.stats.{name}")
+                for name in self._FIELDS
+            }
+            self._cache_misses = Counter("serving.stats.cache_misses")
+        else:
+            labels = registry.instance_labels(tenant=tenant)
+            self._counters = {
+                name: registry.counter(
+                    f"serving.stats.{name}", **labels
+                )
+                for name in self._FIELDS
+            }
+            self._cache_misses = registry.counter(
+                "serving.stats.cache_misses", **labels
+            )
+
+    # -- the compatibility read surface --------------------------------
+
+    @property
+    def point_queries(self) -> int:
+        """Point queries served."""
+        return self._counters["point_queries"].value
+
+    @property
+    def batch_queries(self) -> int:
+        """Queries served through batches."""
+        return self._counters["batch_queries"].value
+
+    @property
+    def batches(self) -> int:
+        """Batches served."""
+        return self._counters["batches"].value
+
+    @property
+    def cache_hits(self) -> int:
+        """Queries answered from the answer cache."""
+        return self._counters["cache_hits"].value
+
+    @property
+    def epochs_built(self) -> int:
+        """Full synopsis builds (construction + refreshes)."""
+        return self._counters["epochs_built"].value
+
+    @property
+    def shard_refreshes(self) -> int:
+        """Regional rebuilds (sharded serving only; full epoch
+        rebuilds count under :attr:`epochs_built`)."""
+        return self._counters["shard_refreshes"].value
 
     @property
     def num_queries(self) -> int:
@@ -126,6 +195,43 @@ class ServiceStats:
             "epochs_built": self.epochs_built,
             "shard_refreshes": self.shard_refreshes,
         }
+
+    # -- the recording surface (services only) -------------------------
+
+    def record_point_query(self, cache_hit: bool) -> None:
+        """One point query; hit/miss routed to the right counters.
+
+        Misses land in a registry-only ``serving.stats.cache_misses``
+        counter — not part of :meth:`as_dict`, which predates it.
+        """
+        self._counters["point_queries"].inc()
+        if cache_hit:
+            self._counters["cache_hits"].inc()
+        else:
+            self._cache_misses.inc()
+
+    def record_batch(self, report: "BatchReport") -> None:
+        """One served batch's counter deltas."""
+        self._counters["batches"].inc()
+        self._counters["batch_queries"].inc(report.num_queries)
+        self._counters["cache_hits"].inc(report.cache_hits)
+        # Distinct pairs that had to hit the synopsis (in-batch
+        # duplicates are neither hits nor misses).
+        self._cache_misses.inc(report.num_unique - report.cache_hits)
+
+    def record_epoch_built(self) -> None:
+        """One full synopsis build."""
+        self._counters["epochs_built"].inc()
+
+    def record_shard_refresh(self) -> None:
+        """One regional rebuild."""
+        self._counters["shard_refreshes"].inc()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{k}={v}" for k, v in self.as_dict().items()
+        )
+        return f"ServiceStats({inner})"
 
 
 class DistanceService:
@@ -169,6 +275,15 @@ class DistanceService:
         eviction); ``None`` (the default) keeps every answered pair.
         Purely a memory knob: evicted answers are recomputed
         identically from the immutable synopsis.
+    telemetry:
+        The :class:`~repro.telemetry.Telemetry` bundle the service
+        records into (query/batch latency histograms, the
+        ``serving.stats.*`` counters, build spans, budget gauges).
+        ``None`` (the default) captures the process's current bundle
+        (:func:`~repro.telemetry.get_telemetry`); pass
+        :data:`~repro.telemetry.NULL_TELEMETRY` to disable.
+        Instrumentation never touches the rng — answers are
+        bit-identical whatever bundle is in force.
     """
 
     def __init__(
@@ -182,6 +297,7 @@ class DistanceService:
         tenant: str = "distance-service",
         backend: str | None = None,
         cache_size: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if isinstance(epoch_budget, (int, float)):
             epoch_budget = PrivacyParams(float(epoch_budget))
@@ -203,7 +319,12 @@ class DistanceService:
         )
         self._tenant = tenant
         self._backend = backend
-        self._stats = ServiceStats()
+        self._telemetry = (
+            telemetry if telemetry is not None else get_telemetry()
+        )
+        self._stats = ServiceStats(
+            telemetry=self._telemetry, tenant=tenant
+        )
         self._cache: MutableMapping[Tuple[Vertex, Vertex], float] = (
             {} if cache_size is None else BoundedCache(cache_size)
         )
@@ -217,30 +338,60 @@ class DistanceService:
     # ------------------------------------------------------------------
 
     def _build_synopsis(self) -> None:
-        name = self._forced_mechanism or auto_select_mechanism(
-            self._graph, self._budget, self._weight_bound
-        )
-        mech = get_mechanism(name)
-        params = MechanismParams(
-            budget=self._budget, weight_bound=self._weight_bound
-        )
-        # Validate mechanism preconditions before touching the ledger,
-        # so a config or precondition error never burns epoch budget.
-        # The checks are public (topology, connectivity, the declared
-        # bound's pre-noise precondition).
-        mech.validate(self._graph, params)
-        # Spend first, release second: if the ledger refuses, no noise
-        # is ever drawn and nothing about the weights leaks.
-        self._ledger.spend(
-            self._budget,
-            tenant=self._tenant,
-            label=f"epoch {self._ledger.epoch} {name} synopsis",
-        )
-        self._synopsis = mech.build(
-            self._graph, params, self._rng, backend=self._backend
-        )
+        # Scope the service's bundle over the build so the layers it
+        # does not call directly — the ledger spend, the mechanism
+        # contest, a hub build inside mech.build — record here too.
+        start = time.perf_counter()
+        with use_telemetry(self._telemetry), self._telemetry.span(
+            "synopsis.build", tenant=self._tenant
+        ) as span:
+            name = self._forced_mechanism or auto_select_mechanism(
+                self._graph, self._budget, self._weight_bound
+            )
+            span.set_attribute("mechanism", name)
+            mech = get_mechanism(name)
+            params = MechanismParams(
+                budget=self._budget, weight_bound=self._weight_bound
+            )
+            # Validate mechanism preconditions before touching the ledger,
+            # so a config or precondition error never burns epoch budget.
+            # The checks are public (topology, connectivity, the declared
+            # bound's pre-noise precondition).
+            mech.validate(self._graph, params)
+            # Spend first, release second: if the ledger refuses, no noise
+            # is ever drawn and nothing about the weights leaks.
+            self._ledger.spend(
+                self._budget,
+                tenant=self._tenant,
+                label=f"epoch {self._ledger.epoch} {name} synopsis",
+            )
+            self._synopsis = mech.build(
+                self._graph, params, self._rng, backend=self._backend
+            )
         self._mechanism = name
-        self._stats.epochs_built += 1
+        self._telemetry.registry.histogram(
+            "build.latency", phase="synopsis", mechanism=name
+        ).observe(time.perf_counter() - start)
+        self._stats.record_epoch_built()
+        self._bind_metrics()
+
+    def _bind_metrics(self) -> None:
+        """Re-resolve the hot-path latency histograms.
+
+        Called after every build so the ``mechanism`` label tracks the
+        current epoch's selection without a registry lookup per query.
+        """
+        registry = self._telemetry.registry
+        self._query_latency = registry.histogram(
+            "serving.query.latency",
+            service="distance",
+            mechanism=self._mechanism,
+        )
+        self._batch_latency = registry.histogram(
+            "serving.batch.latency",
+            service="distance",
+            mechanism=self._mechanism,
+        )
 
     def refresh(self, graph: WeightedGraph | None = None) -> None:
         """Start a new epoch: swap in fresh weights (same public
@@ -257,16 +408,19 @@ class DistanceService:
         the epoch actually turns via
         :meth:`~repro.serving.ledger.BudgetLedger.rotate`.
         """
-        if self._owns_ledger:
-            self._ledger.rotate()
-        if graph is not None:
-            self._graph = graph
-        self._cache.clear()
-        # Drop the old synopsis first: if the rebuild fails partway,
-        # the service must refuse to serve rather than silently answer
-        # the new epoch from the previous epoch's release.
-        self._synopsis = None
-        self._build_synopsis()
+        with use_telemetry(self._telemetry), self._telemetry.span(
+            "epoch.refresh", tenant=self._tenant
+        ):
+            if self._owns_ledger:
+                self._ledger.rotate()
+            if graph is not None:
+                self._graph = graph
+            self._cache.clear()
+            # Drop the old synopsis first: if the rebuild fails partway,
+            # the service must refuse to serve rather than silently answer
+            # the new epoch from the previous epoch's release.
+            self._synopsis = None
+            self._build_synopsis()
 
     # ------------------------------------------------------------------
     # Query serving (post-processing only)
@@ -283,13 +437,16 @@ class DistanceService:
     def query(self, source: Vertex, target: Vertex) -> float:
         """Answer one distance query from the epoch synopsis."""
         synopsis = self._require_synopsis()
-        self._stats.point_queries += 1
+        start = time.perf_counter()
         key = canonical_pair(source, target)
-        if key in self._cache:
-            self._stats.cache_hits += 1
-            return self._cache[key]
-        value = synopsis.distance(source, target)
-        self._cache[key] = value
+        hit = key in self._cache
+        if hit:
+            value = self._cache[key]
+        else:
+            value = synopsis.distance(source, target)
+            self._cache[key] = value
+        self._query_latency.observe(time.perf_counter() - start)
+        self._stats.record_point_query(hit)
         return value
 
     def query_batch(
@@ -297,11 +454,15 @@ class DistanceService:
     ) -> BatchReport:
         """Answer a batch of queries; see
         :class:`~repro.serving.batching.BatchPlanner`."""
-        planner = BatchPlanner(self._require_synopsis(), cache=self._cache)
+        planner = BatchPlanner(
+            self._require_synopsis(),
+            cache=self._cache,
+            telemetry=self._telemetry,
+            labels={"service": "distance", "mechanism": self._mechanism},
+        )
         report = planner.run(pairs)
-        self._stats.batches += 1
-        self._stats.batch_queries += report.num_queries
-        self._stats.cache_hits += report.cache_hits
+        self._batch_latency.observe(report.elapsed_seconds)
+        self._stats.record_batch(report)
         return report
 
     def estimate(self, source: Vertex, target: Vertex) -> Estimate:
@@ -380,6 +541,11 @@ class DistanceService:
     def stats(self) -> ServiceStats:
         """Running serving counters."""
         return self._stats
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The telemetry bundle this service records into."""
+        return self._telemetry
 
     def __repr__(self) -> str:
         return (

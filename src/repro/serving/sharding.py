@@ -66,6 +66,7 @@ and leaves the other ``k - 1`` tenants serving untouched.
 from __future__ import annotations
 
 import json
+import time
 from collections import deque
 from typing import Dict, List, Mapping, MutableMapping, Sequence, Tuple
 
@@ -85,6 +86,7 @@ from ..graphs.graph import Edge, Vertex, WeightedGraph
 from ..graphs.io import _decode_vertex, _encode_vertex
 from ..mechanisms import MechanismParams, get_mechanism
 from ..rng import Rng
+from ..telemetry import Telemetry, get_telemetry, use_telemetry
 from .batching import BatchPlanner, BatchReport, BoundedCache
 from .estimates import Estimate
 from .ledger import BudgetLedger
@@ -421,6 +423,12 @@ class ShardedDistanceService:
     relay_hub_count, relay_ball_size:
         Overrides for the relay hub structure (defaults
         ``~sqrt(|boundary|)``).
+    telemetry:
+        The :class:`~repro.telemetry.Telemetry` bundle the service —
+        and every shard tenant — records into; ``None`` captures the
+        process's current bundle.  Instrumentation never touches the
+        rng, so routed answers are bit-identical whatever bundle is
+        in force.
     """
 
     def __init__(
@@ -440,6 +448,7 @@ class ShardedDistanceService:
         relay_hub_count: int | None = None,
         relay_ball_size: int | None = None,
         cache_size: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if isinstance(epoch_budget, (int, float)):
             epoch_budget = PrivacyParams(float(epoch_budget))
@@ -470,7 +479,12 @@ class ShardedDistanceService:
         self._ledger = ledger if ledger is not None else BudgetLedger(
             epoch_budget
         )
-        self._stats = ServiceStats()
+        self._telemetry = (
+            telemetry if telemetry is not None else get_telemetry()
+        )
+        self._stats = ServiceStats(
+            telemetry=self._telemetry, tenant=tenant
+        )
         self._cache: MutableMapping[Tuple[Vertex, Vertex], float] = (
             {} if cache_size is None else BoundedCache(cache_size)
         )
@@ -553,11 +567,13 @@ class ShardedDistanceService:
                     ledger=self._ledger,
                     tenant=f"{tenant}/shard-{shard}",
                     backend=backend,
+                    telemetry=self._telemetry,
                 )
             )
         if self._relay_params is not None:
             self._build_relay()
-        self._stats.epochs_built += 1
+        self._stats.record_epoch_built()
+        self._bind_metrics()
 
     # ------------------------------------------------------------------
     # Relay construction
@@ -579,25 +595,32 @@ class ShardedDistanceService:
             raise GraphError(
                 "multi-shard plan has no boundary vertices"
             )
-        relay_mechanism = get_mechanism("boundary-relay")
-        relay_params = MechanismParams(
-            budget=self._relay_params,
-            sites=boundary,
-            hub_count=self._relay_hub_count,
-            ball_size=self._relay_ball_size,
-        )
-        relay_mechanism.validate(self._graph, relay_params)
-        self._ledger.spend(
-            self._relay_params,
-            tenant=f"{self._tenant}/relay",
-            label=(
-                f"epoch {self._ledger.epoch} boundary-hub relay "
-                f"({m} sites)"
-            ),
-        )
-        structure = relay_mechanism.build(
-            self._graph, relay_params, self._rng
-        ).structure
+        start = time.perf_counter()
+        with use_telemetry(self._telemetry), self._telemetry.span(
+            "relay.build", sites=m, tenant=self._tenant
+        ):
+            relay_mechanism = get_mechanism("boundary-relay")
+            relay_params = MechanismParams(
+                budget=self._relay_params,
+                sites=boundary,
+                hub_count=self._relay_hub_count,
+                ball_size=self._relay_ball_size,
+            )
+            relay_mechanism.validate(self._graph, relay_params)
+            self._ledger.spend(
+                self._relay_params,
+                tenant=f"{self._tenant}/relay",
+                label=(
+                    f"epoch {self._ledger.epoch} boundary-hub relay "
+                    f"({m} sites)"
+                ),
+            )
+            structure = relay_mechanism.build(
+                self._graph, relay_params, self._rng
+            ).structure
+        self._telemetry.registry.histogram(
+            "build.latency", phase="relay", mechanism="boundary-relay"
+        ).observe(time.perf_counter() - start)
         # Bucket the ball table by shard pair once per build (the hub
         # sample is redrawn each epoch, so exclusions change too).
         # Same-shard buckets ((i, i)) refine the intra-shard relay cap.
@@ -647,26 +670,33 @@ class ShardedDistanceService:
         rebuilds spend from the remaining epoch budget, failing closed
         per tenant.
         """
-        if self._owns_ledger:
-            self._ledger.rotate()
-        if graph is not None:
-            if graph.num_vertices != self._plan.num_vertices:
-                raise GraphError(
-                    f"refresh graph has {graph.num_vertices} vertices; "
-                    f"the plan assigns {self._plan.num_vertices}"
-                )
-            self._graph = graph
-        self._cache.clear()
-        # Drop the relay first: if any rebuild fails partway the
-        # service must refuse cross-shard answers from the old epoch.
-        self._relay = None
-        for shard in range(self._plan.num_shards):
-            sub = self._reweighted_shard(shard, self._graph)
-            self._shard_graphs[shard] = sub
-            self._services[shard].refresh(sub)
-        if self._relay_params is not None:
-            self._build_relay()
-        self._stats.epochs_built += 1
+        with use_telemetry(self._telemetry), self._telemetry.span(
+            "epoch.refresh", tenant=self._tenant,
+            shards=self._plan.num_shards,
+        ):
+            if self._owns_ledger:
+                self._ledger.rotate()
+            if graph is not None:
+                if graph.num_vertices != self._plan.num_vertices:
+                    raise GraphError(
+                        f"refresh graph has {graph.num_vertices} "
+                        f"vertices; the plan assigns "
+                        f"{self._plan.num_vertices}"
+                    )
+                self._graph = graph
+            self._cache.clear()
+            # Drop the relay first: if any rebuild fails partway the
+            # service must refuse cross-shard answers from the old
+            # epoch.
+            self._relay = None
+            for shard in range(self._plan.num_shards):
+                sub = self._reweighted_shard(shard, self._graph)
+                self._shard_graphs[shard] = sub
+                self._services[shard].refresh(sub)
+            if self._relay_params is not None:
+                self._build_relay()
+        self._stats.record_epoch_built()
+        self._bind_metrics()
 
     def refresh_shard(
         self,
@@ -699,22 +729,27 @@ class ShardedDistanceService:
                 f"shard id {shard} out of range "
                 f"[0, {self._plan.num_shards})"
             )
-        if weights is not None:
-            new_graph = self._graph.with_weights(weights)
-            self._check_regional(shard, new_graph)
-        else:
-            new_graph = self._graph
-        sub = self._reweighted_shard(shard, new_graph)
-        # Fails closed on budget before any noise is drawn; on
-        # failure the shard refuses to serve but nothing else moved.
-        self._services[shard].refresh(sub)
-        self._graph = new_graph
-        self._shard_graphs[shard] = sub
-        self._cache.clear()
-        self._stats.shard_refreshes += 1
-        if self._relay_params is not None:
-            self._relay = None
-            self._build_relay()
+        with use_telemetry(self._telemetry), self._telemetry.span(
+            "shard.refresh", shard=shard, tenant=self._tenant
+        ):
+            if weights is not None:
+                new_graph = self._graph.with_weights(weights)
+                self._check_regional(shard, new_graph)
+            else:
+                new_graph = self._graph
+            sub = self._reweighted_shard(shard, new_graph)
+            # Fails closed on budget before any noise is drawn; on
+            # failure the shard refuses to serve but nothing else
+            # moved.
+            self._services[shard].refresh(sub)
+            self._graph = new_graph
+            self._shard_graphs[shard] = sub
+            self._cache.clear()
+            self._stats.record_shard_refresh()
+            if self._relay_params is not None:
+                self._relay = None
+                self._build_relay()
+        self._bind_metrics()
 
     def _reweighted_shard(
         self, shard: int, graph: WeightedGraph
@@ -824,17 +859,49 @@ class ShardedDistanceService:
                 )
         return max(best, 0.0)
 
+    def _bind_metrics(self) -> None:
+        """Re-resolve the hot-path latency histograms.
+
+        Called after every build so the ``mechanism`` label tracks the
+        shards' current selections without a registry lookup per
+        query.  Point queries are split by ``route`` (intra vs.
+        cross-shard) — the routes have very different cost profiles.
+        """
+        registry = self._telemetry.registry
+        mechanism = self.mechanism
+        self._intra_latency = registry.histogram(
+            "serving.query.latency",
+            service="sharded",
+            mechanism=mechanism,
+            route="intra",
+        )
+        self._cross_latency = registry.histogram(
+            "serving.query.latency",
+            service="sharded",
+            mechanism=mechanism,
+            route="cross",
+        )
+        self._batch_latency = registry.histogram(
+            "serving.batch.latency",
+            service="sharded",
+            mechanism=mechanism,
+        )
+
     def query(self, source: Vertex, target: Vertex) -> float:
         """Answer one distance query, routed by shard ownership."""
         i = self._plan.shard_of(source)
         j = self._plan.shard_of(target)
-        self._stats.point_queries += 1
+        start = time.perf_counter()
         key = canonical_pair(source, target)
-        if key in self._cache:
-            self._stats.cache_hits += 1
-            return self._cache[key]
-        value = self._distance(source, i, target, j)
-        self._cache[key] = value
+        hit = key in self._cache
+        if hit:
+            value = self._cache[key]
+        else:
+            value = self._distance(source, i, target, j)
+            self._cache[key] = value
+        latency = self._intra_latency if i == j else self._cross_latency
+        latency.observe(time.perf_counter() - start)
+        self._stats.record_point_query(hit)
         return value
 
     def query_batch(
@@ -845,11 +912,15 @@ class ShardedDistanceService:
         :class:`~repro.serving.batching.BatchPlanner` over the shard
         router, so batch accounting stays identical to the unsharded
         service's."""
-        planner = BatchPlanner(_ShardRouter(self), cache=self._cache)
+        planner = BatchPlanner(
+            _ShardRouter(self),
+            cache=self._cache,
+            telemetry=self._telemetry,
+            labels={"service": "sharded", "mechanism": self.mechanism},
+        )
         report = planner.run(pairs)
-        self._stats.batches += 1
-        self._stats.batch_queries += report.num_queries
-        self._stats.cache_hits += report.cache_hits
+        self._batch_latency.observe(report.elapsed_seconds)
+        self._stats.record_batch(report)
         return report
 
     def _noise_scale_for(
@@ -1001,6 +1072,12 @@ class ShardedDistanceService:
         """Running serving counters (top-level routing; each shard
         tenant also keeps its own)."""
         return self._stats
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The telemetry bundle this service (and every shard tenant)
+        records into."""
+        return self._telemetry
 
     def __repr__(self) -> str:
         return (

@@ -24,6 +24,7 @@ from ..algorithms.shortest_paths import all_pairs_dijkstra
 from ..exceptions import GraphError
 from ..graphs.graph import Vertex, WeightedGraph
 from ..rng import Rng
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from ..workloads.queries import uniform_pairs
 from ..workloads.traffic import (
     RoadNetwork,
@@ -70,6 +71,12 @@ class SimulationReport:
     #: (:meth:`~repro.serving.service.ServiceStats.as_dict`) — the
     #: same names whether the replay ran sharded or not.
     server_stats: Dict[str, int] = field(default_factory=dict)
+    #: Per-query serving latency quantiles in seconds (``p50`` /
+    #: ``p95`` / ``p99`` plus the observation ``count``), merged over
+    #: every ``serving.query.latency`` label set of the replay's
+    #: telemetry bundle.  Empty when the replay ran with telemetry
+    #: disabled.
+    latency: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_queries(self) -> int:
@@ -119,6 +126,7 @@ class SimulationReport:
             "max_abs_error": self.max_abs_error,
             "ledger_spends": self.ledger_spends,
             "server_stats": dict(self.server_stats),
+            "latency_seconds": dict(self.latency),
         }
 
 
@@ -149,6 +157,7 @@ def replay_rush_hour(
     mechanism: str | None = None,
     shards: int | None = None,
     config: ServingConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SimulationReport:
     """Replay rush-hour traffic through the serving engine.
 
@@ -170,6 +179,14 @@ def replay_rush_hour(
     boundary-hub relay); the replay itself never branches on sharding
     — both server shapes speak
     :class:`~repro.serving.config.DistanceServer`.
+
+    ``telemetry`` is the bundle the replayed server records into; the
+    default is a *fresh private* bundle per replay (or the null
+    bundle when ``config.telemetry`` is off), so the report's latency
+    quantiles measure this replay alone rather than whatever else the
+    process-global registry has seen.  Pass a bundle explicitly to
+    aggregate across replays or to export the full snapshot
+    afterwards.
     """
     if config is not None:
         overridden = {
@@ -199,6 +216,8 @@ def replay_rush_hour(
             backend=backend,
             shards=shards if shards is not None else 1,
         )
+    if telemetry is None:
+        telemetry = Telemetry() if config.telemetry else NULL_TELEMETRY
     if epochs < 1:
         raise GraphError(f"need at least 1 epoch, got {epochs}")
     if queries_per_epoch < 1:
@@ -235,7 +254,7 @@ def replay_rush_hour(
     for epoch in range(epochs):
         graph = epoch_weights()
         if service is None:
-            service = serve(graph, config, rng)
+            service = serve(graph, config, rng, telemetry=telemetry)
         else:
             service.refresh(graph)
         pairs = uniform_pairs(graph, queries_per_epoch, rng)
@@ -265,4 +284,19 @@ def replay_rush_hour(
         epochs=results,
         ledger_spends=len(service.ledger.records()),
         server_stats=service.stats.as_dict(),
+        latency=_latency_summary(telemetry),
     )
+
+
+def _latency_summary(telemetry: Telemetry) -> Dict[str, float]:
+    """p50/p95/p99 (seconds) + count of every per-query latency the
+    bundle saw, merged across label sets; empty when uninstrumented."""
+    sketch = telemetry.registry.merged_histogram("serving.query.latency")
+    if sketch is None or sketch.count == 0:
+        return {}
+    return {
+        "p50": sketch.quantile(0.50),
+        "p95": sketch.quantile(0.95),
+        "p99": sketch.quantile(0.99),
+        "count": sketch.count,
+    }

@@ -1,0 +1,161 @@
+"""``repro.telemetry`` — metrics, traces, and their exposition.
+
+The observability layer under the serving stack: a
+:class:`~repro.telemetry.registry.MetricsRegistry` of counters,
+gauges, and streaming-quantile histograms
+(:class:`~repro.telemetry.sketch.QuantileSketch`), a nesting span
+:class:`~repro.telemetry.tracer.Tracer`, and exporters for a JSON
+snapshot document and Prometheus text exposition.  Everything is
+zero-dependency and deterministic to snapshot, and — critically for a
+privacy library — telemetry never touches an :class:`~repro.rng.Rng`:
+seeded query answers are bit-identical with instrumentation on, off,
+or redirected into a custom registry.
+
+A :class:`Telemetry` object bundles one registry with one tracer.  The
+process has a default bundle (:func:`get_telemetry`), services accept
+an explicit ``telemetry=`` override, and :func:`use_telemetry` scopes
+a bundle over a ``with`` block so deep layers (mechanism selection,
+budget ledger, hub builds) that look the bundle up dynamically land in
+the caller's registry.  Disabled telemetry
+(:data:`NULL_TELEMETRY`, or ``Telemetry(enabled=False)``) swaps in
+null instruments — same call sites, no state, no measurable work.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+from .export import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    snapshot_to_prometheus,
+    validate_snapshot,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .sketch import QuantileSketch
+from .tracer import NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "NULL_TELEMETRY",
+    "QuantileSketch",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "get_telemetry",
+    "set_default_telemetry",
+    "snapshot_to_prometheus",
+    "use_telemetry",
+    "validate_snapshot",
+]
+
+
+class Telemetry:
+    """One registry + one tracer, the unit services are handed.
+
+    ``Telemetry()`` is a live bundle; ``Telemetry(enabled=False)``
+    carries the shared null registry and tracer — instrumented code
+    is oblivious either way.
+    """
+
+    __slots__ = ("registry", "tracer")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if not enabled:
+            self.registry = _NULL_REGISTRY
+            self.tracer = _NULL_TRACER
+        else:
+            self.registry = (
+                registry if registry is not None else MetricsRegistry()
+            )
+            self.tracer = tracer if tracer is not None else Tracer()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this bundle records anything."""
+        return self.registry.enabled
+
+    def span(self, name: str, **attributes: object):
+        """Shorthand for ``self.tracer.span(...)``."""
+        return self.tracer.span(name, **attributes)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The JSON-safe interchange document for this bundle."""
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "metrics": self.registry.snapshot(),
+            "spans": self.tracer.snapshot(),
+        }
+
+    def prometheus_text(self) -> str:
+        """This bundle's metrics as Prometheus text exposition."""
+        return snapshot_to_prometheus(self.snapshot())
+
+    def clear(self) -> None:
+        """Reset metrics and span history (no-op when disabled)."""
+        self.registry.clear()
+        self.tracer.clear()
+
+
+_NULL_REGISTRY = NullRegistry()
+_NULL_TRACER = NullTracer()
+
+#: The shared disabled bundle: every instrument is a no-op singleton.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+_default = Telemetry()
+_active: List[Telemetry] = []
+
+
+def get_telemetry() -> Telemetry:
+    """The bundle instrumentation should use right now.
+
+    The innermost :func:`use_telemetry` scope wins; otherwise the
+    process default.
+    """
+    if _active:
+        return _active[-1]
+    return _default
+
+
+def set_default_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Replace the process-default bundle; returns the previous one."""
+    global _default
+    previous = _default
+    _default = telemetry
+    return previous
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Scope a bundle over a block: :func:`get_telemetry` returns it.
+
+    This is how a service's injected bundle reaches layers it does not
+    call directly — the ledger spend inside a synopsis build, the
+    mechanism-selection contest, a hub-structure build.
+    """
+    _active.append(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _active.pop()

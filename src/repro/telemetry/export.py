@@ -1,0 +1,141 @@
+"""Snapshot and Prometheus text exposition for telemetry documents.
+
+The JSON snapshot (``{"format": "repro-telemetry", "version": 1,
+"metrics": [...], "spans": [...]}``) is the interchange document: the
+``serve``/``simulate`` CLIs write it, the ``metrics`` CLI reads it
+back, and either side can render it as Prometheus text exposition.
+
+Rendering is deterministic — metrics sorted by (name, labels), label
+pairs sorted by key — so the exposition of a fixed registry is
+golden-file stable.  Histograms render as Prometheus *summaries*
+(quantile-labeled series plus ``_sum``/``_count``), the conventional
+encoding for client-side quantiles.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping
+
+from ..exceptions import TelemetryError
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "snapshot_to_prometheus",
+    "validate_snapshot",
+]
+
+SNAPSHOT_FORMAT = "repro-telemetry"
+SNAPSHOT_VERSION = 1
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prometheus metric kind per snapshot kind (histograms become
+#: summaries: we export client-side quantiles, not server buckets).
+_PROM_TYPE = {"counter": "counter", "gauge": "gauge", "histogram": "summary"}
+
+
+def prometheus_name(name: str) -> str:
+    """A snapshot metric name as a legal Prometheus metric name."""
+    sanitized = _NAME_SANITIZE.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _label_block(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [
+        f'{_NAME_SANITIZE.sub("_", k)}="{_escape_label(str(v))}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def validate_snapshot(doc: object) -> Dict[str, object]:
+    """Check a parsed snapshot document; returns it typed as a dict."""
+    if not isinstance(doc, dict):
+        raise TelemetryError(
+            "telemetry snapshot must be a JSON object, got "
+            f"{type(doc).__name__}"
+        )
+    fmt = doc.get("format")
+    if fmt != SNAPSHOT_FORMAT:
+        raise TelemetryError(
+            f"not a telemetry snapshot (format={fmt!r}, expected "
+            f"{SNAPSHOT_FORMAT!r})"
+        )
+    version = doc.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise TelemetryError(
+            f"unsupported telemetry snapshot version {version!r} "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        raise TelemetryError("telemetry snapshot has no 'metrics' list")
+    return doc
+
+
+def snapshot_to_prometheus(doc: Mapping[str, object]) -> str:
+    """Render a snapshot document as Prometheus text exposition."""
+    validate_snapshot(dict(doc))
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for entry in doc["metrics"]:  # type: ignore[index]
+        name = prometheus_name(str(entry["name"]))
+        kind = str(entry["kind"])
+        prom_type = _PROM_TYPE.get(kind)
+        if prom_type is None:
+            raise TelemetryError(
+                f"unknown metric kind {kind!r} in snapshot"
+            )
+        labels = entry.get("labels", {})
+        if name not in seen_types:
+            seen_types[name] = prom_type
+            lines.append(f"# TYPE {name} {prom_type}")
+        elif seen_types[name] != prom_type:
+            raise TelemetryError(
+                f"metric {name!r} appears as both "
+                f"{seen_types[name]} and {prom_type}"
+            )
+        if kind == "histogram":
+            quantiles = entry.get("quantiles", {})
+            for q_label, q_value in sorted(quantiles.items()):
+                q = int(q_label.lstrip("p")) / 100.0
+                block = _label_block(labels, f'quantile="{q}"')
+                lines.append(f"{name}{block} {_format_value(q_value)}")
+            block = _label_block(labels)
+            lines.append(
+                f"{name}_sum{block} {_format_value(entry.get('sum', 0.0))}"
+            )
+            lines.append(
+                f"{name}_count{block} "
+                f"{_format_value(entry.get('count', 0))}"
+            )
+        else:
+            block = _label_block(labels)
+            lines.append(
+                f"{name}{block} {_format_value(entry.get('value', 0))}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,165 @@
+"""Lightweight span tracing for the serving stack.
+
+A :class:`Tracer` records named, timed spans with parent/child nesting
+driven by a plain context-manager stack — ``with tracer.span("epoch.refresh",
+tenant=...)`` opens a span, and any span opened before it closes
+becomes its child.  Spans carry JSON-safe attributes set at open time
+or mid-flight (:meth:`Span.set_attribute`); zero-duration
+:meth:`Tracer.event` marks point-in-time facts like budget spends.
+
+Finished root spans are kept in a bounded deque (oldest evicted), so a
+long-running service can trace every epoch without unbounded memory.
+The tracer is deliberately single-threaded — it matches the library's
+synchronous serving loop; the planned async front-end will scope one
+tracer per task.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, List
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_SPAN"]
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class Span:
+    """One timed, named, attributed unit of work."""
+
+    __slots__ = ("name", "attributes", "children", "_start", "_end")
+
+    def __init__(self, name: str, attributes: Dict[str, object]) -> None:
+        self.name = name
+        self.attributes = {
+            k: _json_safe(v) for k, v in attributes.items()
+        }
+        self.children: List["Span"] = []
+        self._start = time.perf_counter()
+        self._end: float | None = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the span has closed."""
+        return self._end is not None
+
+    @property
+    def duration_seconds(self) -> float:
+        """Wall-clock span length; 0 while still open."""
+        if self._end is None:
+            return 0.0
+        return self._end - self._start
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach or update an attribute mid-span."""
+        self.attributes[key] = _json_safe(value)
+
+    def _finish(self) -> None:
+        self._end = time.perf_counter()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe span tree rooted here."""
+        return {
+            "name": self.name,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class Tracer:
+    """Records a bounded history of finished root span trees."""
+
+    enabled = True
+
+    def __init__(self, max_finished_roots: int = 1000) -> None:
+        self._stack: List[Span] = []
+        self._finished: Deque[Span] = deque(maxlen=max_finished_roots)
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a span; nests under the innermost open span."""
+        span = Span(name, attributes)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span._finish()
+            if self._stack:
+                self._stack[-1].children.append(span)
+            else:
+                self._finished.append(span)
+
+    def event(self, name: str, **attributes: object) -> Span:
+        """Record a zero-duration point event."""
+        span = Span(name, attributes)
+        span._end = span._start  # a point in time, not an interval
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._finished.append(span)
+        return span
+
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def finished_roots(self) -> List[Span]:
+        """Finished root spans, oldest first."""
+        return list(self._finished)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """JSON-safe list of finished root span trees."""
+        return [span.to_dict() for span in self._finished]
+
+    def clear(self) -> None:
+        """Drop the finished-span history (open spans unaffected)."""
+        self._finished.clear()
+
+
+class _NullSpanContext:
+    """A reentrant context manager yielding the shared null span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "Span":
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+class _NullSpan(Span):
+    """A span that ignores attributes (disabled telemetry)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null", {})
+        self._finish()
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (disabled telemetry)."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes: object):
+        return _NULL_SPAN_CONTEXT
+
+    def event(self, name: str, **attributes: object) -> Span:
+        return NULL_SPAN

@@ -1,0 +1,273 @@
+"""Telemetry integration across the serving stack: observational
+purity (bit-identical answers on/off), the ServiceStats compatibility
+view, budget gauges, spans, and the replay's latency quantiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    NULL_TELEMETRY,
+    Rng,
+    ServingConfig,
+    Telemetry,
+    replay_rush_hour,
+    serve,
+    set_default_telemetry,
+    use_telemetry,
+)
+from repro.graphs import generators
+from repro.serving.service import ServiceStats
+
+
+def _grid(rows=5, cols=5):
+    return generators.grid_graph(rows, cols)
+
+
+def _answers(telemetry, shards=1):
+    """All visible outputs of a fixed seeded serving session."""
+    config = ServingConfig(eps=1.0, shards=shards)
+    service = serve(_grid(), config, Rng(seed=42), telemetry=telemetry)
+    pairs = [((0, 0), (4, 4)), ((1, 2), (3, 0)), ((0, 0), (4, 4))]
+    point = service.query((0, 1), (4, 3))
+    batch = service.query_batch(pairs)
+    estimate = service.estimate((2, 2), (0, 4))
+    return (point, tuple(batch.answers), estimate.value, estimate.noise_scale)
+
+
+class TestObservationalPurity:
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_bit_identical_on_off_and_custom(self, shards):
+        # Telemetry must never touch the noise stream: the default
+        # bundle, the null bundle, and an injected private bundle all
+        # produce byte-for-byte identical released values.
+        baseline = _answers(None, shards=shards)
+        assert _answers(NULL_TELEMETRY, shards=shards) == baseline
+        assert _answers(Telemetry(), shards=shards) == baseline
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_config_disabled_also_identical(self, shards):
+        baseline = _answers(None, shards=shards)
+        config = ServingConfig(eps=1.0, shards=shards, telemetry=False)
+        service = serve(_grid(), config, Rng(seed=42))
+        assert not service.telemetry.enabled
+        pairs = [((0, 0), (4, 4)), ((1, 2), (3, 0)), ((0, 0), (4, 4))]
+        point = service.query((0, 1), (4, 3))
+        batch = service.query_batch(pairs)
+        estimate = service.estimate((2, 2), (0, 4))
+        assert (
+            point,
+            tuple(batch.answers),
+            estimate.value,
+            estimate.noise_scale,
+        ) == baseline
+
+    def test_config_disabled_wins_over_injected_bundle(self):
+        bundle = Telemetry()
+        config = ServingConfig(eps=1.0, telemetry=False)
+        service = serve(_grid(), config, Rng(seed=0), telemetry=bundle)
+        service.query((0, 0), (1, 1))
+        assert not service.telemetry.enabled
+        assert bundle.registry.metrics() == []
+
+
+class TestServiceStatsView:
+    def test_as_dict_byte_identical_shape(self):
+        # Regression pin: the compatibility view must keep the exact
+        # historical key set and order of ServiceStats.as_dict().
+        telemetry = Telemetry()
+        config = ServingConfig(eps=1.0)
+        service = serve(_grid(), config, Rng(seed=1), telemetry=telemetry)
+        service.query((0, 0), (1, 1))
+        service.query((0, 0), (1, 1))  # cache hit
+        # One fresh unique pair: the in-batch duplicate is deduplicated,
+        # which is neither a cache hit nor a miss.
+        service.query_batch([((0, 0), (2, 2)), ((0, 0), (2, 2))])
+        stats = service.stats.as_dict()
+        assert stats == {
+            "num_queries": 4,
+            "point_queries": 2,
+            "batch_queries": 2,
+            "batches": 1,
+            "cache_hits": 1,
+            "epochs_built": 1,
+            "shard_refreshes": 0,
+        }
+        assert list(stats) == [
+            "num_queries",
+            "point_queries",
+            "batch_queries",
+            "batches",
+            "cache_hits",
+            "epochs_built",
+            "shard_refreshes",
+        ]
+
+    def test_counters_live_in_registry_not_parallel_books(self):
+        telemetry = Telemetry()
+        stats = ServiceStats(telemetry=telemetry, tenant="t")
+        stats.record_point_query(cache_hit=True)
+        by_name = {
+            m.name: m.value
+            for m in telemetry.registry.metrics()
+            if m.kind == "counter"
+        }
+        assert by_name["serving.stats.point_queries"] == 1
+        assert by_name["serving.stats.cache_hits"] == 1
+        assert stats.point_queries == 1
+        assert stats.cache_hits == 1
+
+    def test_detached_stats_still_count_without_telemetry(self):
+        stats = ServiceStats(telemetry=NULL_TELEMETRY)
+        stats.record_point_query(cache_hit=False)
+        stats.record_epoch_built()
+        assert stats.num_queries == 1
+        assert stats.epochs_built == 1
+
+    def test_two_services_do_not_collide(self):
+        # instance labels keep per-service counters separate even for
+        # equal tenant names in the same registry.
+        telemetry = Telemetry()
+        config = ServingConfig(eps=1.0)
+        a = serve(_grid(), config, Rng(seed=1), telemetry=telemetry)
+        b = serve(_grid(), config, Rng(seed=2), telemetry=telemetry)
+        a.query((0, 0), (1, 1))
+        assert a.stats.num_queries == 1
+        assert b.stats.num_queries == 0
+
+
+class TestMetricsAndSpans:
+    def test_query_latency_and_build_metrics_recorded(self):
+        telemetry = Telemetry()
+        config = ServingConfig(eps=1.0)
+        service = serve(_grid(), config, Rng(seed=3), telemetry=telemetry)
+        service.query((0, 0), (4, 4))
+        service.query_batch([((0, 0), (1, 1)), ((2, 2), (3, 3))])
+        latency = telemetry.registry.merged_histogram(
+            "serving.query.latency"
+        )
+        assert latency.count == 3
+        build = telemetry.registry.merged_histogram("build.latency")
+        assert build.count == 1
+        names = {m.name for m in telemetry.registry.metrics()}
+        assert "serving.batch.latency" in names
+        assert "mechanism.selected" in names
+
+    def test_budget_gauges_per_tenant(self):
+        telemetry = Telemetry()
+        config = ServingConfig(eps=1.0, delta=1e-6)
+        service = serve(_grid(), config, Rng(seed=4), telemetry=telemetry)
+        gauges = {
+            (m.name, dict(m.labels)["tenant"]): m.value
+            for m in telemetry.registry.metrics()
+            if m.name.startswith("budget.") and m.kind == "gauge"
+        }
+        tenant = service.ledger.records()[0].tenant
+        assert gauges[("budget.eps.spent", tenant)] == pytest.approx(1.0)
+        assert gauges[("budget.eps.remaining", tenant)] == pytest.approx(
+            0.0
+        )
+        assert gauges[
+            ("budget.delta.remaining", tenant)
+        ] == pytest.approx(0.0, abs=1e-12)
+
+    def test_sharded_budget_gauges_cover_all_tenants(self):
+        telemetry = Telemetry()
+        config = ServingConfig(eps=1.0, shards=2)
+        service = serve(_grid(), config, Rng(seed=5), telemetry=telemetry)
+        tenants = {
+            dict(m.labels)["tenant"]
+            for m in telemetry.registry.metrics()
+            if m.name == "budget.eps.spent"
+        }
+        ledger_tenants = {e.tenant for e in service.ledger.records()}
+        assert tenants == ledger_tenants
+        assert len(tenants) >= 3  # two shards + the boundary relay
+
+    def test_epoch_refresh_span_nests_build(self):
+        telemetry = Telemetry()
+        config = ServingConfig(eps=1.0)
+        service = serve(_grid(), config, Rng(seed=6), telemetry=telemetry)
+        telemetry.tracer.clear()
+        service.refresh(_grid())
+        roots = telemetry.tracer.finished_roots()
+        assert [s.name for s in roots] == ["epoch.refresh"]
+        child_names = {c.name for c in roots[0].children}
+        assert "synopsis.build" in child_names
+
+    def test_budget_spend_events_traced(self):
+        telemetry = Telemetry()
+        config = ServingConfig(eps=1.0)
+        serve(_grid(), config, Rng(seed=7), telemetry=telemetry)
+        spends = [
+            span
+            for root in telemetry.tracer.finished_roots()
+            for span in [root, *root.children]
+            if span.name == "budget.spend"
+        ]
+        assert len(spends) == 1
+        assert spends[0].attributes["eps"] == pytest.approx(1.0)
+
+    def test_default_bundle_capture(self):
+        # serve(telemetry=None) records into the active process
+        # bundle, honoring use_telemetry scopes.
+        scoped = Telemetry()
+        with use_telemetry(scoped):
+            service = serve(_grid(), ServingConfig(eps=1.0), Rng(seed=8))
+            service.query((0, 0), (1, 1))
+        assert (
+            scoped.registry.merged_histogram(
+                "serving.query.latency"
+            ).count
+            == 1
+        )
+
+    def test_set_default_telemetry_round_trip(self):
+        mine = Telemetry()
+        previous = set_default_telemetry(mine)
+        try:
+            service = serve(_grid(), ServingConfig(eps=1.0), Rng(seed=9))
+            service.query((0, 0), (1, 1))
+            assert (
+                mine.registry.merged_histogram(
+                    "serving.query.latency"
+                ).count
+                == 1
+            )
+        finally:
+            set_default_telemetry(previous)
+
+
+class TestReplayLatency:
+    def test_simulate_reports_latency_quantiles(self, rng):
+        report = replay_rush_hour(
+            rng, rows=5, cols=5, epochs=1, queries_per_epoch=40
+        )
+        assert report.latency["count"] == 40
+        assert (
+            0.0
+            <= report.latency["p50"]
+            <= report.latency["p95"]
+            <= report.latency["p99"]
+        )
+        assert report.as_dict()["latency_seconds"] == report.latency
+
+    def test_disabled_config_reports_no_latency(self, rng):
+        config = ServingConfig(eps=1.0, telemetry=False)
+        report = replay_rush_hour(
+            rng, epochs=1, queries_per_epoch=20, config=config,
+            rows=5, cols=5,
+        )
+        assert report.latency == {}
+
+    def test_private_bundle_per_replay(self, rng):
+        # Two replays must not leak latency observations into each
+        # other through a shared global registry.
+        first = replay_rush_hour(
+            rng, rows=5, cols=5, epochs=1, queries_per_epoch=10
+        )
+        second = replay_rush_hour(
+            rng, rows=5, cols=5, epochs=1, queries_per_epoch=25
+        )
+        assert first.latency["count"] == 10
+        assert second.latency["count"] == 25

@@ -574,3 +574,103 @@ class TestMst:
         assert code == 0
         payload = json.loads(out.read_text())
         assert len(payload["tree_edges"]) == 15
+
+
+class TestMetrics:
+    def _simulate_snapshot(self, tmp_path, capsys, fmt="json"):
+        out = tmp_path / ("metrics." + fmt)
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--eps", "1.0",
+                "--queries", "30",
+                "--seed", "0",
+                "--metrics-out", str(out),
+                "--metrics-format", fmt,
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()  # drop the report JSON
+        return out
+
+    def test_simulate_reports_latency_quantiles(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--eps", "1.0",
+                "--queries", "30",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        latency = report["latency_seconds"]
+        assert latency["count"] == 30
+        assert 0.0 <= latency["p50"] <= latency["p95"] <= latency["p99"]
+
+    def test_simulate_metrics_out_json(self, tmp_path, capsys):
+        out = self._simulate_snapshot(tmp_path, capsys)
+        document = json.loads(out.read_text())
+        assert document["format"] == "repro-telemetry"
+        names = {m["name"] for m in document["metrics"]}
+        assert "serving.query.latency" in names
+        assert "budget.eps.remaining" in names
+
+    def test_simulate_metrics_out_prometheus(self, tmp_path, capsys):
+        out = self._simulate_snapshot(tmp_path, capsys, fmt="prom")
+        text = out.read_text()
+        assert "# TYPE serving_query_latency summary" in text
+        assert 'quantile="0.99"' in text
+
+    def test_metrics_subcommand_round_trip(self, tmp_path, capsys):
+        out = self._simulate_snapshot(tmp_path, capsys)
+        code = main(["metrics", "--in", str(out), "--format", "prom"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "# TYPE budget_eps_remaining gauge" in text
+
+    def test_metrics_tenant_budget_view(self, tmp_path, capsys):
+        out = self._simulate_snapshot(tmp_path, capsys)
+        code = main(
+            ["metrics", "--in", str(out), "--tenant", "distance-service"]
+        )
+        assert code == 0
+        budget = json.loads(capsys.readouterr().out)
+        assert budget["tenant"] == "distance-service"
+        assert budget["eps_spent"] == pytest.approx(1.0)
+        assert budget["eps_remaining"] == pytest.approx(0.0)
+
+    def test_metrics_unknown_tenant_rejected(self, tmp_path, capsys):
+        out = self._simulate_snapshot(tmp_path, capsys)
+        code = main(["metrics", "--in", str(out), "--tenant", "nope"])
+        assert code != 0
+        err = capsys.readouterr().err
+        assert "nope" in err
+        assert "distance-service" in err
+
+    def test_metrics_rejects_non_snapshot_json(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"format": "something-else"}')
+        code = main(["metrics", "--in", str(bogus)])
+        assert code != 0
+
+    def test_serve_metrics_out(self, grid_file, tmp_path, capsys):
+        out = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--seed", "0",
+                "--pairs", "0,0:3,3",
+                "--metrics-out", str(out),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        names = {m["name"] for m in document["metrics"]}
+        assert "serving.query.latency" in names

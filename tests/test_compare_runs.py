@@ -11,22 +11,31 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from benchmarks.compare_runs import compare, load_seconds, main
+from benchmarks.compare_runs import (
+    compare,
+    compare_p99,
+    load_p99,
+    load_seconds,
+    main,
+)
 
 
-def _run_file(tmp_path: Path, name: str, seconds: dict) -> Path:
+def _run_file(
+    tmp_path: Path, name: str, seconds: dict, p99: dict | None = None
+) -> Path:
     path = tmp_path / name
-    path.write_text(
-        json.dumps(
-            {
-                "seed": 0,
-                "experiments": {
-                    tag: {"module": f"benchmarks.bench_{tag}", "seconds": s}
-                    for tag, s in seconds.items()
-                },
-            }
-        )
-    )
+    experiments = {
+        tag: {"module": f"benchmarks.bench_{tag}", "seconds": s}
+        for tag, s in seconds.items()
+    }
+    for tag, value in (p99 or {}).items():
+        experiments[tag]["latency"] = {
+            "p50": value / 2.0,
+            "p95": value * 0.9,
+            "p99": value,
+            "count": 1000,
+        }
+    path.write_text(json.dumps({"seed": 0, "experiments": experiments}))
     return path
 
 
@@ -101,3 +110,58 @@ class TestCli:
         seconds = load_seconds(report)
         assert seconds  # at least one experiment recorded
         assert all(s >= 0 for s in seconds.values())
+
+
+class TestP99:
+    def test_growth_beyond_threshold_warned(self):
+        rows, warned = compare_p99(
+            {"E16": 10e-6, "E18": 10e-6},
+            {"E16": 30e-6, "E18": 11e-6},
+            threshold=0.25,
+        )
+        assert warned == ["E16"]
+        statuses = {r[0]: r[4] for r in rows}
+        assert statuses["E16"].startswith("WARN")
+        assert statuses["E18"] == "ok"
+
+    def test_rendered_in_microseconds(self):
+        rows, _ = compare_p99({"E16": 10e-6}, {"E16": 10e-6})
+        assert rows[0][1] == "10.0"
+        assert rows[0][2] == "10.0"
+
+    def test_new_and_removed_never_warned(self):
+        _, warned = compare_p99({"E16": 1e-6}, {"E19": 5e-6})
+        assert warned == []
+
+    def test_load_p99_skips_experiments_without_latency(self, tmp_path):
+        path = _run_file(
+            tmp_path,
+            "run.json",
+            {"E1": 1.0, "E16": 2.0},
+            p99={"E16": 20e-6},
+        )
+        assert load_p99(path) == {"E16": pytest.approx(20e-6)}
+
+    def test_warning_is_not_an_exit_code(self, tmp_path, capsys):
+        # p99 regressions are informational: wall-clock is fine, so
+        # the comparator must exit 0 while still printing the warning.
+        base = _run_file(
+            tmp_path, "base.json", {"E16": 1.0}, p99={"E16": 10e-6}
+        )
+        new = _run_file(
+            tmp_path, "new.json", {"E16": 1.0}, p99={"E16": 100e-6}
+        )
+        assert main([str(base), str(new)]) == 0
+        captured = capsys.readouterr()
+        assert "per-query p99 latency (warn-only)" in captured.out
+        assert "does not fail the check" in captured.err
+
+    def test_wall_clock_still_gates(self, tmp_path, capsys):
+        base = _run_file(
+            tmp_path, "base.json", {"E16": 1.0}, p99={"E16": 10e-6}
+        )
+        new = _run_file(
+            tmp_path, "new.json", {"E16": 2.0}, p99={"E16": 10e-6}
+        )
+        assert main([str(base), str(new)]) == 1
+        capsys.readouterr()
