@@ -41,31 +41,34 @@ def load_seconds(path: Path) -> Dict[str, float]:
     }
 
 
-def load_p99(path: Path) -> Dict[str, float]:
-    """Experiment tag -> recorded p99 per-query latency (seconds) for
-    the experiments that carry a ``latency`` entry (the serving
-    benchmarks E16/E18/E19)."""
+def load_p99(path: Path) -> Dict[str, Tuple[float, int]]:
+    """Experiment tag -> (p99 per-query latency in seconds, latency
+    sample count) for the experiments that carry a ``latency`` entry
+    (the serving benchmarks E16/E18/E19).  The count is printed next
+    to each quantile so a "p99 improved" read on 50 samples is not
+    mistaken for one on 50 000."""
     document = json.loads(path.read_text())
     experiments = document.get("experiments")
     if not isinstance(experiments, dict):
         raise ValueError(f"{path} is not a BENCH_runall.json report")
-    out: Dict[str, float] = {}
+    out: Dict[str, Tuple[float, int]] = {}
     for tag, entry in experiments.items():
         latency = entry.get("latency")
         if isinstance(latency, dict) and "p99" in latency:
-            out[tag] = float(latency["p99"])
+            out[tag] = (float(latency["p99"]), int(latency.get("count", 0)))
     return out
 
 
 def compare_p99(
-    base: Dict[str, float],
-    new: Dict[str, float],
+    base: Dict[str, Tuple[float, int]],
+    new: Dict[str, Tuple[float, int]],
     threshold: float = DEFAULT_THRESHOLD,
 ) -> Tuple[List[List[str]], List[str]]:
     """Diff recorded p99 latencies; warn-only, never gates the build.
 
-    Rows are ``[tag, base_us, new_us, delta, status]`` with latencies
-    rendered in microseconds (per-query serving latency is a few µs).
+    Rows are ``[tag, base_us, base_n, new_us, new_n, delta, status]``
+    with latencies rendered in microseconds (per-query serving latency
+    is a few µs) and each side's latency sample count alongside.
     Returns the rows and the tags whose p99 grew beyond ``threshold``
     — callers print those as warnings; the exit code stays governed
     by wall-clock.  Tail latency on a CI box is noisy enough that a
@@ -76,18 +79,42 @@ def compare_p99(
     warned: List[str] = []
     for tag in sorted(set(base) | set(new)):
         if tag not in new:
-            rows.append([tag, f"{base[tag] * 1e6:.1f}", "-", "-", "removed"])
+            before, before_n = base[tag]
+            rows.append(
+                [
+                    tag,
+                    f"{before * 1e6:.1f}",
+                    str(before_n),
+                    "-",
+                    "-",
+                    "-",
+                    "removed",
+                ]
+            )
             continue
         if tag not in base:
-            rows.append([tag, "-", f"{new[tag] * 1e6:.1f}", "-", "new"])
+            after, after_n = new[tag]
+            rows.append(
+                [
+                    tag,
+                    "-",
+                    "-",
+                    f"{after * 1e6:.1f}",
+                    str(after_n),
+                    "-",
+                    "new",
+                ]
+            )
             continue
-        before, after = base[tag], new[tag]
+        (before, before_n), (after, after_n) = base[tag], new[tag]
         if before <= 0.0:
             rows.append(
                 [
                     tag,
                     f"{before * 1e6:.1f}",
+                    str(before_n),
                     f"{after * 1e6:.1f}",
+                    str(after_n),
                     "-",
                     "too fast",
                 ]
@@ -102,7 +129,9 @@ def compare_p99(
             [
                 tag,
                 f"{before * 1e6:.1f}",
+                str(before_n),
                 f"{after * 1e6:.1f}",
+                str(after_n),
                 f"{delta:+.1%}",
                 status,
             ]
@@ -156,14 +185,19 @@ def compare(
     return rows, flagged
 
 
-def render(rows: List[List[str]], unit: str = "s") -> str:
-    headers = [
-        "experiment",
-        f"base {unit}",
-        f"new {unit}",
-        "delta",
-        "status",
-    ]
+def render(
+    rows: List[List[str]],
+    unit: str = "s",
+    headers: List[str] | None = None,
+) -> str:
+    if headers is None:
+        headers = [
+            "experiment",
+            f"base {unit}",
+            f"new {unit}",
+            "delta",
+            "status",
+        ]
     widths = [
         max(len(headers[i]), *(len(r[i]) for r in rows))
         if rows
@@ -205,7 +239,20 @@ def main(argv: List[str] | None = None) -> int:
     )
     if p99_rows:
         print("\nper-query p99 latency (warn-only):")
-        print(render(p99_rows, unit="p99 us"))
+        print(
+            render(
+                p99_rows,
+                headers=[
+                    "experiment",
+                    "base p99 us",
+                    "base n",
+                    "new p99 us",
+                    "new n",
+                    "delta",
+                    "status",
+                ],
+            )
+        )
         if p99_warned:
             print(
                 f"warning: p99 latency grew more than "

@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""Stitch per-commit ``BENCH_runall.json`` artifacts into one series.
+
+Usage::
+
+    python benchmarks/history.py RUNS_DIR [--experiment E16] \
+        [--json history.json] [--baseline-out baseline.json]
+
+CI uploads every run's ``BENCH_runall.json`` as an artifact; collect a
+set of them (one per commit) into a directory and this script stitches
+them — ordered by each run's recorded ``generated_at_unix``, falling
+back to filename — into a longitudinal per-experiment series of
+wall-clock seconds and per-query p99 latency.  That turns the pairwise
+check of ``compare_runs.py`` ("did THIS commit regress?") into a
+trajectory ("has E16 been creeping up for five commits?").
+
+Outputs:
+
+* a text table per experiment (oldest run first), or one experiment
+  with ``--experiment``;
+* ``--json`` writes the stitched ``repro-bench-history`` document;
+* ``--baseline-out`` re-emits the *newest* run verbatim — a
+  ``BENCH_runall.json``-shaped file directly consumable as the
+  ``base`` argument of ``compare_runs.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+HISTORY_FORMAT = "repro-bench-history"
+HISTORY_VERSION = 1
+
+
+def load_run(path: Path) -> Dict[str, object]:
+    """Parse one ``BENCH_runall.json`` artifact into a run record."""
+    document = json.loads(path.read_text())
+    experiments = document.get("experiments")
+    if not isinstance(experiments, dict):
+        raise ValueError(f"{path} is not a BENCH_runall.json report")
+    return {
+        "label": path.stem,
+        "path": str(path),
+        "generated_at_unix": document.get("generated_at_unix"),
+        "seed": document.get("seed"),
+        "total_seconds": document.get("total_seconds"),
+        "document": document,
+    }
+
+
+def load_runs(directory: Path) -> List[Dict[str, object]]:
+    """Every ``*.json`` run artifact in ``directory``, oldest first.
+
+    Ordering key is each run's ``generated_at_unix``; artifacts
+    missing it sort by filename after the timestamped ones (CI always
+    stamps, so in practice this only matters for hand-made files).
+    """
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        raise ValueError(f"no *.json run artifacts in {directory}")
+    runs = [load_run(path) for path in paths]
+    stamped = [r for r in runs if r["generated_at_unix"] is not None]
+    unstamped = [r for r in runs if r["generated_at_unix"] is None]
+    stamped.sort(key=lambda r: (r["generated_at_unix"], r["label"]))
+    return stamped + unstamped
+
+
+def stitch(runs: List[Dict[str, object]]) -> Dict[str, object]:
+    """The longitudinal document: per-experiment parallel series.
+
+    ``experiments[tag]`` holds three lists aligned with ``runs`` —
+    wall-clock ``seconds``, per-query ``p99`` latency (seconds), and
+    latency sample ``count`` — with ``None`` where a run predates (or
+    dropped) the experiment, so series stay aligned across a history
+    in which experiments come and go.
+    """
+    tags: List[str] = []
+    for run in runs:
+        for tag in run["document"]["experiments"]:
+            if tag not in tags:
+                tags.append(tag)
+    experiments: Dict[str, Dict[str, List[Optional[float]]]] = {}
+    for tag in tags:
+        seconds: List[Optional[float]] = []
+        p99: List[Optional[float]] = []
+        count: List[Optional[int]] = []
+        for run in runs:
+            entry = run["document"]["experiments"].get(tag)
+            if entry is None:
+                seconds.append(None)
+                p99.append(None)
+                count.append(None)
+                continue
+            seconds.append(float(entry["seconds"]))
+            latency = entry.get("latency")
+            if isinstance(latency, dict) and "p99" in latency:
+                p99.append(float(latency["p99"]))
+                count.append(int(latency.get("count", 0)))
+            else:
+                p99.append(None)
+                count.append(None)
+        experiments[tag] = {
+            "seconds": seconds,
+            "p99": p99,
+            "count": count,
+        }
+    return {
+        "format": HISTORY_FORMAT,
+        "version": HISTORY_VERSION,
+        "runs": [
+            {
+                "label": run["label"],
+                "generated_at_unix": run["generated_at_unix"],
+                "seed": run["seed"],
+                "total_seconds": run["total_seconds"],
+            }
+            for run in runs
+        ],
+        "experiments": experiments,
+    }
+
+
+def render_history(
+    history: Dict[str, object], experiment: str | None = None
+) -> str:
+    """Text tables, one per experiment, oldest run first."""
+    runs = history["runs"]
+    experiments = history["experiments"]
+    if experiment is not None:
+        if experiment not in experiments:
+            known = ", ".join(sorted(experiments))
+            raise ValueError(
+                f"no experiment {experiment!r} in the stitched runs; "
+                f"known: {known}"
+            )
+        experiments = {experiment: experiments[experiment]}
+    blocks: List[str] = []
+    for tag, series in experiments.items():
+        rows: List[List[str]] = []
+        for i, run in enumerate(runs):
+            seconds = series["seconds"][i]
+            p99 = series["p99"][i]
+            count = series["count"][i]
+            rows.append(
+                [
+                    run["label"],
+                    "-" if seconds is None else f"{seconds:.3f}",
+                    "-" if p99 is None else f"{p99 * 1e6:.1f}",
+                    "-" if count is None else str(count),
+                ]
+            )
+        headers = ["run", "seconds", "p99 us", "n"]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in rows))
+            for i in range(len(headers))
+        ]
+        lines = [
+            tag,
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append(
+                "  ".join(c.rjust(widths[i]) for i, c in enumerate(row))
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="stitch BENCH_runall.json artifacts into a "
+        "longitudinal per-experiment series"
+    )
+    parser.add_argument(
+        "runs_dir",
+        type=Path,
+        help="directory of per-commit BENCH_runall.json artifacts",
+    )
+    parser.add_argument(
+        "--experiment",
+        default=None,
+        help="only render this experiment's series (e.g. E16)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        dest="json_out",
+        help="also write the stitched repro-bench-history document",
+    )
+    parser.add_argument(
+        "--baseline-out",
+        type=Path,
+        default=None,
+        help="re-emit the newest run verbatim (BENCH_runall-shaped; "
+        "usable as compare_runs.py's base)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        runs = load_runs(args.runs_dir)
+        history = stitch(runs)
+        rendered = render_history(history, args.experiment)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # Artifacts land before stdout: a closed pipe downstream must not
+    # cost us the stitched document.
+    if args.json_out is not None:
+        args.json_out.write_text(json.dumps(history, indent=2))
+    if args.baseline_out is not None:
+        args.baseline_out.write_text(
+            json.dumps(runs[-1]["document"], indent=2)
+        )
+    print(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,12 @@ Usage (after installing the package)::
         --metrics-out metrics.json
     python -m repro.cli metrics --in metrics.json --format prom
     python -m repro.cli metrics --in metrics.json --tenant distance-service
+    python -m repro.cli simulate --rows 8 --cols 8 --eps 1.0 --seed 0 \
+        --epochs 3 --audit-log audit.jsonl --metrics-out metrics.json
+    python -m repro.cli audit tail --log audit.jsonl -n 5
+    python -m repro.cli audit verify --log audit.jsonl --metrics metrics.json
+    python -m repro.cli audit replay --log audit.jsonl
+    python -m repro.cli report --in metrics.json --rules alerts.json
 
 The ``serve`` and ``simulate`` subcommands speak the declarative
 serving API: ``--config`` loads a
@@ -31,6 +37,19 @@ per-tenant budget gauges); the ``metrics`` subcommand reads such a
 snapshot back and renders it as JSON or Prometheus text exposition,
 or answers "how much budget does tenant X have left" directly with
 ``--tenant``.
+
+``--audit-log`` on ``serve`` and ``simulate`` appends the run's
+privacy audit trail — every budget spend, epoch rotation, synopsis
+build, and mechanism selection — to a hash-chained JSONL file (see
+:mod:`repro.telemetry.audit`).  The ``audit`` subcommand inspects such
+a log: ``tail`` prints the last records, ``replay`` reconstructs the
+per-tenant privacy odometer, and ``verify`` fail-closed checks the
+hash chain and the recorded budget arithmetic (optionally
+cross-checking a ``--metrics`` snapshot's gauges bit-exactly).  The
+``report`` subcommand renders a status summary — budget positions,
+latency quantiles, and alerts fired by a declarative ``--rules``
+document (:mod:`repro.telemetry.monitor`) — exiting 1 when any alert
+fires, so it slots into CI and cron health checks.
 
 Graphs are read from the JSON format of :mod:`repro.graphs.io` (or,
 with ``--edge-list``, from whitespace ``u v w`` lines).  All randomness
@@ -254,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the synopsis JSON here (unsharded only)",
     )
     _add_metrics_out(p)
+    _add_audit_log(p)
 
     p = sub.add_parser(
         "simulate",
@@ -307,6 +327,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=None)
     _add_metrics_out(p)
+    _add_audit_log(p)
+
+    p = sub.add_parser(
+        "audit",
+        help="inspect and verify a privacy audit log written by "
+        "serve/simulate --audit-log (fail-closed: any hash-chain or "
+        "odometer mismatch is an error)",
+    )
+    p.add_argument(
+        "action",
+        choices=["tail", "verify", "replay"],
+        help="tail: print the last records; verify: check the hash "
+        "chain and budget arithmetic; replay: reconstruct the "
+        "per-tenant privacy odometer",
+    )
+    p.add_argument(
+        "--log", required=True, help="audit log JSONL path"
+    )
+    p.add_argument(
+        "-n",
+        type=int,
+        default=10,
+        help="records to print for tail (default 10)",
+    )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        help="for verify: also cross-check the replayed budgets "
+        "against this telemetry snapshot's gauges (bit-exact)",
+    )
+
+    p = sub.add_parser(
+        "report",
+        help="render a status summary (budget positions, latency "
+        "quantiles, fired alerts) from a telemetry snapshot; exits 1 "
+        "when any alert fires",
+    )
+    p.add_argument(
+        "--in",
+        dest="report_in",
+        required=True,
+        help="telemetry snapshot JSON written by --metrics-out",
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        help="evaluate this repro-alert-rules JSON document "
+        "(threshold and budget-burn-rate rules)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="render as human-readable text or JSON (default text)",
+    )
 
     p = sub.add_parser(
         "metrics",
@@ -349,6 +424,16 @@ def _add_metrics_out(p: argparse.ArgumentParser) -> None:
         default="json",
         help="format for --metrics-out (default json snapshot; prom "
         "drops spans)",
+    )
+
+
+def _add_audit_log(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--audit-log",
+        default=None,
+        help="append the run's privacy audit trail (budget spends, "
+        "rotations, builds) to this hash-chained JSONL file; "
+        "readable by the audit subcommand",
     )
 
 
@@ -478,6 +563,8 @@ def _serving_config(args: argparse.Namespace):
         )
     if args.shards is not None:
         overrides["shards"] = args.shards
+    if args.audit_log is not None:
+        overrides["audit_log"] = args.audit_log
     return config.with_overrides(**overrides) if overrides else config
 
 
@@ -574,6 +661,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             queries_per_epoch=args.queries,
             config=config,
             telemetry=telemetry,
+            audit_log=args.audit_log,
         )
     else:
         if args.eps is None:
@@ -594,6 +682,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             mechanism=args.mechanism,
             shards=args.shards,
             telemetry=telemetry,
+            audit_log=args.audit_log,
         )
     if args.metrics_out:
         _write_metrics(telemetry, args.metrics_out, args.metrics_format)
@@ -601,16 +690,137 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_metrics(args: argparse.Namespace) -> int:
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .telemetry import validate_snapshot
+    from .telemetry.audit import (
+        read_audit_log,
+        replay_odometer,
+        verify_against_snapshot,
+        verify_audit_log,
+    )
+
+    records = read_audit_log(args.log)
+    if args.action == "tail":
+        for record in records[-args.n :] if args.n > 0 else []:
+            print(json.dumps(record))
+        return 0
+    if args.action == "replay":
+        print(json.dumps(replay_odometer(records), indent=2))
+        return 0
+    summary = verify_audit_log(records)
+    # verify prints the compact verdict; replay prints the odometer.
+    del summary["odometer"]
+    if args.metrics is not None:
+        document = _load_snapshot(args.metrics)
+        validate_snapshot(document)
+        summary["gauges_checked"] = verify_against_snapshot(
+            records, document
+        )
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .telemetry import validate_snapshot
+    from .telemetry.monitor import evaluate_rules, load_alert_rules
+
+    document = _load_snapshot(args.report_in)
+    validate_snapshot(document)
+    budgets: dict = {}
+    latency: list = []
+    for entry in document["metrics"]:
+        labels = entry.get("labels", {})
+        if (
+            entry["kind"] == "gauge"
+            and entry["name"].startswith("budget.")
+            and "tenant" in labels
+        ):
+            budgets.setdefault(labels["tenant"], {})[entry["name"]] = (
+                entry["value"]
+            )
+        elif (
+            entry["kind"] == "histogram"
+            and entry["name"] == "serving.query.latency"
+        ):
+            latency.append(
+                {
+                    "labels": dict(labels),
+                    "count": entry.get("count", 0),
+                    **(entry.get("quantiles") or {}),
+                }
+            )
+    alerts = []
+    if args.rules is not None:
+        rules = load_alert_rules(Path(args.rules).read_text())
+        alerts = evaluate_rules(rules, document)
+    report = {
+        "budgets": {
+            tenant: {
+                "eps_spent": gauges.get("budget.eps.spent", 0.0),
+                "eps_remaining": gauges.get("budget.eps.remaining", 0.0),
+                "delta_remaining": gauges.get(
+                    "budget.delta.remaining", 0.0
+                ),
+            }
+            for tenant, gauges in sorted(budgets.items())
+        },
+        "latency": latency,
+        "alerts": [alert.as_dict() for alert in alerts],
+    }
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        _print_text_report(report, rules_given=args.rules is not None)
+    return 1 if alerts else 0
+
+
+def _print_text_report(report: dict, rules_given: bool) -> None:
+    print("== budgets ==")
+    if not report["budgets"]:
+        print("(no budget gauges in snapshot)")
+    for tenant, position in report["budgets"].items():
+        print(
+            f"{tenant}: eps spent {position['eps_spent']:g} / "
+            f"remaining {position['eps_remaining']:g} "
+            f"(delta remaining {position['delta_remaining']:g})"
+        )
+    print("== query latency ==")
+    if not report["latency"]:
+        print("(no serving.query.latency histograms in snapshot)")
+    for entry in report["latency"]:
+        labels = ",".join(
+            f"{k}={v}" for k, v in sorted(entry["labels"].items())
+        )
+        quantiles = "  ".join(
+            f"{q}={entry[q] * 1e6:.1f}us"
+            for q in ("p50", "p95", "p99")
+            if entry.get(q) is not None
+        )
+        print(f"{labels or '(no labels)'}: n={entry['count']}  {quantiles}")
+    print("== alerts ==")
+    if not report["alerts"]:
+        print("(no rules given)" if not rules_given else "(none fired)")
+    for alert in report["alerts"]:
+        print(
+            f"[{alert['severity']}] {alert['rule']}: {alert['message']}"
+        )
+
+
+def _load_snapshot(path: str) -> dict:
     from .exceptions import TelemetryError
-    from .telemetry import snapshot_to_prometheus, validate_snapshot
 
     try:
-        document = json.loads(Path(args.metrics_in).read_text())
+        return json.loads(Path(path).read_text())
     except json.JSONDecodeError as error:
         raise TelemetryError(
-            f"{args.metrics_in} is not valid JSON: {error}"
+            f"{path} is not valid JSON: {error}"
         ) from None
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .telemetry import snapshot_to_prometheus, validate_snapshot
+
+    document = _load_snapshot(args.metrics_in)
     validate_snapshot(document)
     if args.tenant is not None:
         print(json.dumps(_tenant_budget(document, args.tenant), indent=2))
@@ -662,6 +872,8 @@ _COMMANDS = {
     "mst": _cmd_mst,
     "serve": _cmd_serve,
     "simulate": _cmd_simulate,
+    "audit": _cmd_audit,
+    "report": _cmd_report,
     "metrics": _cmd_metrics,
 }
 

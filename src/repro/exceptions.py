@@ -104,3 +104,15 @@ class TelemetryError(ReproError):
     """A problem with the telemetry subsystem (metric type clash on a
     registered name, malformed metrics snapshot document, invalid
     quantile or accuracy parameter)."""
+
+
+class AuditError(TelemetryError):
+    """An audit log failed validation: broken hash chain, sequence gap,
+    truncated or corrupted record, wrong format/version marker, or a
+    replayed odometer that disagrees with a live ledger.
+
+    Subclasses :class:`TelemetryError` (the audit trail is part of the
+    observability layer), so existing telemetry ``except`` clauses keep
+    working; audit verification is fail-closed — any doubt about the
+    log's integrity raises rather than reporting a partial answer.
+    """

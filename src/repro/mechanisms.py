@@ -318,6 +318,11 @@ def auto_select_mechanism(
         )
         span.set_attribute("winner", winner.name)
         span.set_attribute("candidates", len(candidates))
+        telemetry.audit.record(
+            "mechanism.select",
+            winner=winner.name,
+            candidates=[m.name for m in candidates],
+        )
     telemetry.registry.counter(
         "mechanism.selected", mechanism=winner.name
     ).inc()

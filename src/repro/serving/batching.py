@@ -204,6 +204,13 @@ class BatchPlanner:
             report.num_unique = len(resolved)
             span.set_attribute("unique", report.num_unique)
             span.set_attribute("cache_hits", report.cache_hits)
+            self._telemetry.audit.record(
+                "batch.serve",
+                queries=report.num_queries,
+                unique=report.num_unique,
+                cache_hits=report.cache_hits,
+                labels=self._labels,
+            )
         report.elapsed_seconds = time.perf_counter() - start
         self._latency.observe_many(durations)
         return report

@@ -34,7 +34,12 @@ from ..exceptions import GraphError, PrivacyError
 from ..graphs.graph import Vertex, WeightedGraph
 from ..mechanisms import get_mechanism
 from ..rng import Rng
-from ..telemetry import NULL_TELEMETRY, Telemetry, get_telemetry
+from ..telemetry import (
+    NULL_TELEMETRY,
+    AuditLog,
+    Telemetry,
+    get_telemetry,
+)
 from .batching import BatchReport
 from .estimates import Estimate
 from .ledger import BudgetLedger
@@ -168,6 +173,13 @@ class ServingConfig:
         :func:`serve` is passed — the config is the deployment's
         single source of truth.  Purely observational either way:
         answers are bit-identical on or off.
+    audit_log:
+        Path of a JSONL :class:`~repro.telemetry.AuditLog` the server
+        appends budget spends, rotations, mechanism selections,
+        refreshes, and batch serves to (``None`` = no audit trail).
+        Independent of ``telemetry``: a deployment can audit with
+        metrics off.  Observational like the rest of the bundle —
+        answers are bit-identical with auditing on, off, or resumed.
     """
 
     mechanism: str = "auto"
@@ -182,6 +194,7 @@ class ServingConfig:
     cache_size: int | None = None
     tenant: str | None = None
     telemetry: bool = True
+    audit_log: str | None = None
 
     def __post_init__(self) -> None:
         PrivacyParams(self.eps, self.delta)  # validates the budget
@@ -309,6 +322,12 @@ def serve(
         telemetry = NULL_TELEMETRY
     elif telemetry is None:
         telemetry = get_telemetry()
+    if config.audit_log is not None and not telemetry.audit.enabled:
+        # Auditing is orthogonal to metrics: attach the log even to the
+        # null bundle.  An already-attached audit (an injected bundle)
+        # wins — the caller is aggregating several servers into one
+        # trail.
+        telemetry = telemetry.with_audit(AuditLog(config.audit_log))
     if ledger is None and config.epoch_policy == "fixed":
         # A "fixed" policy pins the epoch: the server gets a ledger it
         # does not own, so refreshes re-spend from the remaining epoch

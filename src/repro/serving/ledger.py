@@ -133,6 +133,21 @@ class BudgetLedger:
         registry = telemetry.registry
         remaining_eps = accountant.remaining_eps()
         remaining_delta = accountant.remaining_delta()
+        spent = accountant.spent
+        telemetry.audit.record(
+            "budget.spend",
+            epoch=self._epoch,
+            tenant=tenant,
+            label=label,
+            eps=params.eps,
+            delta=params.delta,
+            spent_eps=spent.eps if spent is not None else 0.0,
+            spent_delta=spent.delta if spent is not None else 0.0,
+            remaining_eps=remaining_eps,
+            remaining_delta=remaining_delta,
+            budget_eps=self._epoch_budget.eps,
+            budget_delta=self._epoch_budget.delta,
+        )
         registry.counter("budget.spends", tenant=tenant).inc()
         registry.gauge("budget.eps.spent", tenant=tenant).set(
             self._epoch_budget.eps - remaining_eps
@@ -152,6 +167,18 @@ class BudgetLedger:
             delta=params.delta,
         )
 
+    def spent(self, tenant: str = DEFAULT_TENANT) -> PrivacyParams:
+        """The tenant's cumulative spend this epoch (zero if none).
+
+        The figure audit replays are verified against: the accountant
+        accumulates spends left-to-right, so a log replayed in record
+        order reconstructs it bit-exactly.
+        """
+        spent = self._peek(tenant).spent
+        if spent is None:
+            return PrivacyParams(0.0, 0.0)
+        return spent
+
     def remaining_eps(self, tenant: str = DEFAULT_TENANT) -> float:
         """Epoch eps the tenant has not yet spent."""
         return self._peek(tenant).remaining_eps()
@@ -167,7 +194,8 @@ class BudgetLedger:
         every tenant's accountant resets to the full epoch budget.
         Returns the new epoch index.
         """
-        registry = get_telemetry().registry
+        telemetry = get_telemetry()
+        registry = telemetry.registry
         for tenant in self._accountants:
             registry.gauge("budget.eps.spent", tenant=tenant).set(0.0)
             registry.gauge("budget.eps.remaining", tenant=tenant).set(
@@ -176,8 +204,18 @@ class BudgetLedger:
             registry.gauge("budget.delta.remaining", tenant=tenant).set(
                 self._epoch_budget.delta
             )
+        closed = self._epoch
+        closed_tenants = sorted(self._accountants)
         self._epoch += 1
         self._accountants = {}
+        telemetry.audit.record(
+            "ledger.rotate",
+            epoch=self._epoch,
+            closed_epoch=closed,
+            tenants=closed_tenants,
+            budget_eps=self._epoch_budget.eps,
+            budget_delta=self._epoch_budget.delta,
+        )
         return self._epoch
 
     def records(

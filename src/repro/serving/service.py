@@ -368,6 +368,13 @@ class DistanceService:
             self._synopsis = mech.build(
                 self._graph, params, self._rng, backend=self._backend
             )
+            self._telemetry.audit.record(
+                "synopsis.build",
+                epoch=self._ledger.epoch,
+                tenant=self._tenant,
+                mechanism=name,
+                forced=self._forced_mechanism is not None,
+            )
         self._mechanism = name
         self._telemetry.registry.histogram(
             "build.latency", phase="synopsis", mechanism=name
@@ -421,6 +428,13 @@ class DistanceService:
             # the new epoch from the previous epoch's release.
             self._synopsis = None
             self._build_synopsis()
+            self._telemetry.audit.record(
+                "epoch.refresh",
+                epoch=self._ledger.epoch,
+                tenant=self._tenant,
+                mechanism=self._mechanism,
+                rotated=self._owns_ledger,
+            )
 
     # ------------------------------------------------------------------
     # Query serving (post-processing only)

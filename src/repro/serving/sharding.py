@@ -618,6 +618,12 @@ class ShardedDistanceService:
             structure = relay_mechanism.build(
                 self._graph, relay_params, self._rng
             ).structure
+            self._telemetry.audit.record(
+                "relay.build",
+                epoch=self._ledger.epoch,
+                tenant=f"{self._tenant}/relay",
+                sites=m,
+            )
         self._telemetry.registry.histogram(
             "build.latency", phase="relay", mechanism="boundary-relay"
         ).observe(time.perf_counter() - start)
@@ -695,6 +701,13 @@ class ShardedDistanceService:
                 self._services[shard].refresh(sub)
             if self._relay_params is not None:
                 self._build_relay()
+            self._telemetry.audit.record(
+                "epoch.refresh",
+                epoch=self._ledger.epoch,
+                tenant=self._tenant,
+                shards=self._plan.num_shards,
+                rotated=self._owns_ledger,
+            )
         self._stats.record_epoch_built()
         self._bind_metrics()
 
@@ -749,6 +762,12 @@ class ShardedDistanceService:
             if self._relay_params is not None:
                 self._relay = None
                 self._build_relay()
+            self._telemetry.audit.record(
+                "shard.refresh",
+                epoch=self._ledger.epoch,
+                tenant=self._tenant,
+                shard=shard,
+            )
         self._bind_metrics()
 
     def _reweighted_shard(

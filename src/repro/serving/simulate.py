@@ -158,6 +158,7 @@ def replay_rush_hour(
     shards: int | None = None,
     config: ServingConfig | None = None,
     telemetry: Telemetry | None = None,
+    audit_log: str | None = None,
 ) -> SimulationReport:
     """Replay rush-hour traffic through the serving engine.
 
@@ -187,6 +188,11 @@ def replay_rush_hour(
     process-global registry has seen.  Pass a bundle explicitly to
     aggregate across replays or to export the full snapshot
     afterwards.
+
+    ``audit_log`` is an *operational* override, deliberately allowed
+    alongside ``config=``: it rewrites ``config.audit_log`` so the
+    replayed server appends its privacy audit trail to that JSONL
+    path (see :mod:`repro.telemetry.audit`).
     """
     if config is not None:
         overridden = {
@@ -216,6 +222,8 @@ def replay_rush_hour(
             backend=backend,
             shards=shards if shards is not None else 1,
         )
+    if audit_log is not None:
+        config = config.with_overrides(audit_log=audit_log)
     if telemetry is None:
         telemetry = Telemetry() if config.telemetry else NULL_TELEMETRY
     if epochs < 1:

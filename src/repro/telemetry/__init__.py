@@ -26,11 +26,30 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, List
 
+from .audit import (
+    AUDIT_FORMAT,
+    AUDIT_VERSION,
+    AuditLog,
+    NULL_AUDIT,
+    NullAuditLog,
+    read_audit_log,
+    replay_odometer,
+    verify_against_ledger,
+    verify_against_snapshot,
+    verify_audit_log,
+)
 from .export import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
     snapshot_to_prometheus,
     validate_snapshot,
+)
+from .monitor import (
+    Alert,
+    AlertRule,
+    CalibrationWatchdog,
+    evaluate_rules,
+    load_alert_rules,
 )
 from .registry import (
     Counter,
@@ -43,12 +62,20 @@ from .sketch import QuantileSketch
 from .tracer import NullTracer, Span, Tracer
 
 __all__ = [
+    "AUDIT_FORMAT",
+    "AUDIT_VERSION",
+    "Alert",
+    "AlertRule",
+    "AuditLog",
+    "CalibrationWatchdog",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullAuditLog",
     "NullRegistry",
     "NullTracer",
+    "NULL_AUDIT",
     "NULL_TELEMETRY",
     "QuantileSketch",
     "SNAPSHOT_FORMAT",
@@ -56,11 +83,18 @@ __all__ = [
     "Span",
     "Telemetry",
     "Tracer",
+    "evaluate_rules",
     "get_telemetry",
+    "load_alert_rules",
+    "read_audit_log",
+    "replay_odometer",
     "set_default_telemetry",
     "snapshot_to_prometheus",
     "use_telemetry",
     "validate_snapshot",
+    "verify_against_ledger",
+    "verify_against_snapshot",
+    "verify_audit_log",
 ]
 
 
@@ -69,16 +103,22 @@ class Telemetry:
 
     ``Telemetry()`` is a live bundle; ``Telemetry(enabled=False)``
     carries the shared null registry and tracer — instrumented code
-    is oblivious either way.
+    is oblivious either way.  Every bundle also carries an audit log
+    (:data:`NULL_AUDIT` unless one is attached), so layers that emit
+    audit records need no separate plumbing; :meth:`with_audit`
+    derives a bundle sharing this one's registry and tracer but
+    writing a given :class:`~repro.telemetry.audit.AuditLog` —
+    auditing is opt-in and orthogonal to whether metrics are enabled.
     """
 
-    __slots__ = ("registry", "tracer")
+    __slots__ = ("registry", "tracer", "audit")
 
     def __init__(
         self,
         enabled: bool = True,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        audit: AuditLog | None = None,
     ) -> None:
         if not enabled:
             self.registry = _NULL_REGISTRY
@@ -87,7 +127,22 @@ class Telemetry:
             self.registry = (
                 registry if registry is not None else MetricsRegistry()
             )
-            self.tracer = tracer if tracer is not None else Tracer()
+            if tracer is not None:
+                self.tracer = tracer
+            else:
+                # Surface bounded-history evictions as a counter.  The
+                # callback is only invoked on an actual drop, so the
+                # counter is not interned (and snapshots are unchanged)
+                # until spans are really being lost.
+                bundle_registry = self.registry
+                self.tracer = Tracer(
+                    on_drop=lambda: bundle_registry.counter(
+                        "trace.dropped"
+                    ).inc()
+                )
+        self.audit = audit if audit is not None else NULL_AUDIT
+        if self.audit.enabled:
+            self.audit.bind_tracer(self.tracer)
 
     @property
     def enabled(self) -> bool:
@@ -110,6 +165,21 @@ class Telemetry:
     def prometheus_text(self) -> str:
         """This bundle's metrics as Prometheus text exposition."""
         return snapshot_to_prometheus(self.snapshot())
+
+    def with_audit(self, audit: AuditLog) -> "Telemetry":
+        """A bundle sharing this registry/tracer, writing ``audit``.
+
+        Works on a disabled bundle too: the clone keeps the null
+        registry and tracer but still records audit events, so a
+        deployment can run with metrics off and the audit trail on.
+        """
+        clone = Telemetry.__new__(Telemetry)
+        clone.registry = self.registry
+        clone.tracer = self.tracer
+        clone.audit = audit
+        if audit.enabled:
+            audit.bind_tracer(clone.tracer)
+        return clone
 
     def clear(self) -> None:
         """Reset metrics and span history (no-op when disabled)."""

@@ -1,0 +1,650 @@
+"""Append-only, tamper-evident audit trail for privacy spending.
+
+A DP deployment's budget accounting (:class:`repro.serving.ledger.
+BudgetLedger`) is in-process state: it vanishes on exit, and nothing
+off-box can check that the advertised guarantee was respected.  The
+audit log makes spending *durable and verifiable*:
+
+* :class:`AuditLog` records structured events — budget spends and
+  ledger rotations, mechanism selections, epoch/shard refreshes,
+  batch serves — as JSON-line records with monotonic sequence
+  numbers, the epoch and tenant they concern, the ``(trace_id,
+  span_id)`` of the enclosing tracer span, and a per-record SHA-256
+  hash chained to the previous record, so truncation, reordering, or
+  edits are detectable.
+* :func:`read_audit_log` replays a file fail-closed: any structural
+  or chain defect raises :class:`~repro.exceptions.AuditError`.
+* :func:`replay_odometer` reconstructs a *privacy odometer* from the
+  records — per-tenant cumulative ``(eps, delta)`` in the current
+  epoch, per-epoch history, and lifetime totals across rotations —
+  summing spends in record order, which matches the accountant's own
+  ``+=`` accumulation bit for bit.
+* :func:`verify_audit_log` checks the log's internal accounting
+  (each spend record's cumulative/remaining figures against the
+  replayed sums), and :func:`verify_against_ledger` checks a replay
+  against a *live* ledger and its published gauges — both bit-exact,
+  both fail-closed.
+
+Record schema (one JSON object per line)::
+
+    {"seq": 3, "ts": 1754500000.123, "kind": "budget.spend",
+     "epoch": 0, "tenant": "west", "trace_id": 7, "span_id": 9,
+     "payload": {...}, "hash": "<sha256 hex>"}
+
+``hash`` is ``sha256(prev_hash + canonical_json(record_sans_hash))``
+where the first record chains from :data:`GENESIS_HASH` and canonical
+JSON is sorted-keys/compact-separators.  Record 0 has kind
+``audit.open`` and carries the format marker and version in its
+payload.  Like the rest of the telemetry layer, auditing never
+touches an :class:`~repro.rng.Rng` — seeded answers are bit-identical
+with auditing enabled, disabled, or logging to disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Dict, List, Mapping, Sequence
+
+from ..exceptions import AuditError
+
+__all__ = [
+    "AUDIT_FORMAT",
+    "AUDIT_VERSION",
+    "GENESIS_HASH",
+    "AuditLog",
+    "NullAuditLog",
+    "NULL_AUDIT",
+    "read_audit_log",
+    "replay_odometer",
+    "validate_records",
+    "verify_audit_log",
+    "verify_against_ledger",
+    "verify_against_snapshot",
+]
+
+AUDIT_FORMAT = "repro-audit"
+AUDIT_VERSION = 1
+
+#: The hash the first record chains from.
+GENESIS_HASH = "0" * 64
+
+_REQUIRED_KEYS = frozenset(
+    ("seq", "ts", "kind", "epoch", "tenant", "trace_id", "span_id",
+     "payload", "hash")
+)
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def _canonical(doc: Mapping[str, object]) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _chain_hash(prev_hash: str, record: Mapping[str, object]) -> str:
+    body = {k: v for k, v in record.items() if k != "hash"}
+    return hashlib.sha256(
+        (prev_hash + _canonical(body)).encode("utf-8")
+    ).hexdigest()
+
+
+class AuditLog:
+    """An append-only, hash-chained event log.
+
+    With ``path=None`` the log is in-memory only (still chained, still
+    verifiable); with a path, every record is appended to the JSONL
+    file and flushed immediately.  Opening an existing non-empty file
+    *resumes* it: the existing records are validated (fail-closed) and
+    the chain continues from the last hash.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self._path = os.fspath(path) if path is not None else None
+        self._records: List[Dict[str, object]] = []
+        self._file = None
+        self._seq = 0
+        self._prev_hash = GENESIS_HASH
+        self._tracer = None
+        resumed = False
+        if self._path is not None and os.path.exists(self._path) and (
+            os.path.getsize(self._path) > 0
+        ):
+            existing = read_audit_log(self._path)
+            self._records = existing
+            last = existing[-1]
+            self._seq = int(last["seq"]) + 1  # type: ignore[arg-type]
+            self._prev_hash = str(last["hash"])
+            resumed = True
+        if self._path is not None:
+            self._file = open(
+                self._path, "a" if resumed else "w", encoding="utf-8"
+            )
+        header = {"format": AUDIT_FORMAT, "version": AUDIT_VERSION}
+        if resumed:
+            header["resumed"] = True
+        self.record("audit.open", **header)
+
+    @property
+    def path(self) -> str | None:
+        """The backing JSONL file, if any."""
+        return self._path
+
+    @property
+    def seq(self) -> int:
+        """The sequence number the next record will get."""
+        return self._seq
+
+    @property
+    def head_hash(self) -> str:
+        """The hash of the most recent record."""
+        return self._prev_hash
+
+    def bind_tracer(self, tracer) -> None:
+        """Correlate future records with ``tracer``'s open spans."""
+        self._tracer = tracer
+
+    def record(
+        self,
+        kind: str,
+        *,
+        epoch: int | None = None,
+        tenant: str | None = None,
+        **payload: object,
+    ) -> Dict[str, object]:
+        """Append one event; returns the completed record."""
+        trace_id = span_id = None
+        if self._tracer is not None:
+            trace_id, span_id = self._tracer.current_ids()
+        rec: Dict[str, object] = {
+            "seq": self._seq,
+            "ts": time.time(),
+            "kind": kind,
+            "epoch": epoch,
+            "tenant": tenant,
+            "trace_id": trace_id,
+            "span_id": span_id,
+            "payload": {k: _json_safe(v) for k, v in payload.items()},
+        }
+        rec["hash"] = _chain_hash(self._prev_hash, rec)
+        self._prev_hash = rec["hash"]
+        self._seq += 1
+        self._records.append(rec)
+        if self._file is not None:
+            self._file.write(_canonical(rec) + "\n")
+            self._file.flush()
+        return rec
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every record appended so far (including any resumed from
+        disk), oldest first."""
+        return list(self._records)
+
+    def tail(self, n: int = 10) -> List[Dict[str, object]]:
+        """The most recent ``n`` records."""
+        if n <= 0:
+            return []
+        return list(self._records[-n:])
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def close(self) -> None:
+        """Flush and close the backing file (in-memory records stay)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "AuditLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class NullAuditLog(AuditLog):
+    """An audit log that records nothing (auditing disabled)."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D107 — no file, no chain
+        self._path = None
+        self._records = []
+        self._file = None
+        self._seq = 0
+        self._prev_hash = GENESIS_HASH
+        self._tracer = None
+
+    def record(self, kind, *, epoch=None, tenant=None, **payload):
+        return {}
+
+    def bind_tracer(self, tracer) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled audit log (the default on every bundle).
+NULL_AUDIT = NullAuditLog()
+
+
+def _fail(message: str, line: int | None = None) -> AuditError:
+    where = f" (line {line})" if line is not None else ""
+    return AuditError(f"audit log invalid{where}: {message}")
+
+
+def validate_records(
+    records: Sequence[Mapping[str, object]]
+) -> List[Dict[str, object]]:
+    """Structural + chain validation of in-order records; fail-closed.
+
+    Checks the header, monotonic sequence numbers, required keys, and
+    the full hash chain; returns the records as plain dicts.
+    """
+    if not records:
+        raise _fail("empty log (no audit.open header)")
+    out: List[Dict[str, object]] = []
+    prev_hash = GENESIS_HASH
+    for i, rec in enumerate(records):
+        line = i + 1
+        if not isinstance(rec, Mapping):
+            raise _fail("record is not a JSON object", line)
+        missing = _REQUIRED_KEYS - set(rec)
+        if missing:
+            raise _fail(
+                f"record missing keys {sorted(missing)}", line
+            )
+        if rec["seq"] != i:
+            raise _fail(
+                f"sequence gap: expected seq {i}, got {rec['seq']!r}",
+                line,
+            )
+        expected = _chain_hash(prev_hash, rec)
+        if rec["hash"] != expected:
+            raise _fail(
+                f"hash chain broken at seq {i}: record was altered, "
+                "reordered, or an earlier record is missing",
+                line,
+            )
+        prev_hash = str(rec["hash"])
+        out.append(dict(rec))
+    head = out[0]
+    if head["kind"] != "audit.open":
+        raise _fail(
+            f"first record must be 'audit.open', got {head['kind']!r}",
+            1,
+        )
+    payload = head["payload"]
+    if not isinstance(payload, Mapping):
+        raise _fail("audit.open payload is not an object", 1)
+    if payload.get("format") != AUDIT_FORMAT:
+        raise _fail(
+            f"not an audit log (format={payload.get('format')!r}, "
+            f"expected {AUDIT_FORMAT!r})",
+            1,
+        )
+    if payload.get("version") != AUDIT_VERSION:
+        raise _fail(
+            f"unsupported audit log version {payload.get('version')!r} "
+            f"(this build reads version {AUDIT_VERSION})",
+            1,
+        )
+    return out
+
+
+def read_audit_log(path: str | os.PathLike) -> List[Dict[str, object]]:
+    """Parse and validate a JSONL audit log; fail-closed.
+
+    Raises :class:`~repro.exceptions.AuditError` on malformed JSON
+    (including a truncated final line), sequence gaps, a broken hash
+    chain, or a missing/mismatched header.
+    """
+    parsed: List[object] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for i, line in enumerate(fh):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                parsed.append(json.loads(stripped))
+            except json.JSONDecodeError as exc:
+                raise _fail(
+                    f"malformed JSON ({exc.msg}) — truncated or "
+                    "corrupted record",
+                    i + 1,
+                ) from exc
+    return validate_records(parsed)  # type: ignore[arg-type]
+
+
+def _fresh_tenant_state(epoch: object) -> Dict[str, object]:
+    return {
+        "epoch": epoch,
+        "spent_eps": 0.0,
+        "spent_delta": 0.0,
+        "spends": 0,
+        "budget_eps": None,
+        "budget_delta": None,
+        "lifetime_eps": 0.0,
+        "lifetime_delta": 0.0,
+        "lifetime_spends": 0,
+        "by_epoch": {},
+    }
+
+
+def replay_odometer(
+    records: Sequence[Mapping[str, object]]
+) -> Dict[str, object]:
+    """Reconstruct per-tenant privacy spending from audit records.
+
+    The odometer sums each spend's ``eps``/``delta`` in record order —
+    the same left-to-right ``+=`` the live accountant performs — so the
+    reconstructed current-epoch totals are bit-exact against the
+    ledger.  ``ledger.rotate`` records (and a spend arriving with a
+    new epoch) reset a tenant's current-epoch accumulation while the
+    lifetime totals keep counting: the odometer only ever goes up.
+    """
+    tenants: Dict[str, Dict[str, object]] = {}
+    epoch: int = 0
+    spends = 0
+    for rec in records:
+        kind = rec["kind"]
+        payload = rec.get("payload", {})
+        if kind == "budget.spend":
+            tenant = str(rec["tenant"])
+            rec_epoch = rec["epoch"]
+            state = tenants.setdefault(
+                tenant, _fresh_tenant_state(rec_epoch)
+            )
+            if state["epoch"] != rec_epoch:
+                state["epoch"] = rec_epoch
+                state["spent_eps"] = 0.0
+                state["spent_delta"] = 0.0
+                state["spends"] = 0
+            state["spent_eps"] += payload["eps"]
+            state["spent_delta"] += payload["delta"]
+            state["spends"] += 1
+            state["budget_eps"] = payload.get("budget_eps")
+            state["budget_delta"] = payload.get("budget_delta")
+            state["lifetime_eps"] += payload["eps"]
+            state["lifetime_delta"] += payload["delta"]
+            state["lifetime_spends"] += 1
+            per = state["by_epoch"].setdefault(
+                str(rec_epoch), {"eps": 0.0, "delta": 0.0, "spends": 0}
+            )
+            per["eps"] += payload["eps"]
+            per["delta"] += payload["delta"]
+            per["spends"] += 1
+            spends += 1
+            if isinstance(rec_epoch, int):
+                epoch = max(epoch, rec_epoch)
+        elif kind == "ledger.rotate":
+            new_epoch = rec["epoch"]
+            for tenant in payload.get("tenants", []):
+                state = tenants.get(str(tenant))
+                if state is None:
+                    continue
+                state["epoch"] = new_epoch
+                state["spent_eps"] = 0.0
+                state["spent_delta"] = 0.0
+                state["spends"] = 0
+                if payload.get("budget_eps") is not None:
+                    state["budget_eps"] = payload["budget_eps"]
+                    state["budget_delta"] = payload.get("budget_delta")
+            if isinstance(new_epoch, int):
+                epoch = max(epoch, new_epoch)
+    return {
+        "format": "repro-audit-odometer",
+        "epoch": epoch,
+        "spend_records": spends,
+        "tenants": tenants,
+    }
+
+
+def verify_audit_log(
+    records: Sequence[Mapping[str, object]]
+) -> Dict[str, object]:
+    """Check a log's internal accounting; fail-closed.
+
+    Every ``budget.spend`` record carries the cumulative
+    ``spent_eps``/``spent_delta`` and ``remaining_eps``/
+    ``remaining_delta`` the live accountant reported at spend time;
+    this replays the log and demands each figure match the
+    reconstruction bit-exactly.  Returns a summary (record counts and
+    the final odometer).
+    """
+    running: Dict[str, Dict[str, object]] = {}
+    for rec in records:
+        if rec["kind"] == "ledger.rotate":
+            for tenant in rec.get("payload", {}).get("tenants", []):
+                running.pop(str(tenant), None)
+            continue
+        if rec["kind"] != "budget.spend":
+            continue
+        tenant = str(rec["tenant"])
+        payload = rec["payload"]
+        state = running.setdefault(
+            tenant,
+            {"epoch": rec["epoch"], "eps": 0.0, "delta": 0.0},
+        )
+        if state["epoch"] != rec["epoch"]:
+            state.update(epoch=rec["epoch"], eps=0.0, delta=0.0)
+        state["eps"] += payload["eps"]
+        state["delta"] += payload["delta"]
+        checks = (
+            ("spent_eps", state["eps"]),
+            ("spent_delta", state["delta"]),
+        )
+        if payload.get("budget_eps") is not None:
+            checks += (
+                ("remaining_eps", payload["budget_eps"] - state["eps"]),
+            )
+        if payload.get("budget_delta") is not None:
+            checks += (
+                (
+                    "remaining_delta",
+                    payload["budget_delta"] - state["delta"],
+                ),
+            )
+        for field, expected in checks:
+            recorded = payload.get(field)
+            if recorded != expected:
+                raise AuditError(
+                    f"audit replay mismatch at seq {rec['seq']} "
+                    f"(tenant {tenant!r}, epoch {rec['epoch']}): "
+                    f"recorded {field}={recorded!r} but replay "
+                    f"reconstructs {expected!r}"
+                )
+    odometer = replay_odometer(records)
+    return {
+        "records": len(records),
+        "spend_records": odometer["spend_records"],
+        "tenants": sorted(odometer["tenants"]),
+        "epoch": odometer["epoch"],
+        "odometer": odometer,
+        "verified": True,
+    }
+
+
+_BUDGET_GAUGES = (
+    "budget.eps.spent",
+    "budget.eps.remaining",
+    "budget.delta.remaining",
+)
+
+
+def verify_against_snapshot(
+    records: Sequence[Mapping[str, object]],
+    snapshot: Mapping[str, object],
+) -> int:
+    """Cross-check replayed budgets against a snapshot's gauges.
+
+    The offline counterpart of :func:`verify_against_ledger` for the
+    CLI, where the live ledger is gone but the run also wrote a
+    ``--metrics-out`` telemetry snapshot: every ``budget.*`` gauge in
+    the snapshot must match the value the replayed odometer predicts
+    (using the ledger's own expressions, so bit-exact).  Returns the
+    number of gauge comparisons made; raises
+    :class:`~repro.exceptions.AuditError` on any mismatch, or on a
+    gauge for a tenant the log never saw spend.
+    """
+    odometer = replay_odometer(records)
+    tenants = odometer["tenants"]
+    gauges: Dict[str, Dict[str, float]] = {}
+    for entry in snapshot.get("metrics", []):  # type: ignore[union-attr]
+        if entry.get("kind") != "gauge":
+            continue
+        name = entry.get("name")
+        if name not in _BUDGET_GAUGES:
+            continue
+        tenant = entry.get("labels", {}).get("tenant")
+        if tenant is None:
+            continue
+        gauges.setdefault(tenant, {})[name] = entry.get("value")
+    checked = 0
+    for tenant, values in sorted(gauges.items()):
+        state = tenants.get(tenant)
+        if state is None:
+            raise AuditError(
+                f"snapshot publishes budget gauges for tenant "
+                f"{tenant!r} but the audit log never saw it spend"
+            )
+        budget_eps = state["budget_eps"]
+        budget_delta = state["budget_delta"]
+        if state["spends"] > 0:
+            remaining_eps = budget_eps - state["spent_eps"]
+            remaining_delta = budget_delta - state["spent_delta"]
+        else:
+            # The tenant's epoch was rotated closed: the ledger reset
+            # its gauges to the full epoch budget.
+            remaining_eps = budget_eps
+            remaining_delta = budget_delta
+        expected = {
+            "budget.eps.spent": budget_eps - remaining_eps,
+            "budget.eps.remaining": remaining_eps,
+            "budget.delta.remaining": remaining_delta,
+        }
+        for name, value in sorted(values.items()):
+            if value != expected[name]:
+                raise AuditError(
+                    f"audit replay disagrees with snapshot gauge "
+                    f"{name!r} for tenant {tenant!r}: replayed "
+                    f"{expected[name]!r} != published {value!r}"
+                )
+            checked += 1
+    return checked
+
+
+def _registry_value(registry, name: str, tenant: str) -> float | None:
+    for metric in registry.metrics():
+        if metric.name == name and dict(metric.labels) == {
+            "tenant": tenant
+        }:
+            return metric.value
+    return None
+
+
+def verify_against_ledger(
+    records: Sequence[Mapping[str, object]],
+    ledger,
+    registry=None,
+) -> Dict[str, object]:
+    """Check a replayed log against a live ledger; fail-closed.
+
+    For every tenant active in the ledger's current epoch, the
+    replayed cumulative ``(eps, delta)`` and the derived remaining
+    budget must equal the ledger's figures *bit-exactly* (the replay
+    repeats the accountant's own summation order and the ledger's own
+    ``budget - spent`` expression, so equality is ``==``, not
+    approximate).  With ``registry`` given, the published
+    ``budget.*`` gauges are cross-checked against the replay too.
+    Raises :class:`~repro.exceptions.AuditError` on any disagreement.
+    """
+    summary = verify_audit_log(records)
+    odometer = summary["odometer"]
+    tenants = odometer["tenants"]
+    live = set(ledger.tenants)
+    replayed_active = {
+        tenant
+        for tenant, state in tenants.items()
+        if state["epoch"] == ledger.epoch and state["spends"] > 0
+    }
+    if live != replayed_active:
+        raise AuditError(
+            "audit replay disagrees with ledger on active tenants in "
+            f"epoch {ledger.epoch}: ledger has {sorted(live)}, replay "
+            f"reconstructs {sorted(replayed_active)}"
+        )
+    budget = ledger.epoch_budget
+    for tenant in sorted(live):
+        state = tenants[tenant]
+        if state["budget_eps"] != budget.eps or (
+            state["budget_delta"] != budget.delta
+        ):
+            raise AuditError(
+                f"audit replay disagrees with ledger on tenant "
+                f"{tenant!r} epoch budget: log says "
+                f"({state['budget_eps']!r}, {state['budget_delta']!r})"
+                f", ledger says ({budget.eps!r}, {budget.delta!r})"
+            )
+        spent = ledger.spent(tenant)
+        replay_pairs = (
+            ("spent eps", state["spent_eps"], spent.eps),
+            ("spent delta", state["spent_delta"], spent.delta),
+            (
+                "remaining eps",
+                budget.eps - state["spent_eps"],
+                ledger.remaining_eps(tenant),
+            ),
+            (
+                "remaining delta",
+                budget.delta - state["spent_delta"],
+                ledger.remaining_delta(tenant),
+            ),
+        )
+        for what, replayed, live_value in replay_pairs:
+            if replayed != live_value:
+                raise AuditError(
+                    f"audit replay disagrees with ledger for tenant "
+                    f"{tenant!r} (epoch {ledger.epoch}): replayed "
+                    f"{what} {replayed!r} != live {live_value!r}"
+                )
+        if registry is not None:
+            gauge_pairs = (
+                (
+                    "budget.eps.remaining",
+                    budget.eps - state["spent_eps"],
+                ),
+                (
+                    "budget.eps.spent",
+                    budget.eps - (budget.eps - state["spent_eps"]),
+                ),
+                (
+                    "budget.delta.remaining",
+                    budget.delta - state["spent_delta"],
+                ),
+            )
+            for name, expected in gauge_pairs:
+                value = _registry_value(registry, name, tenant)
+                if value is None:
+                    continue  # gauges off (disabled metrics registry)
+                if value != expected:
+                    raise AuditError(
+                        f"audit replay disagrees with gauge {name!r} "
+                        f"for tenant {tenant!r}: replayed {expected!r}"
+                        f" != published {value!r}"
+                    )
+    summary["ledger_epoch"] = ledger.epoch
+    summary["verified_tenants"] = sorted(live)
+    return summary

@@ -31,6 +31,11 @@ SNAPSHOT_VERSION = 1
 
 _NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
 
+# Label names are stricter than metric names: the exposition format
+# allows colons only in metric names, and a label name must not start
+# with a digit.
+_LABEL_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
 #: Prometheus metric kind per snapshot kind (histograms become
 #: summaries: we export client-side quantiles, not server buckets).
 _PROM_TYPE = {"counter": "counter", "gauge": "gauge", "histogram": "summary"}
@@ -44,7 +49,18 @@ def prometheus_name(name: str) -> str:
     return sanitized
 
 
+def prometheus_label_name(name: str) -> str:
+    """A snapshot label key as a legal Prometheus label name."""
+    sanitized = _LABEL_NAME_SANITIZE.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
 def _escape_label(value: str) -> str:
+    # Exposition-format escaping for quoted label values: backslash
+    # first (so later escapes aren't double-escaped), then quote and
+    # newline.
     return (
         value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
     )
@@ -52,7 +68,7 @@ def _escape_label(value: str) -> str:
 
 def _label_block(labels: Mapping[str, str], extra: str = "") -> str:
     parts = [
-        f'{_NAME_SANITIZE.sub("_", k)}="{_escape_label(str(v))}"'
+        f'{prometheus_label_name(k)}="{_escape_label(str(v))}"'
         for k, v in sorted(labels.items())
     ]
     if extra:

@@ -8,7 +8,13 @@ or mid-flight (:meth:`Span.set_attribute`); zero-duration
 :meth:`Tracer.event` marks point-in-time facts like budget spends.
 
 Finished root spans are kept in a bounded deque (oldest evicted), so a
-long-running service can trace every epoch without unbounded memory.
+long-running service can trace every epoch without unbounded memory;
+evictions are counted (:attr:`Tracer.dropped`, and an optional
+``on_drop`` callback lets a bundle surface the loss as a
+``trace.dropped`` counter).  Every span gets a tracer-unique integer
+id; :meth:`Tracer.current_ids` reports the ``(trace_id, span_id)``
+pair of the innermost open span so other subsystems — the audit log —
+can correlate their records with the trace that produced them.
 The tracer is deliberately single-threaded — it matches the library's
 synchronous serving loop; the planned async front-end will scope one
 tracer per task.
@@ -19,7 +25,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Deque, Dict, Iterator, List
+from typing import Callable, Deque, Dict, Iterator, List, Tuple
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_SPAN"]
 
@@ -33,14 +39,22 @@ def _json_safe(value: object) -> object:
 class Span:
     """One timed, named, attributed unit of work."""
 
-    __slots__ = ("name", "attributes", "children", "_start", "_end")
+    __slots__ = (
+        "name", "attributes", "children", "span_id", "_start", "_end"
+    )
 
-    def __init__(self, name: str, attributes: Dict[str, object]) -> None:
+    def __init__(
+        self,
+        name: str,
+        attributes: Dict[str, object],
+        span_id: int = 0,
+    ) -> None:
         self.name = name
         self.attributes = {
             k: _json_safe(v) for k, v in attributes.items()
         }
         self.children: List["Span"] = []
+        self.span_id = span_id
         self._start = time.perf_counter()
         self._end: float | None = None
 
@@ -67,6 +81,7 @@ class Span:
         """JSON-safe span tree rooted here."""
         return {
             "name": self.name,
+            "span_id": self.span_id,
             "duration_seconds": self.duration_seconds,
             "attributes": dict(self.attributes),
             "children": [c.to_dict() for c in self.children],
@@ -78,14 +93,37 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, max_finished_roots: int = 1000) -> None:
+    def __init__(
+        self,
+        max_finished_roots: int = 1000,
+        on_drop: Callable[[], None] | None = None,
+    ) -> None:
         self._stack: List[Span] = []
         self._finished: Deque[Span] = deque(maxlen=max_finished_roots)
+        self._seq = 0
+        self._dropped = 0
+        self._on_drop = on_drop
+
+    def _next_id(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _retire(self, span: Span) -> None:
+        # The deque would evict silently; count the loss (and tell the
+        # bundle, which surfaces it as the ``trace.dropped`` counter).
+        if (
+            self._finished.maxlen is not None
+            and len(self._finished) == self._finished.maxlen
+        ):
+            self._dropped += 1
+            if self._on_drop is not None:
+                self._on_drop()
+        self._finished.append(span)
 
     @contextmanager
     def span(self, name: str, **attributes: object) -> Iterator[Span]:
         """Open a span; nests under the innermost open span."""
-        span = Span(name, attributes)
+        span = Span(name, attributes, span_id=self._next_id())
         self._stack.append(span)
         try:
             yield span
@@ -95,21 +133,36 @@ class Tracer:
             if self._stack:
                 self._stack[-1].children.append(span)
             else:
-                self._finished.append(span)
+                self._retire(span)
 
     def event(self, name: str, **attributes: object) -> Span:
         """Record a zero-duration point event."""
-        span = Span(name, attributes)
+        span = Span(name, attributes, span_id=self._next_id())
         span._end = span._start  # a point in time, not an interval
         if self._stack:
             self._stack[-1].children.append(span)
         else:
-            self._finished.append(span)
+            self._retire(span)
         return span
 
     def current(self) -> Span | None:
         """The innermost open span, if any."""
         return self._stack[-1] if self._stack else None
+
+    def current_ids(self) -> Tuple[int | None, int | None]:
+        """``(trace_id, span_id)`` of the innermost open span.
+
+        The trace id is the id of the open *root* span (the outermost
+        ancestor); ``(None, None)`` when no span is open.
+        """
+        if not self._stack:
+            return (None, None)
+        return (self._stack[0].span_id, self._stack[-1].span_id)
+
+    @property
+    def dropped(self) -> int:
+        """Finished roots evicted from the bounded history so far."""
+        return self._dropped
 
     def finished_roots(self) -> List[Span]:
         """Finished root spans, oldest first."""

@@ -18,6 +18,7 @@ from repro.telemetry import (
 from repro.telemetry.export import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
+    prometheus_label_name,
     prometheus_name,
     snapshot_to_prometheus,
     validate_snapshot,
@@ -38,6 +39,12 @@ def _golden_registry() -> MetricsRegistry:
     reg.counter("demo.requests", route="cross").inc()
     reg.gauge("budget.eps.remaining", tenant="west").set(0.75)
     reg.gauge("budget.eps.remaining", tenant="east").set(0.25)
+    # A hostile tenant name: backslash, double quote, and newline all
+    # need escaping in the Prometheus exposition (in that order —
+    # escaping the backslash last would corrupt the other escapes).
+    reg.gauge(
+        "budget.eps.remaining", tenant='we"st\\prod\nstaging'
+    ).set(0.5)
     h = reg.histogram("demo.latency", service="distance")
     h.observe_many([0.001 * (i + 1) for i in range(100)])
     reg.histogram("demo.empty", service="distance")
@@ -169,6 +176,30 @@ class TestExport:
         }
         text = snapshot_to_prometheus(doc)
         assert 'label="va\\"l\\\\ue\\n"' in text
+
+    def test_label_names_sanitized(self):
+        # Label NAMES have a stricter charset than metric names: no
+        # colons.  Names arriving from a snapshot document (not only
+        # from Python kwargs) must be sanitized too.
+        assert prometheus_label_name("route") == "route"
+        assert prometheus_label_name("shard:id") == "shard_id"
+        assert prometheus_label_name("9th") == "_9th"
+        doc = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "metrics": [
+                {
+                    "name": "c",
+                    "kind": "counter",
+                    "labels": {"shard:id": "0"},
+                    "value": 1,
+                }
+            ],
+            "spans": [],
+        }
+        text = snapshot_to_prometheus(doc)
+        assert 'shard_id="0"' in text
+        assert "shard:id" not in text
 
     def test_validate_rejects_malformed(self):
         with pytest.raises(TelemetryError):

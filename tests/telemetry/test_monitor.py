@@ -1,0 +1,320 @@
+"""Unit tests for :mod:`repro.telemetry.monitor` — declarative alert
+rules and the noise-calibration watchdog."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import TelemetryError
+from repro.graphs.generators import grid_graph
+from repro.rng import Rng
+from repro.serving.service import DistanceService
+from repro.telemetry import Telemetry
+from repro.telemetry.monitor import (
+    ALERT_RULES_FORMAT,
+    ALERT_RULES_VERSION,
+    AlertRule,
+    CalibrationWatchdog,
+    evaluate_rules,
+    load_alert_rules,
+)
+
+
+def _rules_doc(*rules: dict) -> str:
+    return json.dumps(
+        {
+            "format": ALERT_RULES_FORMAT,
+            "version": ALERT_RULES_VERSION,
+            "rules": list(rules),
+        }
+    )
+
+
+def _snapshot() -> dict:
+    telemetry = Telemetry()
+    telemetry.registry.counter("serving.queries", tenant="west").inc(40)
+    telemetry.registry.gauge("budget.eps.spent", tenant="west").set(0.9)
+    telemetry.registry.gauge(
+        "budget.eps.remaining", tenant="west"
+    ).set(0.1)
+    telemetry.registry.gauge("budget.eps.spent", tenant="east").set(0.2)
+    telemetry.registry.gauge(
+        "budget.eps.remaining", tenant="east"
+    ).set(0.8)
+    latency = telemetry.registry.histogram(
+        "serving.query.latency", tenant="west"
+    )
+    for value in (1e-6, 2e-6, 100e-6):
+        latency.observe(value)
+    return telemetry.snapshot()
+
+
+class TestRuleParsing:
+    def test_round_trip(self):
+        rules = load_alert_rules(
+            _rules_doc(
+                {
+                    "name": "hot-queries",
+                    "metric": "serving.queries",
+                    "op": ">",
+                    "value": 10,
+                },
+                {
+                    "name": "budget-burn",
+                    "kind": "burn-rate",
+                    "op": ">=",
+                    "value": 0.8,
+                    "severity": "critical",
+                },
+            )
+        )
+        assert [r.name for r in rules] == ["hot-queries", "budget-burn"]
+        assert rules[1].kind == "burn-rate"
+        assert rules[1].severity == "critical"
+
+    def test_foreign_format_rejected(self):
+        with pytest.raises(TelemetryError, match="format"):
+            load_alert_rules(json.dumps({"format": "x", "version": 1}))
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(TelemetryError, match="version"):
+            load_alert_rules(
+                json.dumps(
+                    {"format": ALERT_RULES_FORMAT, "version": 99, "rules": []}
+                )
+            )
+
+    def test_unknown_rule_fields_rejected(self):
+        with pytest.raises(TelemetryError, match="unknown fields"):
+            load_alert_rules(
+                _rules_doc({"name": "r", "metric": "m", "surprise": 1})
+            )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"name": ""},
+            {"name": "r", "kind": "nope"},
+            {"name": "r", "kind": "threshold"},  # no metric
+            {"name": "r", "metric": "m", "field": "p42"},
+            {"name": "r", "metric": "m", "op": "~"},
+            {"name": "r", "metric": "m", "severity": "meh"},
+        ],
+    )
+    def test_invalid_rules_rejected(self, bad):
+        with pytest.raises(TelemetryError):
+            AlertRule(**bad)
+
+
+class TestThresholdRules:
+    def test_counter_threshold_fires(self):
+        rules = load_alert_rules(
+            _rules_doc(
+                {
+                    "name": "hot",
+                    "metric": "serving.queries",
+                    "op": ">",
+                    "value": 10,
+                }
+            )
+        )
+        alerts = evaluate_rules(rules, _snapshot())
+        assert len(alerts) == 1
+        assert alerts[0].rule == "hot"
+        assert alerts[0].observed == 40.0
+        assert alerts[0].labels == {"tenant": "west"}
+
+    def test_quiet_rule_stays_quiet(self):
+        rules = [
+            AlertRule(name="q", metric="serving.queries", op=">", value=1e9)
+        ]
+        assert evaluate_rules(rules, _snapshot()) == []
+
+    def test_label_subset_matching(self):
+        rules = [
+            AlertRule(
+                name="east-only",
+                metric="serving.queries",
+                op=">",
+                value=0,
+                labels={"tenant": "east"},
+            )
+        ]
+        assert evaluate_rules(rules, _snapshot()) == []
+
+    def test_histogram_quantile_field(self):
+        # The streaming sketch's p99 over three samples lands near the
+        # median (~2us); the rule reads the published quantile, so the
+        # threshold sits below it.
+        rules = [
+            AlertRule(
+                name="slow-p99",
+                metric="serving.query.latency",
+                field="p99",
+                op=">",
+                value=1e-6,
+                severity="critical",
+            )
+        ]
+        alerts = evaluate_rules(rules, _snapshot())
+        assert len(alerts) == 1
+        assert alerts[0].severity == "critical"
+
+    def test_histogram_max_field(self):
+        rules = [
+            AlertRule(
+                name="slow-max",
+                metric="serving.query.latency",
+                field="max",
+                op=">=",
+                value=100e-6,
+            )
+        ]
+        (alert,) = evaluate_rules(rules, _snapshot())
+        assert alert.observed == pytest.approx(100e-6)
+
+    def test_missing_field_is_not_a_fire(self):
+        # Counters have no quantiles: the rule silently skips them.
+        rules = [
+            AlertRule(
+                name="r", metric="serving.queries", field="p99",
+                op=">", value=0,
+            )
+        ]
+        assert evaluate_rules(rules, _snapshot()) == []
+
+    def test_alert_as_dict_json_safe(self):
+        rules = [
+            AlertRule(name="hot", metric="serving.queries", op=">", value=1)
+        ]
+        (alert,) = evaluate_rules(rules, _snapshot())
+        assert json.loads(json.dumps(alert.as_dict()))["rule"] == "hot"
+
+
+class TestBurnRateRules:
+    def test_fires_per_burning_tenant(self):
+        rules = [
+            AlertRule(
+                name="burn", kind="burn-rate", op=">=", value=0.8,
+                severity="critical",
+            )
+        ]
+        alerts = evaluate_rules(rules, _snapshot())
+        assert len(alerts) == 1
+        assert alerts[0].labels == {"tenant": "west"}
+        assert alerts[0].observed == pytest.approx(0.9)
+
+    def test_zero_total_budget_skipped(self):
+        telemetry = Telemetry()
+        telemetry.registry.gauge("budget.eps.spent", tenant="t").set(0.0)
+        telemetry.registry.gauge(
+            "budget.eps.remaining", tenant="t"
+        ).set(0.0)
+        rules = [
+            AlertRule(name="burn", kind="burn-rate", op=">=", value=0.0)
+        ]
+        assert evaluate_rules(rules, telemetry.snapshot()) == []
+
+
+class TestCalibrationWatchdog:
+    def test_band_validation(self):
+        with pytest.raises(TelemetryError, match="band"):
+            CalibrationWatchdog([(0, 1)], band=(2.0, 1.0))
+        with pytest.raises(TelemetryError, match="min_epochs"):
+            CalibrationWatchdog([(0, 1)], min_epochs=1)
+
+    def test_unknown_pair_rejected(self):
+        watchdog = CalibrationWatchdog([(0, 1)])
+        with pytest.raises(TelemetryError, match="not one of"):
+            watchdog.observe_value((7, 8), 1.0, 1.0)
+
+    def test_pending_before_min_epochs(self):
+        watchdog = CalibrationWatchdog([(0, 1)], min_epochs=3)
+        watchdog.observe_value((0, 1), 5.0, 1.0)
+        report = watchdog.report()
+        assert report["pairs"][0]["status"] == "pending"
+        assert report["drifting"] == []
+
+    def test_ok_within_band(self):
+        # Two observations with sample std exactly sqrt(2) against an
+        # advertised scale of 1.0 (advertised std sqrt(2)): ratio 1.
+        watchdog = CalibrationWatchdog([(0, 1)])
+        watchdog.observe_value((0, 1), 0.0, 1.0, epoch=0)
+        watchdog.observe_value((0, 1), 2.0, 1.0, epoch=1)
+        report = watchdog.report()
+        entry = report["pairs"][0]
+        assert entry["status"] == "ok"
+        assert entry["ratio"] == pytest.approx(
+            math.sqrt(2.0) / math.sqrt(2.0)
+        )
+
+    def test_overdispersed_answers_drift(self):
+        watchdog = CalibrationWatchdog([(0, 1)], band=(0.5, 2.0))
+        watchdog.observe_value((0, 1), 0.0, 1.0, epoch=0)
+        watchdog.observe_value((0, 1), 100.0, 1.0, epoch=1)
+        report = watchdog.report()
+        assert report["pairs"][0]["status"] == "drift"
+        assert report["drifting"] == ["0->1"]
+
+    def test_suspiciously_quiet_answers_drift(self):
+        # Identical answers under a nonzero advertised scale mean the
+        # noise is NOT being applied: also a calibration failure.
+        watchdog = CalibrationWatchdog([(0, 1)], band=(0.5, 2.0))
+        watchdog.observe_value((0, 1), 5.0, 1.0, epoch=0)
+        watchdog.observe_value((0, 1), 5.0, 1.0, epoch=1)
+        assert watchdog.report()["pairs"][0]["status"] == "drift"
+
+    def test_deterministic_pairs(self):
+        watchdog = CalibrationWatchdog([(0, 0)])
+        watchdog.observe_value((0, 0), 0.0, 0.0, epoch=0)
+        watchdog.observe_value((0, 0), 0.0, 0.0, epoch=1)
+        assert watchdog.report()["pairs"][0]["status"] == "deterministic"
+        watchdog.observe_value((0, 0), 1.0, 0.0, epoch=2)
+        assert watchdog.report()["pairs"][0]["status"] == "drift"
+
+    def test_publishes_metrics_when_wired(self):
+        telemetry = Telemetry()
+        watchdog = CalibrationWatchdog([(0, 1)], telemetry=telemetry)
+        watchdog.observe_value((0, 1), 0.0, 1.0, epoch=0)
+        watchdog.observe_value((0, 1), 100.0, 1.0, epoch=1)
+        watchdog.report()
+        names = {
+            (m["name"], m["labels"].get("pair"))
+            for m in telemetry.registry.snapshot()
+        }
+        assert ("calibration.ratio", "0->1") in names
+        assert ("calibration.drift", "0->1") in names
+
+    def test_alerts_render_drift_as_critical(self):
+        watchdog = CalibrationWatchdog([(0, 1)])
+        watchdog.observe_value((0, 1), 0.0, 1.0, epoch=0)
+        watchdog.observe_value((0, 1), 100.0, 1.0, epoch=1)
+        (alert,) = watchdog.alerts()
+        assert alert.rule == "calibration-watchdog"
+        assert alert.severity == "critical"
+        assert alert.labels == {"pair": "0->1"}
+
+    def test_seeded_service_is_calibrated(self):
+        # End to end: refresh a live service with IDENTICAL weights
+        # each epoch so probe dispersion is pure Laplace noise, and
+        # check the observed/advertised std ratio lands in a generous
+        # band.  Deterministic via the seed.
+        graph = grid_graph(4, 4)
+        service = DistanceService(graph, 1.0, Rng(7))
+        pair = ((0, 0), (3, 3))
+        watchdog = CalibrationWatchdog(
+            [pair], band=(0.3, 3.0), min_epochs=2
+        )
+        watchdog.observe_epoch(service)
+        for _ in range(19):
+            service.refresh(graph)
+            watchdog.observe_epoch(service)
+        report = watchdog.report()
+        entry = report["pairs"][0]
+        assert entry["samples"] == 20
+        assert entry["status"] == "ok", entry
+        assert report["drifting"] == []
+        assert watchdog.alerts() == []

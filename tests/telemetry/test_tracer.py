@@ -79,6 +79,55 @@ class TestSpans:
         names = [s.name for s in tracer.finished_roots()]
         assert names == ["s2", "s3", "s4"]
 
+    def test_evictions_counted_and_reported(self):
+        dropped = []
+        tracer = Tracer(
+            max_finished_roots=3, on_drop=lambda: dropped.append(1)
+        )
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.dropped == 2
+        assert len(dropped) == 2
+
+    def test_no_drops_below_capacity(self):
+        tracer = Tracer(max_finished_roots=3, on_drop=lambda: 1 / 0)
+        for i in range(3):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.dropped == 0  # callback never invoked
+
+    def test_bundle_drop_counter_interned_lazily(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(tracer=None)
+        telemetry.tracer._finished.maxlen  # live tracer with history
+        names = {m["name"] for m in telemetry.registry.snapshot()}
+        assert "trace.dropped" not in names  # nothing dropped yet
+        for i in range(telemetry.tracer._finished.maxlen + 2):
+            with telemetry.span(f"s{i}"):
+                pass
+        counters = {
+            m["name"]: m["value"]
+            for m in telemetry.registry.snapshot()
+            if m["kind"] == "counter"
+        }
+        assert counters["trace.dropped"] == 2
+
+    def test_span_ids_and_current_ids(self):
+        tracer = Tracer()
+        assert tracer.current_ids() == (None, None)
+        with tracer.span("root"):
+            root_id, inner_id = tracer.current_ids()
+            assert root_id == inner_id
+            with tracer.span("inner"):
+                trace_id, span_id = tracer.current_ids()
+                assert trace_id == root_id
+                assert span_id != trace_id
+        assert tracer.current_ids() == (None, None)
+        (root,) = tracer.finished_roots()
+        assert root.to_dict()["span_id"] == root.span_id
+
     def test_clear(self):
         tracer = Tracer()
         with tracer.span("a"):

@@ -674,3 +674,237 @@ class TestMetrics:
         document = json.loads(out.read_text())
         names = {m["name"] for m in document["metrics"]}
         assert "serving.query.latency" in names
+
+
+class TestAuditCli:
+    def _simulate_with_audit(self, tmp_path, capsys, epochs="2"):
+        log = tmp_path / "audit.jsonl"
+        snap = tmp_path / "metrics.json"
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--eps", "1.0",
+                "--epochs", epochs,
+                "--queries", "30",
+                "--seed", "0",
+                "--audit-log", str(log),
+                "--metrics-out", str(snap),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return log, snap
+
+    def test_simulate_writes_verifiable_log(self, tmp_path, capsys):
+        log, snap = self._simulate_with_audit(tmp_path, capsys)
+        code = main(
+            ["audit", "verify", "--log", str(log), "--metrics", str(snap)]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["verified"] is True
+        assert summary["gauges_checked"] >= 3
+        assert "distance-service" in summary["tenants"]
+
+    def test_audit_tail_prints_json_records(self, tmp_path, capsys):
+        log, _ = self._simulate_with_audit(tmp_path, capsys)
+        assert main(["audit", "tail", "--log", str(log), "-n", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            record = json.loads(line)
+            assert {"seq", "kind", "hash"} <= set(record)
+
+    def test_audit_replay_prints_odometer(self, tmp_path, capsys):
+        log, _ = self._simulate_with_audit(tmp_path, capsys)
+        assert main(["audit", "replay", "--log", str(log)]) == 0
+        odometer = json.loads(capsys.readouterr().out)
+        assert odometer["format"] == "repro-audit-odometer"
+        state = odometer["tenants"]["distance-service"]
+        assert state["lifetime_spends"] == 2  # one build per epoch
+
+    def test_audit_verify_tampered_log_exits_2(self, tmp_path, capsys):
+        log, _ = self._simulate_with_audit(tmp_path, capsys)
+        lines = log.read_text().splitlines()
+        target = next(
+            i for i, line in enumerate(lines) if "budget.spend" in line
+        )
+        lines[target] = lines[target].replace('"eps":1.0', '"eps":0.5')
+        log.write_text("\n".join(lines) + "\n")
+        assert main(["audit", "verify", "--log", str(log)]) == 2
+        assert "hash chain" in capsys.readouterr().err
+
+    def test_audit_verify_missing_file_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["audit", "verify", "--log", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_audit_log_flag(self, grid_file, tmp_path, capsys):
+        log = tmp_path / "serve-audit.jsonl"
+        code = main(
+            [
+                "serve",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--seed", "0",
+                "--pairs", "0,0:3,3",
+                "--audit-log", str(log),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["audit", "verify", "--log", str(log)]) == 0
+        assert json.loads(capsys.readouterr().out)["verified"] is True
+
+    def test_audit_log_allowed_alongside_config(self, tmp_path, capsys):
+        config = tmp_path / "serving.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "format": "repro-serving-config",
+                    "version": 1,
+                    "eps": 1.0,
+                }
+            )
+        )
+        log = tmp_path / "audit.jsonl"
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--queries", "20",
+                "--seed", "0",
+                "--config", str(config),
+                "--audit-log", str(log),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["audit", "verify", "--log", str(log)]) == 0
+        capsys.readouterr()
+
+    def test_simulate_report_identical_with_audit(self, tmp_path, capsys):
+        args = [
+            "simulate",
+            "--rows", "5",
+            "--cols", "5",
+            "--eps", "1.0",
+            "--queries", "30",
+            "--seed", "0",
+        ]
+        assert main(args) == 0
+        plain = json.loads(capsys.readouterr().out)
+        log = tmp_path / "audit.jsonl"
+        assert main(args + ["--audit-log", str(log)]) == 0
+        audited = json.loads(capsys.readouterr().out)
+        # Auditing never touches the Rng: every noise-dependent figure
+        # is bit-identical.  Wall-clock fields (throughput, latency)
+        # legitimately differ between the two runs.
+        for key in ("mechanism", "mean_abs_error", "max_abs_error",
+                    "ledger_spends", "total_queries"):
+            assert audited[key] == plain[key]
+
+
+class TestReportCli:
+    def _snapshot(self, tmp_path, capsys):
+        snap = tmp_path / "metrics.json"
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--eps", "1.0",
+                "--queries", "30",
+                "--seed", "0",
+                "--metrics-out", str(snap),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return snap
+
+    def test_text_report(self, tmp_path, capsys):
+        snap = self._snapshot(tmp_path, capsys)
+        assert main(["report", "--in", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "== budgets ==" in out
+        assert "distance-service" in out
+        assert "== query latency ==" in out
+        assert "(no rules given)" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        snap = self._snapshot(tmp_path, capsys)
+        code = main(["report", "--in", str(snap), "--format", "json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "distance-service" in report["budgets"]
+        assert report["budgets"]["distance-service"]["eps_spent"] == 1.0
+        assert report["latency"]
+        assert report["alerts"] == []
+
+    def test_fired_alert_exits_1(self, tmp_path, capsys):
+        snap = self._snapshot(tmp_path, capsys)
+        rules = tmp_path / "rules.json"
+        rules.write_text(
+            json.dumps(
+                {
+                    "format": "repro-alert-rules",
+                    "version": 1,
+                    "rules": [
+                        {
+                            "name": "budget-burn",
+                            "kind": "burn-rate",
+                            "op": ">=",
+                            "value": 0.9,
+                            "severity": "critical",
+                        }
+                    ],
+                }
+            )
+        )
+        code = main(
+            ["report", "--in", str(snap), "--rules", str(rules)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[critical] budget-burn" in out
+
+    def test_quiet_rules_exit_0(self, tmp_path, capsys):
+        snap = self._snapshot(tmp_path, capsys)
+        rules = tmp_path / "rules.json"
+        rules.write_text(
+            json.dumps(
+                {
+                    "format": "repro-alert-rules",
+                    "version": 1,
+                    "rules": [
+                        {
+                            "name": "impossible",
+                            "metric": "serving.queries",
+                            "op": ">",
+                            "value": 1e12,
+                        }
+                    ],
+                }
+            )
+        )
+        code = main(
+            ["report", "--in", str(snap), "--rules", str(rules)]
+        )
+        assert code == 0
+        assert "(none fired)" in capsys.readouterr().out
+
+    def test_bad_rules_document_exits_2(self, tmp_path, capsys):
+        snap = self._snapshot(tmp_path, capsys)
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"format": "nope"}))
+        code = main(
+            ["report", "--in", str(snap), "--rules", str(rules)]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -115,23 +115,33 @@ class TestCli:
 class TestP99:
     def test_growth_beyond_threshold_warned(self):
         rows, warned = compare_p99(
-            {"E16": 10e-6, "E18": 10e-6},
-            {"E16": 30e-6, "E18": 11e-6},
+            {"E16": (10e-6, 1000), "E18": (10e-6, 1000)},
+            {"E16": (30e-6, 1000), "E18": (11e-6, 1000)},
             threshold=0.25,
         )
         assert warned == ["E16"]
-        statuses = {r[0]: r[4] for r in rows}
+        statuses = {r[0]: r[6] for r in rows}
         assert statuses["E16"].startswith("WARN")
         assert statuses["E18"] == "ok"
 
-    def test_rendered_in_microseconds(self):
-        rows, _ = compare_p99({"E16": 10e-6}, {"E16": 10e-6})
+    def test_rendered_in_microseconds_with_counts(self):
+        rows, _ = compare_p99(
+            {"E16": (10e-6, 500)}, {"E16": (10e-6, 2000)}
+        )
         assert rows[0][1] == "10.0"
-        assert rows[0][2] == "10.0"
+        assert rows[0][2] == "500"
+        assert rows[0][3] == "10.0"
+        assert rows[0][4] == "2000"
 
     def test_new_and_removed_never_warned(self):
-        _, warned = compare_p99({"E16": 1e-6}, {"E19": 5e-6})
+        rows, warned = compare_p99(
+            {"E16": (1e-6, 100)}, {"E19": (5e-6, 200)}
+        )
         assert warned == []
+        # Sample counts still appear on the surviving side.
+        by_tag = {r[0]: r for r in rows}
+        assert by_tag["E16"][2] == "100"
+        assert by_tag["E19"][4] == "200"
 
     def test_load_p99_skips_experiments_without_latency(self, tmp_path):
         path = _run_file(
@@ -140,7 +150,23 @@ class TestP99:
             {"E1": 1.0, "E16": 2.0},
             p99={"E16": 20e-6},
         )
-        assert load_p99(path) == {"E16": pytest.approx(20e-6)}
+        loaded = load_p99(path)
+        assert set(loaded) == {"E16"}
+        assert loaded["E16"][0] == pytest.approx(20e-6)
+        assert loaded["E16"][1] == 1000
+
+    def test_sample_counts_printed(self, tmp_path, capsys):
+        base = _run_file(
+            tmp_path, "base.json", {"E16": 1.0}, p99={"E16": 10e-6}
+        )
+        new = _run_file(
+            tmp_path, "new.json", {"E16": 1.0}, p99={"E16": 10e-6}
+        )
+        assert main([str(base), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "base n" in out
+        assert "new n" in out
+        assert "1000" in out
 
     def test_warning_is_not_an_exit_code(self, tmp_path, capsys):
         # p99 regressions are informational: wall-clock is fine, so

@@ -1,0 +1,152 @@
+"""Unit tests for :mod:`benchmarks.history` — the longitudinal
+per-experiment series stitched from per-commit run artifacts."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.compare_runs import load_seconds
+from benchmarks.history import (
+    HISTORY_FORMAT,
+    load_run,
+    load_runs,
+    main,
+    render_history,
+    stitch,
+)
+
+
+def _artifact(
+    tmp_path: Path,
+    name: str,
+    stamp: float | None,
+    seconds: dict,
+    p99: dict | None = None,
+) -> Path:
+    experiments = {
+        tag: {"module": f"benchmarks.bench_{tag}", "seconds": s}
+        for tag, s in seconds.items()
+    }
+    for tag, value in (p99 or {}).items():
+        experiments[tag]["latency"] = {
+            "p50": value / 2.0,
+            "p95": value * 0.9,
+            "p99": value,
+            "count": 500,
+        }
+    document = {"seed": 0, "experiments": experiments, "total_seconds": 9.0}
+    if stamp is not None:
+        document["generated_at_unix"] = stamp
+    path = tmp_path / name
+    path.write_text(json.dumps(document))
+    return path
+
+
+class TestLoading:
+    def test_orders_by_timestamp_not_filename(self, tmp_path):
+        _artifact(tmp_path, "a.json", 300.0, {"E1": 1.0})
+        _artifact(tmp_path, "b.json", 100.0, {"E1": 2.0})
+        runs = load_runs(tmp_path)
+        assert [r["label"] for r in runs] == ["b", "a"]
+
+    def test_unstamped_runs_sort_last_by_filename(self, tmp_path):
+        _artifact(tmp_path, "z.json", 100.0, {"E1": 1.0})
+        _artifact(tmp_path, "a.json", None, {"E1": 2.0})
+        runs = load_runs(tmp_path)
+        assert [r["label"] for r in runs] == ["z", "a"]
+
+    def test_rejects_non_report_files(self, tmp_path):
+        (tmp_path / "junk.json").write_text(json.dumps({"x": 1}))
+        with pytest.raises(ValueError, match="not a BENCH_runall"):
+            load_runs(tmp_path)
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no .*json"):
+            load_runs(tmp_path)
+
+
+class TestStitch:
+    def test_aligned_series_with_gaps(self, tmp_path):
+        _artifact(tmp_path, "r0.json", 100.0, {"E1": 1.0})
+        _artifact(
+            tmp_path, "r1.json", 200.0,
+            {"E1": 1.1, "E16": 2.0}, p99={"E16": 20e-6},
+        )
+        history = stitch(load_runs(tmp_path))
+        assert history["format"] == HISTORY_FORMAT
+        assert [r["label"] for r in history["runs"]] == ["r0", "r1"]
+        assert history["experiments"]["E1"]["seconds"] == [1.0, 1.1]
+        # E16 did not exist in the first run: aligned None, not a hole.
+        assert history["experiments"]["E16"]["seconds"] == [None, 2.0]
+        assert history["experiments"]["E16"]["p99"] == [
+            None, pytest.approx(20e-6),
+        ]
+        assert history["experiments"]["E16"]["count"] == [None, 500]
+
+    def test_stitched_document_json_round_trips(self, tmp_path):
+        _artifact(tmp_path, "r0.json", 100.0, {"E1": 1.0})
+        history = stitch(load_runs(tmp_path))
+        assert json.loads(json.dumps(history)) == history
+
+
+class TestRender:
+    def test_table_per_experiment(self, tmp_path):
+        _artifact(
+            tmp_path, "r0.json", 100.0, {"E16": 1.0}, p99={"E16": 20e-6}
+        )
+        _artifact(
+            tmp_path, "r1.json", 200.0, {"E16": 1.5}, p99={"E16": 30e-6}
+        )
+        text = render_history(stitch(load_runs(tmp_path)))
+        assert "E16" in text
+        assert "20.0" in text and "30.0" in text  # p99 in microseconds
+        assert "500" in text  # sample counts shown
+
+    def test_experiment_filter_and_unknown_tag(self, tmp_path):
+        _artifact(tmp_path, "r0.json", 100.0, {"E1": 1.0, "E2": 2.0})
+        history = stitch(load_runs(tmp_path))
+        only = render_history(history, "E2")
+        assert "E2" in only and "E1\n" not in only
+        with pytest.raises(ValueError, match="known: E1, E2"):
+            render_history(history, "E99")
+
+
+class TestCli:
+    def test_prints_tables_and_writes_outputs(self, tmp_path, capsys):
+        _artifact(tmp_path, "r0.json", 100.0, {"E1": 1.0})
+        _artifact(tmp_path, "r1.json", 200.0, {"E1": 1.2})
+        out = tmp_path / "history.json"
+        baseline = tmp_path / "baseline.json"
+        code = main(
+            [
+                str(tmp_path),
+                "--json", str(out),
+                "--baseline-out", str(baseline),
+            ]
+        )
+        assert code == 0
+        assert "E1" in capsys.readouterr().out
+        history = json.loads(out.read_text())
+        assert history["format"] == HISTORY_FORMAT
+        # The baseline re-emission is compare_runs-compatible and is
+        # the NEWEST run.
+        assert load_seconds(baseline) == {"E1": 1.2}
+
+    def test_bad_directory_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_real_committed_report_is_stitchable(self, tmp_path):
+        committed = (
+            Path(__file__).resolve().parent.parent / "BENCH_runall.json"
+        )
+        run = load_run(committed)
+        history = stitch([run])
+        assert history["runs"][0]["label"] == "BENCH_runall"
+        assert history["experiments"]
