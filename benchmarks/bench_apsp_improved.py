@@ -130,6 +130,12 @@ def latency_metrics() -> dict | None:
     return latency_summary(_TELEMETRY)
 
 
+def telemetry_bundle() -> Telemetry:
+    """The experiment's bundle — ``run_all.py --profile`` attaches a
+    phase profiler to its tracer for the run's attribution table."""
+    return _TELEMETRY
+
+
 def run_experiment(quick: bool = False) -> str:
     _TELEMETRY.clear()
     v = QUICK_V if quick else V

@@ -39,6 +39,12 @@ def latency_metrics() -> dict | None:
     return latency_summary(_TELEMETRY)
 
 
+def telemetry_bundle() -> Telemetry:
+    """The experiment's bundle — ``run_all.py --profile`` attaches a
+    phase profiler to its tracer for the run's attribution table."""
+    return _TELEMETRY
+
+
 def _ci90_half_width(eps: float) -> float:
     """The advertised 90% interval half-width of one estimate served
     on the E16 road grid at this eps — the Estimate API's accuracy

@@ -70,6 +70,12 @@ def latency_metrics() -> dict | None:
     return latency_summary(_TELEMETRY)
 
 
+def telemetry_bundle() -> Telemetry:
+    """The experiment's bundle — ``run_all.py --profile`` attaches a
+    phase profiler to its tracer for the run's attribution table."""
+    return _TELEMETRY
+
+
 def run_experiment(quick: bool = False) -> str:
     _TELEMETRY.clear()
     side = QUICK_SIDE if quick else SIDE

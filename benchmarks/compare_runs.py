@@ -11,6 +11,11 @@ by more than ``threshold`` (default 25%, the ROADMAP's "perf
 trajectory" bar).  Experiments that only exist in one of the runs are
 reported but never flagged — a new experiment is not a regression.
 
+The per-query p99 latency diff of the serving experiments is
+warn-only by default (CI tail latency flakes); opting in with
+``--gate-p99 0.5`` promotes it to a hard gate at that relative
+threshold, for environments quiet enough to hold the line.
+
 This is the machine-readable half of the perf trajectory: CI uploads
 each run's ``BENCH_runall.json`` as an artifact and runs this script
 against the committed baseline, so a slow commit is flagged in the
@@ -64,16 +69,17 @@ def compare_p99(
     new: Dict[str, Tuple[float, int]],
     threshold: float = DEFAULT_THRESHOLD,
 ) -> Tuple[List[List[str]], List[str]]:
-    """Diff recorded p99 latencies; warn-only, never gates the build.
+    """Diff recorded p99 latencies.
 
     Rows are ``[tag, base_us, base_n, new_us, new_n, delta, status]``
     with latencies rendered in microseconds (per-query serving latency
     is a few µs) and each side's latency sample count alongside.
-    Returns the rows and the tags whose p99 grew beyond ``threshold``
-    — callers print those as warnings; the exit code stays governed
-    by wall-clock.  Tail latency on a CI box is noisy enough that a
-    hard gate would flake, but a silent regression is how a 2x p99
-    ships, so it is surfaced loudly instead.
+    Returns the rows and the tags whose p99 grew beyond ``threshold``.
+    By default callers print those as warnings and the exit code
+    stays governed by wall-clock — tail latency on a CI box is noisy
+    enough that a hard gate would flake, but a silent regression is
+    how a 2x p99 ships, so it is surfaced loudly.  ``--gate-p99``
+    opts in to failing on them instead.
     """
     rows: List[List[str]] = []
     warned: List[str] = []
@@ -229,16 +235,32 @@ def main(argv: List[str] | None = None) -> int:
         help="relative slowdown that counts as a regression "
         "(default 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--gate-p99",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="promote the warn-only p99 latency diff to a hard gate "
+        "at this relative threshold (e.g. 0.5 = fail when any "
+        "serving experiment's p99 grew more than 50%%)",
+    )
     args = parser.parse_args(argv)
     rows, flagged = compare(
         load_seconds(args.base), load_seconds(args.new), args.threshold
     )
     print(render(rows))
-    p99_rows, p99_warned = compare_p99(
-        load_p99(args.base), load_p99(args.new), args.threshold
+    p99_threshold = (
+        args.gate_p99 if args.gate_p99 is not None else args.threshold
     )
+    p99_rows, p99_warned = compare_p99(
+        load_p99(args.base), load_p99(args.new), p99_threshold
+    )
+    p99_gated = args.gate_p99 is not None and bool(p99_warned)
     if p99_rows:
-        print("\nper-query p99 latency (warn-only):")
+        print(
+            "\nper-query p99 latency "
+            + ("(gated):" if args.gate_p99 is not None else "(warn-only):")
+        )
         print(
             render(
                 p99_rows,
@@ -254,16 +276,29 @@ def main(argv: List[str] | None = None) -> int:
             )
         )
         if p99_warned:
-            print(
-                f"warning: p99 latency grew more than "
-                f"{args.threshold:.0%} in {', '.join(p99_warned)} "
-                "(informational; does not fail the check)",
-                file=sys.stderr,
-            )
+            if args.gate_p99 is not None:
+                print(
+                    f"p99 latency grew more than {p99_threshold:.0%} "
+                    f"in {', '.join(p99_warned)} (gated by --gate-p99)",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"warning: p99 latency grew more than "
+                    f"{p99_threshold:.0%} in {', '.join(p99_warned)} "
+                    "(informational; does not fail the check)",
+                    file=sys.stderr,
+                )
     if flagged:
         print(
             f"\n{len(flagged)} experiment(s) regressed more than "
             f"{args.threshold:.0%}: {', '.join(flagged)}",
+            file=sys.stderr,
+        )
+        return 1
+    if p99_gated:
+        print(
+            f"\np99 gate failed for {', '.join(p99_warned)}",
             file=sys.stderr,
         )
         return 1

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Regenerate every experiment table (E1-E19) in one run.
 
-Usage:  python benchmarks/run_all.py [E5 E19 ...] [> tables.txt]
+Usage:  python benchmarks/run_all.py [E5 E19 ...] [--profile] [> tables.txt]
 
 This is what EXPERIMENTS.md's tables are produced from; the run is
 fully deterministic (seed in benchmarks/common.py).
@@ -11,10 +11,20 @@ the working directory: per-experiment wall-clock seconds plus every
 data row of every table (numeric cells coerced to numbers), so the
 performance trajectory of the repo can be tracked machine-readably
 across commits instead of by diffing rendered text.
+
+``--profile`` additionally attaches a
+:class:`repro.telemetry.profile.PhaseProfiler` to each serving
+experiment's telemetry bundle (the modules exposing
+``telemetry_bundle()``) and folds the per-phase attribution rows into
+the report under ``phases`` — so a perf regression in the trajectory
+points at the phase that slowed down, not just the experiment.
+Allocation tracing stays off while profiling: tracemalloc would
+distort the very timings the report exists to track.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import time
@@ -81,8 +91,37 @@ def _coerce(cell: str) -> object:
     return cell
 
 
+def _profiler_for(module):
+    """A fresh phase profiler attached to the module's telemetry
+    bundle, or None when the module has no bundle to observe."""
+    bundle_of = getattr(module, "telemetry_bundle", None)
+    if bundle_of is None:
+        return None
+    bundle = bundle_of()
+    if not bundle.tracer.enabled:
+        return None
+    from repro.telemetry import PhaseProfiler
+
+    return PhaseProfiler(trace_allocations=False).attach(bundle.tracer)
+
+
 def main() -> None:
-    only = set(sys.argv[1:])
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "only",
+        nargs="*",
+        metavar="TAG",
+        help="experiment tags to run (default: all); a filtered run "
+        "never rewrites the report",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach a phase profiler to each serving experiment's "
+        "telemetry bundle and record per-phase attribution rows",
+    )
+    args = parser.parse_args()
+    only = set(args.only)
     report: dict = {
         "seed": SEED,
         "generated_at_unix": time.time(),
@@ -92,6 +131,7 @@ def main() -> None:
         if only and tag not in only:
             continue
         print(f"==== {tag} " + "=" * 60)
+        profiler = _profiler_for(module) if args.profile else None
         start = time.perf_counter()
         table = module.run_experiment()
         elapsed = time.perf_counter() - start
@@ -109,6 +149,9 @@ def main() -> None:
             latency = latency_metrics()
             if latency is not None:
                 entry["latency"] = latency
+        if profiler is not None:
+            profiler.detach()
+            entry["phases"] = profiler.phase_summary()
         report["experiments"][tag] = entry
     report["total_seconds"] = round(
         sum(e["seconds"] for e in report["experiments"].values()), 4

@@ -25,6 +25,12 @@ Usage (after installing the package)::
     python -m repro.cli audit verify --log audit.jsonl --metrics metrics.json
     python -m repro.cli audit replay --log audit.jsonl
     python -m repro.cli report --in metrics.json --rules alerts.json
+    python -m repro.cli simulate --rows 8 --cols 8 --eps 1.0 --seed 0 \
+        --profile-out profile.json --flight-out flight.json \
+        --flight-threshold 0.001 --event-log events.jsonl
+    python -m repro.cli profile --in profile.json --check
+    python -m repro.cli profile --in profile.json --format collapsed
+    python -m repro.cli flight --in flight.json -n 5
 
 The ``serve`` and ``simulate`` subcommands speak the declarative
 serving API: ``--config`` loads a
@@ -50,6 +56,20 @@ cross-checking a ``--metrics`` snapshot's gauges bit-exactly).  The
 latency quantiles, and alerts fired by a declarative ``--rules``
 document (:mod:`repro.telemetry.monitor`) — exiting 1 when any alert
 fires, so it slots into CI and cron health checks.
+
+``serve`` and ``simulate`` also take the observability flags of
+:mod:`repro.telemetry.profile` and :mod:`repro.telemetry.logging`:
+``--profile-out`` runs the deterministic phase profiler plus the
+background stack sampler and dumps a versioned ``repro-profile``
+document (phase attribution table + flamegraph.pl-compatible
+collapsed stacks); ``--flight-out`` arms the slow-query flight
+recorder (``--flight-threshold`` sets the fixed fallback while the
+adaptive per-route p99 warms up) and dumps its exemplar ring;
+``--event-log`` appends structured JSONL lifecycle events.  The
+``profile`` and ``flight`` subcommands read those documents back —
+``profile --check`` fail-closed verifies that per-phase self times
+sum to the profiled wall clock.  All of it is purely observational:
+seeded answers are bit-identical with every flag on or off.
 
 Graphs are read from the JSON format of :mod:`repro.graphs.io` (or,
 with ``--edge-list``, from whitespace ``u v w`` lines).  All randomness
@@ -274,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_out(p)
     _add_audit_log(p)
+    _add_observability(p)
 
     p = sub.add_parser(
         "simulate",
@@ -328,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None)
     _add_metrics_out(p)
     _add_audit_log(p)
+    _add_observability(p)
 
     p = sub.add_parser(
         "audit",
@@ -393,7 +415,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--in",
         dest="metrics_in",
         required=True,
-        help="telemetry snapshot JSON written by --metrics-out",
+        help="telemetry snapshot JSON written by --metrics-out "
+        "('-' reads stdin, so snapshots convert offline in a pipe)",
     )
     p.add_argument(
         "--format",
@@ -406,6 +429,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="print this ledger tenant's remaining budget gauges "
         "instead of the full snapshot",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="write the rendering here instead of stdout",
+    )
+
+    p = sub.add_parser(
+        "profile",
+        help="render a phase-profile document written by serve/simulate "
+        "--profile-out (attribution table, collapsed stacks, or raw "
+        "JSON); --check verifies the attribution adds up",
+    )
+    p.add_argument(
+        "--in",
+        dest="profile_in",
+        required=True,
+        help="repro-profile JSON document ('-' reads stdin)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["phases", "collapsed", "json"],
+        default="phases",
+        help="phases: the attribution table; collapsed: "
+        "flamegraph.pl-compatible stack lines; json: the raw document",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="fail-closed consistency check: no phase's self time "
+        "exceeds its wall time, and the self times sum to the "
+        "profiled total within 10%%; exits 1 on violation",
+    )
+
+    p = sub.add_parser(
+        "flight",
+        help="inspect a slow-query flight-recorder dump written by "
+        "serve/simulate --flight-out",
+    )
+    p.add_argument(
+        "--in",
+        dest="flight_in",
+        required=True,
+        help="repro-flight JSON document ('-' reads stdin)",
+    )
+    p.add_argument(
+        "-n",
+        type=int,
+        default=10,
+        help="exemplar records to print (default 10, newest last)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="compact text lines or the raw document",
     )
 
     return parser
@@ -435,6 +514,106 @@ def _add_audit_log(p: argparse.ArgumentParser) -> None:
         "rotations, builds) to this hash-chained JSONL file; "
         "readable by the audit subcommand",
     )
+
+
+def _add_observability(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--event-log",
+        default=None,
+        help="append the run's structured lifecycle events (service "
+        "start, builds, refreshes, batches) as JSON lines here",
+    )
+    p.add_argument(
+        "--profile-out",
+        default=None,
+        help="profile the run (deterministic phase attribution plus a "
+        "background stack sampler) and write the repro-profile JSON "
+        "document here; readable by the profile subcommand",
+    )
+    p.add_argument(
+        "--flight-out",
+        default=None,
+        help="record slow-query exemplars and write the repro-flight "
+        "JSON document here; readable by the flight subcommand",
+    )
+    p.add_argument(
+        "--flight-threshold",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fixed slow-query threshold while the recorder's "
+        "per-route p99 sketch warms up (default: capture nothing "
+        "until warmed)",
+    )
+
+
+def _observability_bundle(args: argparse.Namespace, telemetry):
+    """Instruments requested by --profile-out / --flight-out, attached
+    to (or creating) the run's private bundle.
+
+    Returns ``(telemetry, profiler, sampler, flight)``; instrument
+    slots are None when the matching flag is absent.  The instruments
+    are created *here* rather than letting
+    :func:`~repro.serving.config.serve` attach its own because the CLI
+    must hold the references to dump them after the run — serve() sees
+    them already enabled on the bundle and leaves them alone.
+    """
+    profiler = sampler = flight = None
+    wants_flight = (
+        args.flight_out is not None or args.flight_threshold is not None
+    )
+    if args.profile_out or wants_flight:
+        from .telemetry import (
+            FlightRecorder,
+            PhaseProfiler,
+            SamplingProfiler,
+            Telemetry,
+        )
+
+        if telemetry is None:
+            telemetry = Telemetry()
+        if args.profile_out:
+            profiler = PhaseProfiler()
+            telemetry = telemetry.with_profiler(profiler)
+            sampler = SamplingProfiler()
+        if wants_flight:
+            flight = FlightRecorder(
+                threshold_seconds=args.flight_threshold
+            )
+            telemetry = telemetry.with_flight(flight)
+    return telemetry, profiler, sampler, flight
+
+
+def _run_observed(telemetry, profiler, sampler, root: str, fn):
+    """Run ``fn`` under the bundle's root span with the stack sampler
+    going, so every phase of the run lands inside one root frame and
+    the attribution table's self times sum to the run's wall clock."""
+    if profiler is None:
+        return fn()
+    from .telemetry import use_telemetry
+
+    sampler.start()
+    try:
+        with use_telemetry(telemetry), telemetry.span(root):
+            return fn()
+    finally:
+        sampler.stop()
+
+
+def _write_observability(
+    args: argparse.Namespace, profiler, sampler, flight
+) -> None:
+    if args.profile_out:
+        from .telemetry import profile_document
+
+        document = profile_document(profiler, sampler)
+        Path(args.profile_out).write_text(
+            json.dumps(document, indent=2)
+        )
+    if args.flight_out:
+        Path(args.flight_out).write_text(
+            json.dumps(flight.to_document(), indent=2)
+        )
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -565,6 +744,8 @@ def _serving_config(args: argparse.Namespace):
         overrides["shards"] = args.shards
     if args.audit_log is not None:
         overrides["audit_log"] = args.audit_log
+    if args.event_log is not None:
+        overrides["event_log"] = args.event_log
     return config.with_overrides(**overrides) if overrides else config
 
 
@@ -592,27 +773,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # A fresh bundle per invocation: the snapshot measures this run
     # alone, not whatever else the process default has accumulated.
     telemetry = Telemetry() if args.metrics_out else None
-    service = serve(graph, config, rng, telemetry=telemetry)
-    print(f"# mechanism: {service.mechanism}  budget: {service.epoch_budget}")
-    for token in args.pairs:
-        s_raw, _, t_raw = token.partition(":")
-        s, t = _parse_vertex(s_raw), _parse_vertex(t_raw)
-        if args.estimate:
-            estimate = service.estimate(s, t)
-            lo, hi = estimate.confidence_interval(args.level)
-            print(
-                f"{token}\t{estimate.value:.6f}\t"
-                f"scale={estimate.noise_scale:g}\t"
-                f"ci{args.level:g}=[{lo:.6f}, {hi:.6f}]"
-            )
-        else:
-            print(f"{token}\t{service.query(s, t):.6f}")
+    telemetry, profiler, sampler, flight = _observability_bundle(
+        args, telemetry
+    )
+
+    def run():
+        service = serve(graph, config, rng, telemetry=telemetry)
+        print(
+            f"# mechanism: {service.mechanism}  "
+            f"budget: {service.epoch_budget}"
+        )
+        for token in args.pairs:
+            s_raw, _, t_raw = token.partition(":")
+            s, t = _parse_vertex(s_raw), _parse_vertex(t_raw)
+            if args.estimate:
+                estimate = service.estimate(s, t)
+                lo, hi = estimate.confidence_interval(args.level)
+                print(
+                    f"{token}\t{estimate.value:.6f}\t"
+                    f"scale={estimate.noise_scale:g}\t"
+                    f"ci{args.level:g}=[{lo:.6f}, {hi:.6f}]"
+                )
+            else:
+                print(f"{token}\t{service.query(s, t):.6f}")
+        return service
+
+    service = _run_observed(
+        telemetry, profiler, sampler, "serve.run", run
+    )
     if args.synopsis_out:
         Path(args.synopsis_out).write_text(service.synopsis.to_json())
     if args.metrics_out:
         _write_metrics(
             service.telemetry, args.metrics_out, args.metrics_format
         )
+    _write_observability(args, profiler, sampler, flight)
     return 0
 
 
@@ -623,6 +818,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     rng = Rng(args.seed)
     telemetry = Telemetry() if args.metrics_out else None
+    telemetry, profiler, sampler, flight = _observability_bundle(
+        args, telemetry
+    )
     if args.config:
         # The config document is the single source of truth here —
         # refuse explicit serving flags rather than silently dropping
@@ -653,15 +851,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "simulate needs --eps (or a --config document "
                 "providing it)"
             )
-        report = replay_rush_hour(
-            rng,
-            rows=args.rows,
-            cols=args.cols,
-            epochs=args.epochs,
-            queries_per_epoch=args.queries,
-            config=config,
-            telemetry=telemetry,
-            audit_log=args.audit_log,
+        report = _run_observed(
+            telemetry,
+            profiler,
+            sampler,
+            "simulate.run",
+            lambda: replay_rush_hour(
+                rng,
+                rows=args.rows,
+                cols=args.cols,
+                epochs=args.epochs,
+                queries_per_epoch=args.queries,
+                config=config,
+                telemetry=telemetry,
+                audit_log=args.audit_log,
+                event_log=args.event_log,
+            ),
         )
     else:
         if args.eps is None:
@@ -669,23 +874,31 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 "simulate needs --eps (or a --config document "
                 "providing it)"
             )
-        report = replay_rush_hour(
-            rng,
-            rows=args.rows,
-            cols=args.cols,
-            eps=args.eps,
-            delta=args.delta if args.delta is not None else 0.0,
-            epochs=args.epochs,
-            queries_per_epoch=args.queries,
-            weight_bound=args.weight_bound,
-            backend=args.backend,
-            mechanism=args.mechanism,
-            shards=args.shards,
-            telemetry=telemetry,
-            audit_log=args.audit_log,
+        report = _run_observed(
+            telemetry,
+            profiler,
+            sampler,
+            "simulate.run",
+            lambda: replay_rush_hour(
+                rng,
+                rows=args.rows,
+                cols=args.cols,
+                eps=args.eps,
+                delta=args.delta if args.delta is not None else 0.0,
+                epochs=args.epochs,
+                queries_per_epoch=args.queries,
+                weight_bound=args.weight_bound,
+                backend=args.backend,
+                mechanism=args.mechanism,
+                shards=args.shards,
+                telemetry=telemetry,
+                audit_log=args.audit_log,
+                event_log=args.event_log,
+            ),
         )
     if args.metrics_out:
         _write_metrics(telemetry, args.metrics_out, args.metrics_format)
+    _write_observability(args, profiler, sampler, flight)
     print(json.dumps(report.as_dict(), indent=2))
     return 0
 
@@ -807,14 +1020,26 @@ def _print_text_report(report: dict, rules_given: bool) -> None:
 
 
 def _load_snapshot(path: str) -> dict:
+    """Parse a JSON document from a file, or stdin when ``path`` is
+    ``-`` — so snapshots and profiles convert offline in a pipe."""
     from .exceptions import TelemetryError
 
+    text = sys.stdin.read() if path == "-" else Path(path).read_text()
     try:
-        return json.loads(Path(path).read_text())
+        return json.loads(text)
     except json.JSONDecodeError as error:
         raise TelemetryError(
-            f"{path} is not valid JSON: {error}"
+            f"{'stdin' if path == '-' else path} is not valid JSON: "
+            f"{error}"
         ) from None
+
+
+def _emit(rendered: str, out: str | None) -> None:
+    """Print a rendering, or write it to ``out`` when given."""
+    if out is not None:
+        Path(out).write_text(rendered)
+    else:
+        sys.stdout.write(rendered)
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -823,11 +1048,116 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     document = _load_snapshot(args.metrics_in)
     validate_snapshot(document)
     if args.tenant is not None:
-        print(json.dumps(_tenant_budget(document, args.tenant), indent=2))
+        rendered = (
+            json.dumps(_tenant_budget(document, args.tenant), indent=2)
+            + "\n"
+        )
     elif args.format == "prom":
-        print(snapshot_to_prometheus(document), end="")
+        rendered = snapshot_to_prometheus(document)
     else:
+        rendered = json.dumps(document, indent=2) + "\n"
+    _emit(rendered, args.out)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .telemetry import validate_profile
+
+    document = validate_profile(_load_snapshot(args.profile_in))
+    if args.check:
+        problems = _check_profile(document)
+        if problems:
+            for problem in problems:
+                print(f"profile check failed: {problem}", file=sys.stderr)
+            return 1
+    if args.format == "json":
         print(json.dumps(document, indent=2))
+    elif args.format == "collapsed":
+        sys.stdout.write(str(document.get("collapsed") or ""))
+    else:
+        _print_phase_table(document)
+    return 0
+
+
+def _check_profile(document: dict) -> list:
+    """Attribution-consistency violations in a profile document (empty
+    list = consistent): per-phase self time bounded by wall time, and
+    self times summing to the profiled total within 10%."""
+    problems: list = []
+    phases = document["phases"]
+    if not phases:
+        problems.append("document has no phases")
+        return problems
+    attributed = 0.0
+    for row in phases:
+        self_seconds = float(row["wall_self_seconds"])
+        attributed += self_seconds
+        if self_seconds > float(row["wall_seconds"]) + 1e-9:
+            problems.append(
+                f"phase {row['phase']!r} self time {self_seconds:.6f}s "
+                f"exceeds its wall time {row['wall_seconds']:.6f}s"
+            )
+    total = float(document["total_wall_seconds"])
+    if total > 0.0:
+        drift = abs(attributed - total) / total
+        if drift > 0.10:
+            problems.append(
+                f"attributed self time {attributed:.6f}s is "
+                f"{drift:.1%} off the profiled total {total:.6f}s "
+                "(tolerance 10%)"
+            )
+    return problems
+
+
+def _print_phase_table(document: dict) -> None:
+    print(
+        f"# profiled wall time: {document['total_wall_seconds']:.6f}s"
+        + (
+            f"  stack samples: {document['samples']}"
+            if "samples" in document
+            else ""
+        )
+    )
+    print(
+        f"{'phase':<24} {'count':>7} {'wall_s':>10} {'self_s':>10} "
+        f"{'cpu_s':>10} {'alloc_kb':>10}"
+    )
+    for row in document["phases"]:
+        print(
+            f"{row['phase']:<24} {row['count']:>7} "
+            f"{row['wall_seconds']:>10.6f} "
+            f"{row['wall_self_seconds']:>10.6f} "
+            f"{row['cpu_seconds']:>10.6f} "
+            f"{row['alloc_net_bytes'] / 1024.0:>+10.1f}"
+        )
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    from .telemetry import validate_flight
+
+    document = validate_flight(_load_snapshot(args.flight_in))
+    if args.format == "json":
+        print(json.dumps(document, indent=2))
+        return 0
+    records = document["records"]
+    print(
+        f"# considered {document['considered']}  "
+        f"captured {document['captured']}  "
+        f"retained {len(records)} (capacity {document['capacity']})"
+    )
+    for record in records[-args.n :] if args.n > 0 else []:
+        pair = record.get("pair")
+        pair_text = f"{pair[0]}->{pair[1]}" if pair else "-"
+        phases = record.get("phases") or {}
+        top = max(phases, key=phases.get) if phases else "-"
+        print(
+            f"[{record['seq']}] {record['route']} {pair_text}  "
+            f"{record['latency_seconds'] * 1e6:.1f}us "
+            f"(threshold {record['threshold_seconds'] * 1e6:.1f}us, "
+            f"{'adaptive' if record.get('adaptive') else 'fixed'})  "
+            f"mechanism={record.get('mechanism') or '-'}  "
+            f"epoch={record.get('epoch')}  top_phase={top}"
+        )
     return 0
 
 
@@ -875,6 +1205,8 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "report": _cmd_report,
     "metrics": _cmd_metrics,
+    "profile": _cmd_profile,
+    "flight": _cmd_flight,
 }
 
 

@@ -25,6 +25,7 @@ from .backends import (
     auto_select,
     available_backends,
     get_backend,
+    kernel_span,
     register_backend,
     resolve_backend,
 )
@@ -42,4 +43,5 @@ __all__ = [
     "available_backends",
     "auto_select",
     "resolve_backend",
+    "kernel_span",
 ]

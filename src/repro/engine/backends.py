@@ -26,12 +26,14 @@ data-independent.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
 from ..exceptions import EngineError
 from ..graphs.graph import Vertex, WeightedGraph
+from ..telemetry import get_telemetry
 from .csr import CSRGraph
 from .kernels import multi_source_distances, sssp_dijkstra
 
@@ -44,6 +46,7 @@ __all__ = [
     "available_backends",
     "auto_select",
     "resolve_backend",
+    "kernel_span",
     "APSP_NUMPY_MIN_VERTICES",
     "SSSP_NUMPY_MIN_EDGES",
 ]
@@ -53,6 +56,18 @@ APSP_NUMPY_MIN_VERTICES = 32
 
 #: Single-source runs only win once the relaxation loop dominates.
 SSSP_NUMPY_MIN_EDGES = 2048
+
+
+def kernel_span(name: str, **attributes: object):
+    """A tracer span over one kernel call — but only when the current
+    bundle carries a live phase profiler.  Kernel calls are the exact
+    sweeps' innermost hot path, so they are never traced by default;
+    with a profiler attached they become ``engine.*`` phases in the
+    attribution table."""
+    telemetry = get_telemetry()
+    if telemetry.profiler.enabled:
+        return telemetry.span(name, **attributes)
+    return nullcontext()
 
 
 class EngineBackend:
@@ -92,17 +107,23 @@ class PythonBackend(EngineBackend):
     def sssp(self, graph, source, target=None):
         from ..algorithms import shortest_paths
 
-        return shortest_paths._dijkstra_reference(graph, source, target)
+        with kernel_span("engine.sssp", backend=self.name):
+            return shortest_paths._dijkstra_reference(
+                graph, source, target
+            )
 
     def all_pairs(self, graph, sources=None):
         chosen = (
             list(sources) if sources is not None else graph.vertex_list()
         )
-        result: Dict[Vertex, Dict[Vertex, float]] = {}
-        for s in chosen:
-            distances, _ = self.sssp(graph, s)
-            result[s] = distances
-        return result
+        with kernel_span(
+            "engine.all_pairs", backend=self.name, sources=len(chosen)
+        ):
+            result: Dict[Vertex, Dict[Vertex, float]] = {}
+            for s in chosen:
+                distances, _ = self.sssp(graph, s)
+                result[s] = distances
+            return result
 
 
 class NumpyBackend(EngineBackend):
@@ -114,7 +135,8 @@ class NumpyBackend(EngineBackend):
         csr = CSRGraph.from_graph(graph)
         s = csr.index_of(source)
         t = csr.index_of(target) if target is not None else None
-        dist, pred = sssp_dijkstra(csr, s, t)
+        with kernel_span("engine.sssp", backend=self.name):
+            dist, pred = sssp_dijkstra(csr, s, t)
         vertices = csr.vertices
         distances = {
             vertices[i]: d
@@ -133,7 +155,10 @@ class NumpyBackend(EngineBackend):
         chosen = (
             list(sources) if sources is not None else list(csr.vertices)
         )
-        matrix = multi_source_distances(csr, csr.indices_of(chosen))
+        with kernel_span(
+            "engine.all_pairs", backend=self.name, sources=len(chosen)
+        ):
+            matrix = multi_source_distances(csr, csr.indices_of(chosen))
         vertices = csr.vertices
         inf = float("inf")
         # One C-level pass each for the values and the reachability

@@ -211,8 +211,29 @@ class BatchPlanner:
                 cache_hits=report.cache_hits,
                 labels=self._labels,
             )
+            self._telemetry.log.emit(
+                "batch.serve",
+                queries=report.num_queries,
+                unique=report.num_unique,
+                cache_hits=report.cache_hits,
+            )
         report.elapsed_seconds = time.perf_counter() - start
         self._latency.observe_many(durations)
+        flight = self._telemetry.flight
+        if flight.enabled:
+            # Each query in the batch is offered individually so the
+            # recorder's adaptive threshold sees the same per-query
+            # latency distribution the histogram does; the finished
+            # batch span is the captured exemplar's context.
+            mechanism = self._labels.get("mechanism")
+            for (s, t), seconds in zip(pairs, durations):
+                flight.consider(
+                    seconds,
+                    pair=(s, t),
+                    route="batch",
+                    mechanism=mechanism,
+                    span=span,
+                )
         return report
 
 

@@ -37,6 +37,9 @@ from ..rng import Rng
 from ..telemetry import (
     NULL_TELEMETRY,
     AuditLog,
+    EventLog,
+    FlightRecorder,
+    PhaseProfiler,
     Telemetry,
     get_telemetry,
 )
@@ -180,6 +183,25 @@ class ServingConfig:
         Independent of ``telemetry``: a deployment can audit with
         metrics off.  Observational like the rest of the bundle —
         answers are bit-identical with auditing on, off, or resumed.
+    event_log:
+        Path of a JSONL :class:`~repro.telemetry.EventLog` the server
+        emits structured lifecycle events to — service start, synopsis
+        builds, epoch/shard refreshes, batch serves — each carrying
+        the enclosing span's ids (``None`` = no event log).
+    profile:
+        Attach a :class:`~repro.telemetry.PhaseProfiler` to the
+        server's tracer, attributing wall/CPU time and allocation
+        deltas to every span phase.  Requires ``telemetry`` on (a
+        disabled bundle opens no spans to attribute).
+    flight_recorder:
+        Attach a :class:`~repro.telemetry.FlightRecorder` capturing
+        exemplar records of slow queries into a bounded ring buffer.
+    flight_threshold_seconds:
+        Fixed slow-query threshold the recorder uses until its
+        adaptive per-route p99 warms up (``None`` = adaptive only;
+        implies ``flight_recorder`` when set).  All three knobs are
+        observational like the rest of the bundle — answers are
+        bit-identical on or off.
     """
 
     mechanism: str = "auto"
@@ -195,6 +217,10 @@ class ServingConfig:
     tenant: str | None = None
     telemetry: bool = True
     audit_log: str | None = None
+    event_log: str | None = None
+    profile: bool = False
+    flight_recorder: bool = False
+    flight_threshold_seconds: float | None = None
 
     def __post_init__(self) -> None:
         PrivacyParams(self.eps, self.delta)  # validates the budget
@@ -217,6 +243,14 @@ class ServingConfig:
         if self.cache_size is not None and self.cache_size < 1:
             raise GraphError(
                 f"cache size must be at least 1, got {self.cache_size}"
+            )
+        if (
+            self.flight_threshold_seconds is not None
+            and self.flight_threshold_seconds <= 0.0
+        ):
+            raise GraphError(
+                f"flight threshold must be positive, got "
+                f"{self.flight_threshold_seconds}"
             )
 
     @property
@@ -328,6 +362,20 @@ def serve(
         # wins — the caller is aggregating several servers into one
         # trail.
         telemetry = telemetry.with_audit(AuditLog(config.audit_log))
+    if config.event_log is not None and not telemetry.log.enabled:
+        # Same aggregation rule as audit: an injected event log wins.
+        telemetry = telemetry.with_log(EventLog(config.event_log))
+    if config.profile and not telemetry.profiler.enabled:
+        telemetry = telemetry.with_profiler(PhaseProfiler())
+    if (
+        config.flight_recorder
+        or config.flight_threshold_seconds is not None
+    ) and not telemetry.flight.enabled:
+        telemetry = telemetry.with_flight(
+            FlightRecorder(
+                threshold_seconds=config.flight_threshold_seconds
+            )
+        )
     if ledger is None and config.epoch_policy == "fixed":
         # A "fixed" policy pins the epoch: the server gets a ledger it
         # does not own, so refreshes re-spend from the remaining epoch

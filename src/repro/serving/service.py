@@ -322,6 +322,13 @@ class DistanceService:
         self._telemetry = (
             telemetry if telemetry is not None else get_telemetry()
         )
+        # Per-query spans and flight-recorder checks only run when
+        # someone is actually watching; the default point-query path
+        # stays the two-clock-read fast path.
+        self._observed = (
+            self._telemetry.flight.enabled
+            or self._telemetry.profiler.enabled
+        )
         self._stats = ServiceStats(
             telemetry=self._telemetry, tenant=tenant
         )
@@ -332,6 +339,14 @@ class DistanceService:
         self._mechanism = ""
         self._synopsis: DistanceSynopsis | None = None
         self._build_synopsis()
+        self._telemetry.log.emit(
+            "service.start",
+            tenant=self._tenant,
+            epoch=self._ledger.epoch,
+            mechanism=self._mechanism,
+            backend=self._backend,
+            shards=1,
+        )
 
     # ------------------------------------------------------------------
     # Epoch lifecycle
@@ -374,6 +389,12 @@ class DistanceService:
                 tenant=self._tenant,
                 mechanism=name,
                 forced=self._forced_mechanism is not None,
+            )
+            self._telemetry.log.emit(
+                "synopsis.build",
+                tenant=self._tenant,
+                epoch=self._ledger.epoch,
+                mechanism=name,
             )
         self._mechanism = name
         self._telemetry.registry.histogram(
@@ -435,6 +456,13 @@ class DistanceService:
                 mechanism=self._mechanism,
                 rotated=self._owns_ledger,
             )
+            self._telemetry.log.emit(
+                "epoch.refresh",
+                tenant=self._tenant,
+                epoch=self._ledger.epoch,
+                mechanism=self._mechanism,
+                rotated=self._owns_ledger,
+            )
 
     # ------------------------------------------------------------------
     # Query serving (post-processing only)
@@ -451,6 +479,8 @@ class DistanceService:
     def query(self, source: Vertex, target: Vertex) -> float:
         """Answer one distance query from the epoch synopsis."""
         synopsis = self._require_synopsis()
+        if self._observed:
+            return self._query_observed(synopsis, source, target)
         start = time.perf_counter()
         key = canonical_pair(source, target)
         hit = key in self._cache
@@ -461,6 +491,42 @@ class DistanceService:
             self._cache[key] = value
         self._query_latency.observe(time.perf_counter() - start)
         self._stats.record_point_query(hit)
+        return value
+
+    def _query_observed(
+        self, synopsis: DistanceSynopsis, source: Vertex, target: Vertex
+    ) -> float:
+        """The point-query path when a profiler or flight recorder is
+        live: same lookups in the same order (answers bit-identical),
+        wrapped in a ``query.point`` span and offered to the flight
+        recorder afterwards."""
+        start = time.perf_counter()
+        with self._telemetry.span(
+            "query.point",
+            tenant=self._tenant,
+            mechanism=self._mechanism,
+        ) as span:
+            key = canonical_pair(source, target)
+            hit = key in self._cache
+            if hit:
+                value = self._cache[key]
+            else:
+                value = synopsis.distance(source, target)
+                self._cache[key] = value
+            span.set_attribute("cache_hit", hit)
+        elapsed = time.perf_counter() - start
+        self._query_latency.observe(elapsed)
+        self._stats.record_point_query(hit)
+        self._telemetry.flight.consider(
+            elapsed,
+            pair=(source, target),
+            route="point",
+            mechanism=self._mechanism,
+            epoch=self._ledger.epoch,
+            tenant=self._tenant,
+            span=span,
+            cache_hit=hit,
+        )
         return value
 
     def query_batch(

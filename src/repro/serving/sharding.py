@@ -482,6 +482,13 @@ class ShardedDistanceService:
         self._telemetry = (
             telemetry if telemetry is not None else get_telemetry()
         )
+        # Same gate as the unsharded service: the observed query path
+        # (per-query spans + flight-recorder offers) only runs when a
+        # profiler or flight recorder is live on the bundle.
+        self._observed = (
+            self._telemetry.flight.enabled
+            or self._telemetry.profiler.enabled
+        )
         self._stats = ServiceStats(
             telemetry=self._telemetry, tenant=tenant
         )
@@ -574,6 +581,14 @@ class ShardedDistanceService:
             self._build_relay()
         self._stats.record_epoch_built()
         self._bind_metrics()
+        self._telemetry.log.emit(
+            "service.start",
+            tenant=self._tenant,
+            epoch=self._ledger.epoch,
+            mechanism=self.mechanism,
+            backend=self._backend,
+            shards=self._plan.num_shards,
+        )
 
     # ------------------------------------------------------------------
     # Relay construction
@@ -708,6 +723,13 @@ class ShardedDistanceService:
                 shards=self._plan.num_shards,
                 rotated=self._owns_ledger,
             )
+            self._telemetry.log.emit(
+                "epoch.refresh",
+                tenant=self._tenant,
+                epoch=self._ledger.epoch,
+                shards=self._plan.num_shards,
+                rotated=self._owns_ledger,
+            )
         self._stats.record_epoch_built()
         self._bind_metrics()
 
@@ -766,6 +788,12 @@ class ShardedDistanceService:
                 "shard.refresh",
                 epoch=self._ledger.epoch,
                 tenant=self._tenant,
+                shard=shard,
+            )
+            self._telemetry.log.emit(
+                "shard.refresh",
+                tenant=self._tenant,
+                epoch=self._ledger.epoch,
                 shard=shard,
             )
         self._bind_metrics()
@@ -910,6 +938,8 @@ class ShardedDistanceService:
         """Answer one distance query, routed by shard ownership."""
         i = self._plan.shard_of(source)
         j = self._plan.shard_of(target)
+        if self._observed:
+            return self._query_observed(source, i, target, j)
         start = time.perf_counter()
         key = canonical_pair(source, target)
         hit = key in self._cache
@@ -921,6 +951,45 @@ class ShardedDistanceService:
         latency = self._intra_latency if i == j else self._cross_latency
         latency.observe(time.perf_counter() - start)
         self._stats.record_point_query(hit)
+        return value
+
+    def _query_observed(
+        self, source: Vertex, i: int, target: Vertex, j: int
+    ) -> float:
+        """The routed query path when a profiler or flight recorder
+        is live: same lookups in the same order (answers
+        bit-identical), wrapped in a ``query.point`` span and offered
+        to the flight recorder afterwards."""
+        route = "intra" if i == j else "cross"
+        start = time.perf_counter()
+        with self._telemetry.span(
+            "query.point",
+            tenant=self._tenant,
+            route=route,
+            mechanism=self.mechanism,
+        ) as span:
+            key = canonical_pair(source, target)
+            hit = key in self._cache
+            if hit:
+                value = self._cache[key]
+            else:
+                value = self._distance(source, i, target, j)
+                self._cache[key] = value
+            span.set_attribute("cache_hit", hit)
+        elapsed = time.perf_counter() - start
+        latency = self._intra_latency if i == j else self._cross_latency
+        latency.observe(elapsed)
+        self._stats.record_point_query(hit)
+        self._telemetry.flight.consider(
+            elapsed,
+            pair=(source, target),
+            route=route,
+            mechanism=self.mechanism,
+            epoch=self._ledger.epoch,
+            tenant=self._tenant,
+            span=span,
+            cache_hit=hit,
+        )
         return value
 
     def query_batch(

@@ -24,7 +24,7 @@ from ..algorithms.shortest_paths import all_pairs_dijkstra
 from ..exceptions import GraphError
 from ..graphs.graph import Vertex, WeightedGraph
 from ..rng import Rng
-from ..telemetry import NULL_TELEMETRY, Telemetry
+from ..telemetry import NULL_TELEMETRY, Telemetry, use_telemetry
 from ..workloads.queries import uniform_pairs
 from ..workloads.traffic import (
     RoadNetwork,
@@ -159,6 +159,7 @@ def replay_rush_hour(
     config: ServingConfig | None = None,
     telemetry: Telemetry | None = None,
     audit_log: str | None = None,
+    event_log: str | None = None,
 ) -> SimulationReport:
     """Replay rush-hour traffic through the serving engine.
 
@@ -189,10 +190,12 @@ def replay_rush_hour(
     aggregate across replays or to export the full snapshot
     afterwards.
 
-    ``audit_log`` is an *operational* override, deliberately allowed
-    alongside ``config=``: it rewrites ``config.audit_log`` so the
-    replayed server appends its privacy audit trail to that JSONL
-    path (see :mod:`repro.telemetry.audit`).
+    ``audit_log`` and ``event_log`` are *operational* overrides,
+    deliberately allowed alongside ``config=``: they rewrite
+    ``config.audit_log`` / ``config.event_log`` so the replayed
+    server appends its privacy audit trail and structured lifecycle
+    events to those JSONL paths (see :mod:`repro.telemetry.audit` and
+    :mod:`repro.telemetry.logging`).
     """
     if config is not None:
         overridden = {
@@ -224,6 +227,8 @@ def replay_rush_hour(
         )
     if audit_log is not None:
         config = config.with_overrides(audit_log=audit_log)
+    if event_log is not None:
+        config = config.with_overrides(event_log=event_log)
     if telemetry is None:
         telemetry = Telemetry() if config.telemetry else NULL_TELEMETRY
     if epochs < 1:
@@ -267,7 +272,13 @@ def replay_rush_hour(
             service.refresh(graph)
         pairs = uniform_pairs(graph, queries_per_epoch, rng)
         batch = service.query_batch(pairs)
-        exact = _exact_distances(graph, pairs, backend=backend)
+        # The ground-truth sweep dominates the replay's wall clock on
+        # larger grids; spanning it keeps the phase profile's
+        # attribution informative (it is measurement, not serving).
+        with use_telemetry(telemetry), telemetry.span(
+            "replay.ground_truth", epoch=epoch, pairs=len(pairs)
+        ):
+            exact = _exact_distances(graph, pairs, backend=backend)
         errors = [
             abs(answer - truth)
             for answer, truth in zip(batch.answers, exact)

@@ -42,6 +42,7 @@ from ..apsp.hubs import HubStructure
 from ..core.distance_oracle import all_pairs_noise_scale
 from ..dp.composition import composed_noise_scale
 from ..dp.params import PrivacyParams
+from ..engine.backends import kernel_span
 from ..engine.csr import CSRGraph
 from ..engine.kernels import multi_source_distances
 from ..exceptions import (
@@ -940,7 +941,12 @@ def build_all_pairs_synopsis(
         )
     csr = CSRGraph.from_graph(graph)
     n = csr.n
-    matrix = multi_source_distances(csr, np.arange(n, dtype=np.int64))
+    # The engine-native fast path skips the backend wrapper, so it
+    # carries the same profiler-gated kernel span itself.
+    with kernel_span("engine.all_pairs", backend="numpy", sources=n):
+        matrix = multi_source_distances(
+            csr, np.arange(n, dtype=np.int64)
+        )
     scale = all_pairs_noise_scale(n, eps, delta)
     iu, ju = np.triu_indices(n, k=1)
     values = matrix[iu, ju] + rng.laplace_vector(scale, len(iu))

@@ -11,14 +11,19 @@ privacy library — telemetry never touches an :class:`~repro.rng.Rng`:
 seeded query answers are bit-identical with instrumentation on, off,
 or redirected into a custom registry.
 
-A :class:`Telemetry` object bundles one registry with one tracer.  The
-process has a default bundle (:func:`get_telemetry`), services accept
-an explicit ``telemetry=`` override, and :func:`use_telemetry` scopes
-a bundle over a ``with`` block so deep layers (mechanism selection,
-budget ledger, hub builds) that look the bundle up dynamically land in
-the caller's registry.  Disabled telemetry
-(:data:`NULL_TELEMETRY`, or ``Telemetry(enabled=False)``) swaps in
-null instruments — same call sites, no state, no measurable work.
+A :class:`Telemetry` object bundles one registry with one tracer,
+plus opt-in extras attached via ``with_*`` derivations: a
+tamper-evident audit trail (:mod:`~repro.telemetry.audit`), a
+JSON-line structured event log (:mod:`~repro.telemetry.logging`), a
+deterministic phase profiler and slow-query flight recorder
+(:mod:`~repro.telemetry.profile`).  The process has a default bundle
+(:func:`get_telemetry`), services accept an explicit ``telemetry=``
+override, and :func:`use_telemetry` scopes a bundle over a ``with``
+block so deep layers (mechanism selection, budget ledger, hub builds,
+engine kernels) that look the bundle up dynamically land in the
+caller's registry.  Disabled telemetry (:data:`NULL_TELEMETRY`, or
+``Telemetry(enabled=False)``) swaps in null instruments — same call
+sites, no state, no measurable work.
 """
 
 from __future__ import annotations
@@ -44,12 +49,38 @@ from .export import (
     snapshot_to_prometheus,
     validate_snapshot,
 )
+from .logging import (
+    EVENT_LOG_FORMAT,
+    EVENT_LOG_VERSION,
+    EventLog,
+    NULL_LOG,
+    NullEventLog,
+    read_event_log,
+)
 from .monitor import (
     Alert,
     AlertRule,
     CalibrationWatchdog,
     evaluate_rules,
     load_alert_rules,
+)
+from .profile import (
+    FLIGHT_FORMAT,
+    FLIGHT_VERSION,
+    FlightRecorder,
+    NULL_FLIGHT,
+    NULL_PROFILER,
+    NullFlightRecorder,
+    NullPhaseProfiler,
+    PROFILE_FORMAT,
+    PROFILE_VERSION,
+    PhaseProfiler,
+    SamplingProfiler,
+    profile_document,
+    samples_to_collapsed,
+    span_phase_breakdown,
+    validate_flight,
+    validate_profile,
 )
 from .registry import (
     Counter,
@@ -69,28 +100,50 @@ __all__ = [
     "AuditLog",
     "CalibrationWatchdog",
     "Counter",
+    "EVENT_LOG_FORMAT",
+    "EVENT_LOG_VERSION",
+    "EventLog",
+    "FLIGHT_FORMAT",
+    "FLIGHT_VERSION",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullAuditLog",
+    "NullEventLog",
+    "NullFlightRecorder",
+    "NullPhaseProfiler",
     "NullRegistry",
     "NullTracer",
     "NULL_AUDIT",
+    "NULL_FLIGHT",
+    "NULL_LOG",
+    "NULL_PROFILER",
     "NULL_TELEMETRY",
+    "PROFILE_FORMAT",
+    "PROFILE_VERSION",
+    "PhaseProfiler",
     "QuantileSketch",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "SamplingProfiler",
     "Span",
     "Telemetry",
     "Tracer",
     "evaluate_rules",
     "get_telemetry",
     "load_alert_rules",
+    "profile_document",
     "read_audit_log",
+    "read_event_log",
     "replay_odometer",
+    "samples_to_collapsed",
     "set_default_telemetry",
     "snapshot_to_prometheus",
+    "span_phase_breakdown",
     "use_telemetry",
+    "validate_flight",
+    "validate_profile",
     "validate_snapshot",
     "verify_against_ledger",
     "verify_against_snapshot",
@@ -104,14 +157,20 @@ class Telemetry:
     ``Telemetry()`` is a live bundle; ``Telemetry(enabled=False)``
     carries the shared null registry and tracer — instrumented code
     is oblivious either way.  Every bundle also carries an audit log
-    (:data:`NULL_AUDIT` unless one is attached), so layers that emit
-    audit records need no separate plumbing; :meth:`with_audit`
-    derives a bundle sharing this one's registry and tracer but
-    writing a given :class:`~repro.telemetry.audit.AuditLog` —
-    auditing is opt-in and orthogonal to whether metrics are enabled.
+    (:data:`NULL_AUDIT` unless one is attached), a structured event
+    log (:data:`NULL_LOG`), a phase profiler (:data:`NULL_PROFILER`),
+    and a slow-query flight recorder (:data:`NULL_FLIGHT`), so layers
+    that emit to any of them need no separate plumbing.  The
+    ``with_*`` derivations (:meth:`with_audit`, :meth:`with_log`,
+    :meth:`with_profiler`, :meth:`with_flight`) each return a bundle
+    sharing this one's other instruments but carrying the given one —
+    every extra surface is opt-in and orthogonal to whether metrics
+    are enabled.
     """
 
-    __slots__ = ("registry", "tracer", "audit")
+    __slots__ = (
+        "registry", "tracer", "audit", "log", "profiler", "flight"
+    )
 
     def __init__(
         self,
@@ -141,6 +200,9 @@ class Telemetry:
                     ).inc()
                 )
         self.audit = audit if audit is not None else NULL_AUDIT
+        self.log = NULL_LOG
+        self.profiler = NULL_PROFILER
+        self.flight = NULL_FLIGHT
         if self.audit.enabled:
             self.audit.bind_tracer(self.tracer)
 
@@ -166,19 +228,60 @@ class Telemetry:
         """This bundle's metrics as Prometheus text exposition."""
         return snapshot_to_prometheus(self.snapshot())
 
+    def _clone(self) -> "Telemetry":
+        clone = Telemetry.__new__(Telemetry)
+        clone.registry = self.registry
+        clone.tracer = self.tracer
+        clone.audit = self.audit
+        clone.log = self.log
+        clone.profiler = self.profiler
+        clone.flight = self.flight
+        return clone
+
     def with_audit(self, audit: AuditLog) -> "Telemetry":
-        """A bundle sharing this registry/tracer, writing ``audit``.
+        """A bundle sharing this one's instruments, writing ``audit``.
 
         Works on a disabled bundle too: the clone keeps the null
         registry and tracer but still records audit events, so a
         deployment can run with metrics off and the audit trail on.
         """
-        clone = Telemetry.__new__(Telemetry)
-        clone.registry = self.registry
-        clone.tracer = self.tracer
+        clone = self._clone()
         clone.audit = audit
         if audit.enabled:
             audit.bind_tracer(clone.tracer)
+        return clone
+
+    def with_log(self, log: EventLog) -> "Telemetry":
+        """A bundle sharing this one's instruments, emitting to
+        ``log``.  The log is bound to this bundle's tracer so events
+        carry the enclosing span's ids (skipped on a disabled bundle,
+        whose tracer opens no spans)."""
+        clone = self._clone()
+        clone.log = log
+        if log.enabled and self.tracer.enabled:
+            log.bind_tracer(clone.tracer)
+        return clone
+
+    def with_profiler(self, profiler: PhaseProfiler) -> "Telemetry":
+        """A bundle sharing this one's instruments, attributing span
+        costs to ``profiler``.  The profiler is attached as a tracer
+        listener — but only when this bundle's tracer is live: a
+        disabled bundle opens no spans, and attaching a listener to
+        the shared null tracer would leak across bundles."""
+        clone = self._clone()
+        clone.profiler = profiler
+        if profiler.enabled and self.tracer.enabled:
+            profiler.attach(clone.tracer)
+        return clone
+
+    def with_flight(self, flight: FlightRecorder) -> "Telemetry":
+        """A bundle sharing this one's instruments, offering served
+        query latencies to ``flight``.  Unlike the profiler, the
+        flight recorder needs no tracer: services call
+        ``flight.consider(...)`` directly, so it works on a disabled
+        bundle too."""
+        clone = self._clone()
+        clone.flight = flight
         return clone
 
     def clear(self) -> None:

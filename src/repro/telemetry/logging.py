@@ -1,0 +1,245 @@
+"""JSON-line structured logs for serving lifecycle events.
+
+The audit trail (:mod:`repro.telemetry.audit`) is deliberately narrow:
+hash-chained, fail-closed, privacy-spending-only.  Operational
+visibility needs the opposite trade — a cheap, greppable stream of
+*everything the stack does*: service start, synopsis builds, epoch
+refreshes, batch serves, flight-recorder captures.  :class:`EventLog`
+writes one JSON object per line with the same correlation fields as
+the audit schema — ``tenant``, ``epoch``, and the ``(trace_id,
+span_id)`` of the enclosing tracer span via
+:meth:`~repro.telemetry.tracer.Tracer.current_ids` — so a slow span in
+a trace, a spend in the audit log, and a lifecycle event in the event
+log can all be joined on span ids.
+
+Record schema (one JSON object per line)::
+
+    {"seq": 4, "ts": 1754500000.123, "event": "epoch.refresh",
+     "tenant": "west", "epoch": 3, "trace_id": 7, "span_id": 9,
+     "fields": {...}}
+
+There is no hash chain — this is a log, not a ledger; use the audit
+trail when tampering matters.  :class:`NullEventLog`
+(:data:`NULL_LOG`) mirrors :data:`~repro.telemetry.NULL_TELEMETRY`'s
+null-object pattern so disabled call sites stay branch-free, and like
+every other telemetry surface the event log never touches an
+:class:`~repro.rng.Rng` — seeded answers are bit-identical with
+logging on, off, or streaming to disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Mapping
+
+from ..exceptions import TelemetryError
+
+__all__ = [
+    "EVENT_LOG_FORMAT",
+    "EVENT_LOG_VERSION",
+    "EventLog",
+    "NullEventLog",
+    "NULL_LOG",
+    "read_event_log",
+]
+
+EVENT_LOG_FORMAT = "repro-events"
+EVENT_LOG_VERSION = 1
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+class EventLog:
+    """An append-only JSON-lines log of structured events.
+
+    With ``path=None`` events accumulate in memory only; with a path,
+    each record is appended to the JSONL file and flushed immediately
+    (tail -f friendly).  The first record is always a ``log.open``
+    header carrying the format marker and version.  Bind a tracer
+    (:meth:`bind_tracer`, or let
+    :meth:`Telemetry.with_log <repro.telemetry.Telemetry.with_log>` do
+    it) and every event carries the ids of the span it happened
+    inside.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self._path = os.fspath(path) if path is not None else None
+        self._records: List[Dict[str, object]] = []
+        self._file = None
+        self._seq = 0
+        self._tracer = None
+        if self._path is not None:
+            self._file = open(self._path, "w", encoding="utf-8")
+        self.emit(
+            "log.open",
+            format=EVENT_LOG_FORMAT,
+            version=EVENT_LOG_VERSION,
+        )
+
+    @property
+    def path(self) -> str | None:
+        """The backing JSONL file, if any."""
+        return self._path
+
+    def bind_tracer(self, tracer) -> None:
+        """Correlate future events with ``tracer``'s open spans."""
+        self._tracer = tracer
+
+    def emit(
+        self,
+        event: str,
+        *,
+        tenant: str | None = None,
+        epoch: int | None = None,
+        **fields: object,
+    ) -> Dict[str, object]:
+        """Append one event; returns the completed record."""
+        trace_id = span_id = None
+        if self._tracer is not None:
+            trace_id, span_id = self._tracer.current_ids()
+        rec: Dict[str, object] = {
+            "seq": self._seq,
+            "ts": time.time(),
+            "event": event,
+            "tenant": tenant,
+            "epoch": epoch,
+            "trace_id": trace_id,
+            "span_id": span_id,
+            "fields": {k: _json_safe(v) for k, v in fields.items()},
+        }
+        self._seq += 1
+        self._records.append(rec)
+        if self._file is not None:
+            self._file.write(
+                json.dumps(rec, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._file.flush()
+        return rec
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every event emitted so far, oldest first."""
+        return list(self._records)
+
+    def tail(self, n: int = 10) -> List[Dict[str, object]]:
+        """The most recent ``n`` events."""
+        if n <= 0:
+            return []
+        return list(self._records[-n:])
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def close(self) -> None:
+        """Flush and close the backing file (in-memory records stay)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class NullEventLog(EventLog):
+    """An event log that records nothing (logging disabled)."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D107 — no file, no header
+        self._path = None
+        self._records = []
+        self._file = None
+        self._seq = 0
+        self._tracer = None
+
+    def emit(self, event, *, tenant=None, epoch=None, **fields):
+        return {}
+
+    def bind_tracer(self, tracer) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled event log (the default on every bundle).
+NULL_LOG = NullEventLog()
+
+
+def read_event_log(path: str | os.PathLike) -> List[Dict[str, object]]:
+    """Parse an event-log JSONL file; fail-closed.
+
+    Checks that every line is a JSON object with the schema's keys,
+    that sequence numbers are gapless from 0, and that the first
+    record is the ``log.open`` header with a readable version.
+    Raises :class:`~repro.exceptions.TelemetryError` otherwise.
+    """
+    required = ("seq", "ts", "event", "tenant", "epoch", "trace_id",
+                "span_id", "fields")
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for i, line in enumerate(fh):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                rec = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"event log invalid (line {i + 1}): malformed "
+                    f"JSON ({exc.msg}) — truncated or corrupted record"
+                ) from exc
+            if not isinstance(rec, Mapping):
+                raise TelemetryError(
+                    f"event log invalid (line {i + 1}): record is not "
+                    "a JSON object"
+                )
+            missing = [k for k in required if k not in rec]
+            if missing:
+                raise TelemetryError(
+                    f"event log invalid (line {i + 1}): record "
+                    f"missing keys {missing}"
+                )
+            if rec["seq"] != len(records):
+                raise TelemetryError(
+                    f"event log invalid (line {i + 1}): sequence gap "
+                    f"(expected seq {len(records)}, got {rec['seq']!r})"
+                )
+            records.append(dict(rec))
+    if not records:
+        raise TelemetryError(
+            "event log invalid: empty log (no log.open header)"
+        )
+    head = records[0]
+    fields = head.get("fields")
+    if head.get("event") != "log.open" or not isinstance(fields, Mapping):
+        raise TelemetryError(
+            "event log invalid (line 1): first record must be the "
+            "'log.open' header"
+        )
+    if fields.get("format") != EVENT_LOG_FORMAT:
+        raise TelemetryError(
+            f"not an event log (format={fields.get('format')!r}, "
+            f"expected {EVENT_LOG_FORMAT!r})"
+        )
+    if fields.get("version") != EVENT_LOG_VERSION:
+        raise TelemetryError(
+            f"unsupported event log version {fields.get('version')!r} "
+            f"(this build reads version {EVENT_LOG_VERSION})"
+        )
+    return records

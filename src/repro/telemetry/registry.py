@@ -20,6 +20,7 @@ module: same interface, no state, no branches at call sites.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Mapping, Tuple
 
 from ..exceptions import TelemetryError
@@ -144,27 +145,37 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Interns and snapshots the process's metric instruments."""
+    """Interns and snapshots the process's metric instruments.
+
+    Interning, instance ordinals, and the enumeration behind
+    :meth:`metrics` / :meth:`snapshot` hold a registry lock, so
+    concurrent threads asking for the same ``(name, labels)`` always
+    get the *same* instrument and a scraper thread can snapshot while
+    the serving thread registers.  (Instrument mutation itself is a
+    GIL-atomic int/float bump, or goes through the sketch's own lock.)
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, LabelKey], object] = {}
         self._instances: Dict[LabelKey, int] = {}
+        self._lock = threading.Lock()
 
     def _get(self, cls, name: str, labels: Mapping[str, object]):
         key = (name, _label_key(labels))
-        existing = self._metrics.get(key)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise TelemetryError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, cannot reuse as {cls.kind}"
-                )
-            return existing
-        metric = cls(name, key[1])
-        self._metrics[key] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, cannot reuse as {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, key[1])
+            self._metrics[key] = metric
+            return metric
 
     def counter(self, name: str, **labels: object) -> Counter:
         """Get or create the counter ``name`` with ``labels``."""
@@ -185,17 +196,19 @@ class MetricsRegistry:
         distinct label sets, so their counters never collide.
         """
         base = _label_key(labels)
-        ordinal = self._instances.get(base, 0)
-        self._instances[base] = ordinal + 1
+        with self._lock:
+            ordinal = self._instances.get(base, 0)
+            self._instances[base] = ordinal + 1
         out = {k: v for k, v in base}
         out["instance"] = str(ordinal)
         return out
 
     def metrics(self) -> List[object]:
         """All instruments, sorted by (name, labels)."""
-        return [
-            self._metrics[key] for key in sorted(self._metrics)
-        ]
+        with self._lock:
+            return [
+                self._metrics[key] for key in sorted(self._metrics)
+            ]
 
     def histograms(self, name: str) -> List[Histogram]:
         """Every histogram registered under ``name`` (any labels)."""
@@ -259,8 +272,9 @@ class MetricsRegistry:
 
     def clear(self) -> None:
         """Drop every instrument and instance ordinal."""
-        self._metrics.clear()
-        self._instances.clear()
+        with self._lock:
+            self._metrics.clear()
+            self._instances.clear()
 
 
 class _NullCounter(Counter):

@@ -11,14 +11,23 @@ The sketch is mergeable — :meth:`QuantileSketch.merge` adds another
 sketch's buckets bucket-by-bucket, which is exact — so per-service
 histograms can be combined into fleet-wide percentiles without bias.
 
-Zero dependencies beyond :mod:`math`; :meth:`QuantileSketch.observe_many`
-uses :mod:`numpy` opportunistically for bulk ingest (the library
-already depends on it) but the scalar path never imports it.
+The sketch is thread-safe: ingest, merge, and quantile reads hold a
+per-sketch lock, so a background thread (the stack sampler, a metrics
+scraper) can read quantiles while the serving thread observes into
+the same sketch.  Lock ordering for two-sketch operations
+(:meth:`QuantileSketch.merge`) is by object id, so concurrent
+cross-merges cannot deadlock.
+
+Zero dependencies beyond :mod:`math` and :mod:`threading`;
+:meth:`QuantileSketch.observe_many` uses :mod:`numpy`
+opportunistically for bulk ingest (the library already depends on it)
+but the scalar path never imports it.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, Iterable, List, Sequence
 
 from ..exceptions import TelemetryError
@@ -55,6 +64,7 @@ class QuantileSketch:
         "_sum",
         "_min",
         "_max",
+        "_lock",
     )
 
     def __init__(
@@ -74,6 +84,7 @@ class QuantileSketch:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
+        self._lock = threading.Lock()
 
     @property
     def relative_accuracy(self) -> float:
@@ -111,17 +122,18 @@ class QuantileSketch:
         duration is a clock artifact, not data.
         """
         value = float(value)
-        self._count += 1
-        self._sum += value
-        if value < self._min:
-            self._min = value
-        if value > self._max:
-            self._max = value
-        if value <= _ZERO_THRESHOLD:
-            self._zero_count += 1
-            return
-        key = self._key(value)
-        self._buckets[key] = self._buckets.get(key, 0) + 1
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if value <= _ZERO_THRESHOLD:
+                self._zero_count += 1
+                return
+            key = self._key(value)
+            self._buckets[key] = self._buckets.get(key, 0) + 1
 
     def observe_many(self, values: Sequence[float]) -> None:
         """Bulk-ingest observations.
@@ -144,24 +156,25 @@ class QuantileSketch:
                 self.observe(v)
             return
         arr = np.asarray(values, dtype=float)
-        self._count += n
-        self._sum += float(arr.sum())
-        lo = float(arr.min())
-        hi = float(arr.max())
-        if lo < self._min:
-            self._min = lo
-        if hi > self._max:
-            self._max = hi
-        positive = arr[arr > _ZERO_THRESHOLD]
-        self._zero_count += n - positive.size
-        if positive.size:
-            keys = np.ceil(
-                np.log(positive) / self._log_gamma
-            ).astype(np.int64)
-            uniq, counts = np.unique(keys, return_counts=True)
-            buckets = self._buckets
-            for key, cnt in zip(uniq.tolist(), counts.tolist()):
-                buckets[key] = buckets.get(key, 0) + cnt
+        with self._lock:
+            self._count += n
+            self._sum += float(arr.sum())
+            lo = float(arr.min())
+            hi = float(arr.max())
+            if lo < self._min:
+                self._min = lo
+            if hi > self._max:
+                self._max = hi
+            positive = arr[arr > _ZERO_THRESHOLD]
+            self._zero_count += n - positive.size
+            if positive.size:
+                keys = np.ceil(
+                    np.log(positive) / self._log_gamma
+                ).astype(np.int64)
+                uniq, counts = np.unique(keys, return_counts=True)
+                buckets = self._buckets
+                for key, cnt in zip(uniq.tolist(), counts.tolist()):
+                    buckets[key] = buckets.get(key, 0) + cnt
 
     def quantile(self, q: float) -> float:
         """The value at rank ``q`` in [0, 1]; ``nan`` when empty.
@@ -172,21 +185,25 @@ class QuantileSketch:
         """
         if not (0.0 <= q <= 1.0):
             raise TelemetryError(f"quantile must be in [0, 1], got {q!r}")
-        if self._count == 0:
-            return math.nan
-        rank = q * (self._count - 1)
-        seen = self._zero_count
-        if rank < seen:
-            return 0.0
-        for key in sorted(self._buckets):
-            seen += self._buckets[key]
+        with self._lock:
+            if self._count == 0:
+                return math.nan
+            rank = q * (self._count - 1)
+            seen = self._zero_count
             if rank < seen:
-                # Midpoint of the bucket (gamma**(key-1), gamma**key],
-                # clamped to the exactly-tracked observation range so
-                # the extreme quantiles never stray outside the data.
-                estimate = 2.0 * self._gamma ** key / (self._gamma + 1.0)
-                return min(max(estimate, self._min), self._max)
-        return self._max
+                return 0.0
+            for key in sorted(self._buckets):
+                seen += self._buckets[key]
+                if rank < seen:
+                    # Midpoint of the bucket (gamma**(key-1),
+                    # gamma**key], clamped to the exactly-tracked
+                    # observation range so the extreme quantiles never
+                    # stray outside the data.
+                    estimate = (
+                        2.0 * self._gamma ** key / (self._gamma + 1.0)
+                    )
+                    return min(max(estimate, self._min), self._max)
+            return self._max
 
     def quantiles(self, qs: Iterable[float]) -> List[float]:
         """Batch form of :meth:`quantile`."""
@@ -203,16 +220,34 @@ class QuantileSketch:
                 "cannot merge sketches with different relative accuracy "
                 f"({self._accuracy} vs {other._accuracy})"
             )
-        buckets = self._buckets
-        for key, cnt in other._buckets.items():
-            buckets[key] = buckets.get(key, 0) + cnt
-        self._zero_count += other._zero_count
-        self._count += other._count
-        self._sum += other._sum
-        if other._min < self._min:
-            self._min = other._min
-        if other._max > self._max:
-            self._max = other._max
+        if other is self:
+            other = self.copy()
+        # Both locks, in id order, so concurrent cross-merges between
+        # the same pair of sketches cannot deadlock.
+        first, second = sorted((self, other), key=id)
+        with first._lock, second._lock:
+            buckets = self._buckets
+            for key, cnt in other._buckets.items():
+                buckets[key] = buckets.get(key, 0) + cnt
+            self._zero_count += other._zero_count
+            self._count += other._count
+            self._sum += other._sum
+            if other._min < self._min:
+                self._min = other._min
+            if other._max > self._max:
+                self._max = other._max
+
+    def copy(self) -> "QuantileSketch":
+        """A consistent point-in-time copy of this sketch."""
+        result = QuantileSketch(self._accuracy)
+        with self._lock:
+            result._buckets = dict(self._buckets)
+            result._zero_count = self._zero_count
+            result._count = self._count
+            result._sum = self._sum
+            result._min = self._min
+            result._max = self._max
+        return result
 
     def merged(self, other: "QuantileSketch") -> "QuantileSketch":
         """A new sketch holding both inputs' observations."""

@@ -13,8 +13,16 @@ evictions are counted (:attr:`Tracer.dropped`, and an optional
 ``on_drop`` callback lets a bundle surface the loss as a
 ``trace.dropped`` counter).  Every span gets a tracer-unique integer
 id; :meth:`Tracer.current_ids` reports the ``(trace_id, span_id)``
-pair of the innermost open span so other subsystems — the audit log —
-can correlate their records with the trace that produced them.
+pair of the innermost open span so other subsystems — the audit log,
+the structured event log — can correlate their records with the trace
+that produced them.
+
+Span *listeners* (:meth:`Tracer.add_listener`) observe every span
+open and close — the hook the deterministic phase profiler
+(:class:`repro.telemetry.profile.PhaseProfiler`) hangs off so it can
+attribute CPU time and allocations to phases without a single extra
+call site.  With no listeners registered the span path pays one truth
+test and nothing else.
 The tracer is deliberately single-threaded — it matches the library's
 synchronous serving loop; the planned async front-end will scope one
 tracer per task.
@@ -103,6 +111,24 @@ class Tracer:
         self._seq = 0
         self._dropped = 0
         self._on_drop = on_drop
+        self._listeners: List[object] = []
+
+    def add_listener(self, listener: object) -> None:
+        """Subscribe to span lifecycle events.
+
+        ``listener.on_span_start(span)`` fires right after a span
+        opens (it is already on the stack) and
+        ``listener.on_span_finish(span)`` right after it closes (its
+        duration is final).  Listeners observe; they must not open
+        spans themselves.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: object) -> None:
+        """Unsubscribe a listener added by :meth:`add_listener`."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def _next_id(self) -> int:
         self._seq += 1
@@ -125,11 +151,17 @@ class Tracer:
         """Open a span; nests under the innermost open span."""
         span = Span(name, attributes, span_id=self._next_id())
         self._stack.append(span)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_span_start(span)
         try:
             yield span
         finally:
             self._stack.pop()
             span._finish()
+            if self._listeners:
+                for listener in self._listeners:
+                    listener.on_span_finish(span)
             if self._stack:
                 self._stack[-1].children.append(span)
             else:

@@ -1,0 +1,162 @@
+"""Thread-safety of the metrics registry and quantile sketch.
+
+The stack sampler (:mod:`repro.telemetry.profile`) is the library's
+first real second thread, and a metrics scraper is the obvious next
+one — so concurrent ``observe()`` / interning / snapshotting must
+neither lose observations nor blow up on a dict mutated mid-iteration.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.telemetry import MetricsRegistry, QuantileSketch
+
+
+def _run_threads(workers):
+    threads = [threading.Thread(target=w) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+THREADS = 8
+PER_THREAD = 2000
+
+
+class TestSketchConcurrency:
+    def test_concurrent_observe_loses_nothing(self):
+        sketch = QuantileSketch()
+
+        def observe():
+            for i in range(PER_THREAD):
+                sketch.observe(0.001 * (1 + i % 7))
+
+        _run_threads([observe] * THREADS)
+        assert sketch.count == THREADS * PER_THREAD
+        assert sketch.min == 0.001
+        assert sketch.max == 0.007
+
+    def test_quantile_reads_during_ingest(self):
+        # A reader iterating buckets while writers insert new ones
+        # would raise RuntimeError on an unlocked dict.
+        sketch = QuantileSketch()
+        sketch.observe(1.0)
+        stop = threading.Event()
+        errors = []
+
+        def read():
+            while not stop.is_set():
+                try:
+                    sketch.quantile(0.99)
+                except Exception as exc:  # pragma: no cover - failure
+                    errors.append(exc)
+                    return
+
+        def write():
+            for i in range(PER_THREAD):
+                sketch.observe(float(1 + i))
+            stop.set()
+
+        _run_threads([read, write])
+        assert errors == []
+        assert sketch.count == PER_THREAD + 1
+
+    def test_concurrent_cross_merge_no_deadlock(self):
+        a = QuantileSketch()
+        b = QuantileSketch()
+        for i in range(100):
+            a.observe(float(i + 1))
+            b.observe(float(i + 1))
+
+        def merge_ab():
+            for _ in range(50):
+                a.merge(b)
+
+        def merge_ba():
+            for _ in range(50):
+                b.merge(a)
+
+        # Lock ordering by id means this cannot deadlock; the join in
+        # _run_threads would hang forever otherwise.
+        _run_threads([merge_ab, merge_ba])
+        assert a.count > 100
+        assert b.count > 100
+
+    def test_self_merge_doubles(self):
+        sketch = QuantileSketch()
+        for i in range(10):
+            sketch.observe(float(i + 1))
+        sketch.merge(sketch)
+        assert sketch.count == 20
+        assert sketch.sum == 2 * sum(range(1, 11))
+
+    def test_copy_is_consistent_snapshot(self):
+        sketch = QuantileSketch()
+        for i in range(100):
+            sketch.observe(float(i + 1))
+        clone = sketch.copy()
+        sketch.observe(1000.0)
+        assert clone.count == 100
+        assert clone.max == 100.0
+        assert sketch.count == 101
+
+
+class TestRegistryConcurrency:
+    def test_interning_race_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(THREADS)
+
+        def intern():
+            barrier.wait()
+            counter = registry.counter("hits", tenant="t")
+            seen.append(counter)
+            for _ in range(PER_THREAD):
+                counter.inc()
+
+        _run_threads([intern] * THREADS)
+        assert len({id(c) for c in seen}) == 1
+        assert registry.counter("hits", tenant="t").value == (
+            THREADS * PER_THREAD
+        )
+
+    def test_instance_labels_unique_under_race(self):
+        registry = MetricsRegistry()
+        ordinals = []
+        barrier = threading.Barrier(THREADS)
+
+        def take():
+            barrier.wait()
+            for _ in range(100):
+                ordinals.append(
+                    registry.instance_labels(tenant="t")["instance"]
+                )
+
+        _run_threads([take] * THREADS)
+        assert len(ordinals) == THREADS * 100
+        assert len(set(ordinals)) == len(ordinals)
+
+    def test_snapshot_during_registration(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def scrape():
+            while not stop.is_set():
+                try:
+                    registry.snapshot()
+                    registry.metrics()
+                except Exception as exc:  # pragma: no cover - failure
+                    errors.append(exc)
+                    return
+
+        def register():
+            for i in range(PER_THREAD):
+                registry.gauge(f"g.{i % 199}", shard=i % 17).set(i)
+                registry.histogram("h", shard=i % 13).observe(0.001)
+            stop.set()
+
+        _run_threads([scrape, register])
+        assert errors == []

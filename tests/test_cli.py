@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import io
 import json
 
 import pytest
@@ -907,4 +908,281 @@ class TestReportCli:
             ["report", "--in", str(snap), "--rules", str(rules)]
         )
         assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMetricsIo:
+    def _snapshot(self, tmp_path, capsys):
+        snap = tmp_path / "metrics.json"
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--eps", "1.0",
+                "--queries", "30",
+                "--seed", "0",
+                "--metrics-out", str(snap),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return snap
+
+    def test_stdin_dash_reads_snapshot(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        snap = self._snapshot(tmp_path, capsys)
+        monkeypatch.setattr("sys.stdin", io.StringIO(snap.read_text()))
+        code = main(["metrics", "--in", "-", "--format", "prom"])
+        assert code == 0
+        assert "# TYPE" in capsys.readouterr().out
+
+    def test_stdin_bad_json_names_stdin(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO("{broken"))
+        code = main(["metrics", "--in", "-"])
+        assert code == 2
+        assert "stdin" in capsys.readouterr().err
+
+    def test_out_writes_file_not_stdout(self, tmp_path, capsys):
+        snap = self._snapshot(tmp_path, capsys)
+        out = tmp_path / "rendered.prom"
+        code = main(
+            [
+                "metrics",
+                "--in", str(snap),
+                "--format", "prom",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        assert "# TYPE serving_query_latency summary" in out.read_text()
+
+    def test_out_json_is_parseable(self, tmp_path, capsys):
+        snap = self._snapshot(tmp_path, capsys)
+        out = tmp_path / "rendered.json"
+        code = main(["metrics", "--in", str(snap), "--out", str(out)])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["format"] == "repro-telemetry"
+
+
+class TestObservabilityFlags:
+    def _simulate(self, extra, capsys):
+        args = [
+            "simulate",
+            "--rows", "5",
+            "--cols", "5",
+            "--eps", "1.0",
+            "--queries", "30",
+            "--seed", "0",
+        ] + extra
+        assert main(args) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_simulate_writes_all_artifacts(self, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        flight = tmp_path / "flight.json"
+        events = tmp_path / "events.jsonl"
+        self._simulate(
+            [
+                "--profile-out", str(profile),
+                "--flight-out", str(flight),
+                "--flight-threshold", "0.00001",
+                "--event-log", str(events),
+            ],
+            capsys,
+        )
+        document = json.loads(profile.read_text())
+        assert document["format"] == "repro-profile"
+        phases = {row["phase"] for row in document["phases"]}
+        assert "simulate.run" in phases
+        assert "synopsis.build" in phases
+        assert document["collapsed"]
+        dump = json.loads(flight.read_text())
+        assert dump["format"] == "repro-flight"
+        assert dump["captured"] >= 1
+        from repro.telemetry import read_event_log
+
+        names = {r["event"] for r in read_event_log(events)}
+        assert "synopsis.build" in names
+        assert "batch.serve" in names
+
+    def test_simulate_report_identical_with_observability(
+        self, tmp_path, capsys
+    ):
+        plain = self._simulate([], capsys)
+        observed = self._simulate(
+            [
+                "--profile-out", str(tmp_path / "p.json"),
+                "--flight-out", str(tmp_path / "f.json"),
+                "--flight-threshold", "0.00001",
+                "--event-log", str(tmp_path / "e.jsonl"),
+            ],
+            capsys,
+        )
+        for key in ("mechanism", "mean_abs_error", "max_abs_error",
+                    "ledger_spends", "total_queries"):
+            assert observed[key] == plain[key]
+
+    def test_serve_profile_and_flight_out(
+        self, grid_file, tmp_path, capsys
+    ):
+        profile = tmp_path / "profile.json"
+        flight = tmp_path / "flight.json"
+        code = main(
+            [
+                "serve",
+                "--graph", str(grid_file),
+                "--eps", "1.0",
+                "--seed", "0",
+                "--pairs", "0,0:3,3",
+                "--profile-out", str(profile),
+                "--flight-out", str(flight),
+                "--flight-threshold", "0.00001",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        phases = {
+            row["phase"]
+            for row in json.loads(profile.read_text())["phases"]
+        }
+        assert "serve.run" in phases
+        assert "synopsis.build" in phases
+        assert json.loads(flight.read_text())["captured"] >= 1
+
+
+class TestProfileCli:
+    def _profile_file(self, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--eps", "1.0",
+                "--queries", "30",
+                "--seed", "0",
+                "--profile-out", str(profile),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return profile
+
+    def test_phases_table(self, tmp_path, capsys):
+        profile = self._profile_file(tmp_path, capsys)
+        assert main(["profile", "--in", str(profile)]) == 0
+        out = capsys.readouterr().out
+        assert "# profiled wall time" in out
+        assert "simulate.run" in out
+
+    def test_check_passes_on_real_run(self, tmp_path, capsys):
+        profile = self._profile_file(tmp_path, capsys)
+        assert main(["profile", "--in", str(profile), "--check"]) == 0
+        capsys.readouterr()
+
+    def test_check_fails_on_inconsistent_attribution(
+        self, tmp_path, capsys
+    ):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(
+            json.dumps(
+                {
+                    "format": "repro-profile",
+                    "version": 1,
+                    "total_wall_seconds": 1.0,
+                    "phases": [
+                        {
+                            "phase": "x",
+                            "count": 1,
+                            "wall_seconds": 1.0,
+                            "wall_self_seconds": 2.0,
+                            "cpu_seconds": 0.0,
+                            "alloc_net_bytes": 0,
+                        }
+                    ],
+                    "samples": 0,
+                    "collapsed": "",
+                }
+            )
+        )
+        assert main(["profile", "--in", str(bogus), "--check"]) == 1
+        assert "profile check failed" in capsys.readouterr().err
+
+    def test_collapsed_output(self, tmp_path, capsys):
+        profile = self._profile_file(tmp_path, capsys)
+        code = main(
+            ["profile", "--in", str(profile), "--format", "collapsed"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out  # non-empty collapsed stacks
+        stack, _, count = out.splitlines()[0].rpartition(" ")
+        assert int(count) >= 1
+
+    def test_json_round_trip(self, tmp_path, capsys):
+        profile = self._profile_file(tmp_path, capsys)
+        code = main(
+            ["profile", "--in", str(profile), "--format", "json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document == json.loads(profile.read_text())
+
+    def test_rejects_non_profile_document(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"format": "nope"}')
+        assert main(["profile", "--in", str(bogus)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestFlightCli:
+    def _flight_file(self, tmp_path, capsys):
+        flight = tmp_path / "flight.json"
+        code = main(
+            [
+                "simulate",
+                "--rows", "5",
+                "--cols", "5",
+                "--eps", "1.0",
+                "--queries", "30",
+                "--seed", "0",
+                "--flight-out", str(flight),
+                "--flight-threshold", "0.00001",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return flight
+
+    def test_text_summary(self, tmp_path, capsys):
+        flight = self._flight_file(tmp_path, capsys)
+        assert main(["flight", "--in", str(flight)]) == 0
+        out = capsys.readouterr().out
+        assert "# considered" in out
+        assert "threshold" in out
+
+    def test_record_limit(self, tmp_path, capsys):
+        flight = self._flight_file(tmp_path, capsys)
+        assert main(["flight", "--in", str(flight), "-n", "1"]) == 0
+        out = capsys.readouterr().out
+        # One header line plus at most one record line.
+        assert len(out.strip().splitlines()) <= 2
+
+    def test_json_format(self, tmp_path, capsys):
+        flight = self._flight_file(tmp_path, capsys)
+        code = main(
+            ["flight", "--in", str(flight), "--format", "json"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["format"] == "repro-flight"
+
+    def test_rejects_non_flight_document(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"format": "nope"}')
+        assert main(["flight", "--in", str(bogus)]) == 2
         assert "error" in capsys.readouterr().err

@@ -191,3 +191,58 @@ class TestP99:
         )
         assert main([str(base), str(new)]) == 1
         capsys.readouterr()
+
+
+class TestP99Gate:
+    def test_gate_promotes_warning_to_failure(self, tmp_path, capsys):
+        base = _run_file(
+            tmp_path, "base.json", {"E16": 1.0}, p99={"E16": 10e-6}
+        )
+        new = _run_file(
+            tmp_path, "new.json", {"E16": 1.0}, p99={"E16": 100e-6}
+        )
+        assert main([str(base), str(new), "--gate-p99", "0.5"]) == 1
+        captured = capsys.readouterr()
+        assert "per-query p99 latency (gated)" in captured.out
+        assert "gated by --gate-p99" in captured.err
+
+    def test_gate_passes_below_its_threshold(self, tmp_path, capsys):
+        # The gate threshold is independent of --threshold: a 40%
+        # p99 growth passes a 0.5 gate even with a tight wall gate.
+        base = _run_file(
+            tmp_path, "base.json", {"E16": 1.0}, p99={"E16": 10e-6}
+        )
+        new = _run_file(
+            tmp_path, "new.json", {"E16": 1.0}, p99={"E16": 14e-6}
+        )
+        assert main(
+            [str(base), str(new), "--gate-p99", "0.5",
+             "--threshold", "0.1"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_default_stays_warn_only(self, tmp_path, capsys):
+        # Without --gate-p99 the same growth is a warning, exit 0.
+        base = _run_file(
+            tmp_path, "base.json", {"E16": 1.0}, p99={"E16": 10e-6}
+        )
+        new = _run_file(
+            tmp_path, "new.json", {"E16": 1.0}, p99={"E16": 100e-6}
+        )
+        assert main([str(base), str(new)]) == 0
+        captured = capsys.readouterr()
+        assert "(warn-only)" in captured.out
+
+    def test_wall_clock_failure_takes_precedence(self, tmp_path, capsys):
+        # Both gates trip: the exit code is still 1 and both messages
+        # are printed.
+        base = _run_file(
+            tmp_path, "base.json", {"E16": 1.0}, p99={"E16": 10e-6}
+        )
+        new = _run_file(
+            tmp_path, "new.json", {"E16": 2.0}, p99={"E16": 100e-6}
+        )
+        assert main([str(base), str(new), "--gate-p99", "0.5"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "(gated)" in captured.out
