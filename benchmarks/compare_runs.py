@@ -10,6 +10,9 @@ and exits non-zero when any experiment present in both runs regressed
 by more than ``threshold`` (default 25%, the ROADMAP's "perf
 trajectory" bar).  Experiments that only exist in one of the runs are
 reported but never flagged — a new experiment is not a regression.
+``--require-experiments E01 E16`` bounds that tolerance: a run file
+missing a named tag fails the check, so a benchmark that silently
+stopped running cannot drift out of the trajectory unnoticed.
 
 The per-query p99 latency diff of the serving experiments is
 warn-only by default (CI tail latency flakes); opting in with
@@ -145,6 +148,33 @@ def compare_p99(
     return rows, warned
 
 
+def missing_experiments(
+    expected: List[str],
+    base: Dict[str, float],
+    new: Dict[str, float],
+) -> List[str]:
+    """Lines describing expected experiment tags absent from a run.
+
+    The regression diff deliberately never flags a tag that exists in
+    only one file ("a new experiment is not a regression") — but that
+    same tolerance lets a benchmark that silently stopped running
+    drift out of the perf trajectory unnoticed.  ``--require-experiments``
+    closes the hole: CI names the tags it expects, and a run file
+    missing any of them fails the check instead of shrinking the
+    comparison table.
+    """
+    lines: List[str] = []
+    for tag in expected:
+        sides = [
+            name
+            for name, run in (("base", base), ("new", new))
+            if tag not in run
+        ]
+        if sides:
+            lines.append(f"{tag} missing from {' and '.join(sides)} run")
+    return lines
+
+
 def compare(
     base: Dict[str, float],
     new: Dict[str, float],
@@ -244,10 +274,19 @@ def main(argv: List[str] | None = None) -> int:
         "at this relative threshold (e.g. 0.5 = fail when any "
         "serving experiment's p99 grew more than 50%%)",
     )
-    args = parser.parse_args(argv)
-    rows, flagged = compare(
-        load_seconds(args.base), load_seconds(args.new), args.threshold
+    parser.add_argument(
+        "--require-experiments",
+        nargs="+",
+        default=None,
+        metavar="TAG",
+        help="fail when any of these experiment tags is missing from "
+        "either run file (catches a benchmark that silently stopped "
+        "running, which the diff would otherwise just drop)",
     )
+    args = parser.parse_args(argv)
+    base_seconds = load_seconds(args.base)
+    new_seconds = load_seconds(args.new)
+    rows, flagged = compare(base_seconds, new_seconds, args.threshold)
     print(render(rows))
     p99_threshold = (
         args.gate_p99 if args.gate_p99 is not None else args.threshold
@@ -289,6 +328,15 @@ def main(argv: List[str] | None = None) -> int:
                     "(informational; does not fail the check)",
                     file=sys.stderr,
                 )
+    missing = (
+        missing_experiments(
+            args.require_experiments, base_seconds, new_seconds
+        )
+        if args.require_experiments
+        else []
+    )
+    for line in missing:
+        print(f"required experiment {line}", file=sys.stderr)
     if flagged:
         print(
             f"\n{len(flagged)} experiment(s) regressed more than "
@@ -299,6 +347,12 @@ def main(argv: List[str] | None = None) -> int:
     if p99_gated:
         print(
             f"\np99 gate failed for {', '.join(p99_warned)}",
+            file=sys.stderr,
+        )
+        return 1
+    if missing:
+        print(
+            f"\n{len(missing)} required experiment(s) missing",
             file=sys.stderr,
         )
         return 1

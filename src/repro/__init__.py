@@ -41,6 +41,10 @@ Package map:
   ledger, batch planner, declarative serving configs + the ``serve()``
   factory, rich estimates, and the traffic-replay simulator.
 * :mod:`repro.analysis` — error metrics and the experiment harness.
+* :mod:`repro.privlint` — AST-based static analyzer enforcing the
+  privacy/determinism invariants (weight taint, RNG discipline,
+  observational purity, concurrency hygiene) behind the ``lint`` CLI
+  gate.
 """
 
 from .exceptions import (

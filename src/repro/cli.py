@@ -31,6 +31,10 @@ Usage (after installing the package)::
     python -m repro.cli profile --in profile.json --check
     python -m repro.cli profile --in profile.json --format collapsed
     python -m repro.cli flight --in flight.json -n 5
+    python -m repro.cli lint
+    python -m repro.cli lint --format json --out lint-report.json
+    python -m repro.cli lint --paths src/repro/serving
+    python -m repro.cli lint --update-baseline
 
 The ``serve`` and ``simulate`` subcommands speak the declarative
 serving API: ``--config`` loads a
@@ -56,6 +60,14 @@ cross-checking a ``--metrics`` snapshot's gauges bit-exactly).  The
 latency quantiles, and alerts fired by a declarative ``--rules``
 document (:mod:`repro.telemetry.monitor`) — exiting 1 when any alert
 fires, so it slots into CI and cron health checks.
+
+The ``lint`` subcommand runs :mod:`repro.privlint`, the repo's
+AST-based privacy/determinism static analyzer, over ``src/repro``
+(or ``--paths`` subsets, pre-commit style).  It exits 1 when any
+finding is not covered by the committed baseline or an inline
+``privlint: ignore`` comment, which is the CI lint gate; ``--format
+json`` emits the versioned ``repro-lint`` report document and
+``--update-baseline`` regrows the grandfathered-findings baseline.
 
 ``serve`` and ``simulate`` also take the observability flags of
 :mod:`repro.telemetry.profile` and :mod:`repro.telemetry.logging`:
@@ -487,6 +499,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="compact text lines or the raw document",
     )
 
+    p = sub.add_parser(
+        "lint",
+        help="run the privlint static privacy/determinism analyzer "
+        "(PL1 privacy taint, PL2 rng discipline, PL3 observational "
+        "purity, PL4 determinism hygiene); exits 1 on findings not "
+        "covered by the committed baseline",
+    )
+    p.add_argument(
+        "--paths",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="files or directories to check (default: the whole "
+        "installed repro package; directories never descend into "
+        "tests/)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="findings as text lines or the versioned repro-lint "
+        "JSON report document (default text)",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file of grandfathered findings (default: the "
+        "committed src/repro/privlint/baseline.json)",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to grandfather every current "
+        "finding, then exit 0 (review the diff before committing)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="also write the rendering here (CI uploads the JSON "
+        "report as an artifact)",
+    )
+
     return parser
 
 
@@ -617,6 +671,11 @@ def _write_observability(
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    # Topology-only statistics: in the paper's model the topology is
+    # public but the weights are private, so printing total_weight()
+    # here (as this command once did) was a raw unnoised release —
+    # privlint PL1 caught it.  Weight-derived statistics belong behind
+    # a budgeted release (the distance/serve subcommands).
     graph = _load(args)
     from .algorithms import is_connected
 
@@ -625,7 +684,6 @@ def _cmd_info(args: argparse.Namespace) -> int:
         "edges": graph.num_edges,
         "directed": graph.directed,
         "connected": is_connected(graph),
-        "total_weight": graph.total_weight(),
     }
     print(json.dumps(stats, indent=2))
     return 0
@@ -1193,6 +1251,52 @@ def _tenant_budget(document: dict, tenant: str) -> dict:
     }
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .privlint import (
+        DEFAULT_BASELINE_PATH,
+        lint_document,
+        load_baseline,
+        render_text,
+        run_lint,
+        save_baseline,
+    )
+
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    result = run_lint(paths=paths)
+    baseline_path = (
+        Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
+    )
+    if args.update_baseline:
+        count = save_baseline(baseline_path, result.findings)
+        print(
+            f"privlint: baseline {baseline_path} rewritten with "
+            f"{count} grandfathered finding(s)"
+        )
+        return 0
+    document = lint_document(result, load_baseline(baseline_path))
+    rendered = (
+        json.dumps(document, indent=2) + "\n"
+        if args.format == "json"
+        else render_text(document)
+    )
+    if args.out is not None:
+        Path(args.out).write_text(rendered)
+        if args.format == "text":
+            sys.stdout.write(rendered)
+    else:
+        sys.stdout.write(rendered)
+    new = document["summary"]["new"]
+    if new:
+        print(
+            f"privlint: {new} new finding(s) — fix them, add an "
+            "inline 'privlint: ignore[rule]' justification, or "
+            "grandfather with --update-baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "distance": _cmd_distance,
@@ -1207,6 +1311,7 @@ _COMMANDS = {
     "metrics": _cmd_metrics,
     "profile": _cmd_profile,
     "flight": _cmd_flight,
+    "lint": _cmd_lint,
 }
 
 

@@ -100,6 +100,17 @@ class EngineError(ReproError):
     kernel precondition violation, ...)."""
 
 
+class LintError(ReproError):
+    """A problem inside the :mod:`repro.privlint` static analyzer: an
+    unparseable source file, a malformed ``repro-lint`` report or
+    baseline document, or an unknown rule name in a suppression.
+
+    The analyzer is fail-closed like the rest of the tooling: a file it
+    cannot parse or a document it cannot trust raises instead of being
+    silently skipped — a skipped file is an unchecked privacy invariant.
+    """
+
+
 class TelemetryError(ReproError):
     """A problem with the telemetry subsystem (metric type clash on a
     registered name, malformed metrics snapshot document, invalid

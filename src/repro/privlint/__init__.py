@@ -1,0 +1,107 @@
+"""privlint — the repo's AST-based privacy/determinism static analyzer.
+
+The serving stack's correctness rests on cross-cutting invariants that
+unit tests can only sample: every raw-weight read is budget-accounted
+and noised before release (the Sealfon model — topology public,
+weights private), randomness flows only through an explicitly threaded
+:class:`~repro.rng.Rng`, telemetry/audit/profiling are purely
+observational, and concurrency/time hygiene keeps seeded outputs
+deterministic.  privlint turns those invariants into machine-checked
+properties of every source file: a zero-dependency ``ast`` visitor
+pipeline with four rule families (PL1 privacy taint, PL2 RNG
+discipline, PL3 observational purity, PL4 determinism hygiene),
+per-line ``# privlint: ignore[rule]`` suppressions, a committed JSON
+baseline for grandfathered findings, and a versioned ``repro-lint``
+report document with a fail-closed reader.
+
+Run it via the CLI (the CI lint gate)::
+
+    python -m repro.cli lint                      # self-host src/repro
+    python -m repro.cli lint --format json        # machine-readable
+    python -m repro.cli lint --paths src/repro/serving   # pre-commit
+    python -m repro.cli lint --update-baseline    # regrow the baseline
+
+or programmatically::
+
+    from repro.privlint import run_lint, lint_document, load_baseline
+    from repro.privlint import DEFAULT_BASELINE_PATH
+
+    result = run_lint()
+    document = lint_document(
+        result, load_baseline(DEFAULT_BASELINE_PATH)
+    )
+    assert document["summary"]["new"] == 0
+
+See the README's "Static analysis" section for the rule catalog with
+motivating examples, the suppression syntax, and the baseline
+workflow.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    EXCLUDED_DIR_NAMES,
+    FunctionInfo,
+    LintResult,
+    ModuleUnit,
+    default_package_root,
+    iter_source_files,
+    load_module_unit,
+    run_lint,
+)
+from .findings import SEVERITIES, Finding, finding_from_dict
+from .report import (
+    BASELINE_FORMAT,
+    BASELINE_VERSION,
+    DEFAULT_BASELINE_PATH,
+    LINT_FORMAT,
+    LINT_VERSION,
+    lint_document,
+    load_baseline,
+    render_text,
+    save_baseline,
+    validate_lint_report,
+)
+from .rules import (
+    DEFAULT_RULES,
+    PL1_ALLOWLIST,
+    PL1WeightTaint,
+    PL2RngDiscipline,
+    PL3ObservationalPurity,
+    PL4DeterminismHygiene,
+    Rule,
+)
+from .suppressions import is_suppressed, parse_suppressions
+
+__all__ = [
+    "Finding",
+    "finding_from_dict",
+    "SEVERITIES",
+    "FunctionInfo",
+    "ModuleUnit",
+    "LintResult",
+    "EXCLUDED_DIR_NAMES",
+    "default_package_root",
+    "iter_source_files",
+    "load_module_unit",
+    "run_lint",
+    "Rule",
+    "DEFAULT_RULES",
+    "PL1_ALLOWLIST",
+    "PL1WeightTaint",
+    "PL2RngDiscipline",
+    "PL3ObservationalPurity",
+    "PL4DeterminismHygiene",
+    "parse_suppressions",
+    "is_suppressed",
+    "LINT_FORMAT",
+    "LINT_VERSION",
+    "BASELINE_FORMAT",
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_PATH",
+    "lint_document",
+    "validate_lint_report",
+    "load_baseline",
+    "save_baseline",
+    "render_text",
+]

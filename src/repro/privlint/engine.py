@@ -1,0 +1,351 @@
+"""The privlint analysis pipeline: files -> modules -> rules -> findings.
+
+The engine owns everything rule-independent: discovering source files
+(with the ``tests/`` exclusion default), parsing each into a
+:class:`ModuleUnit` (AST + import-alias map + per-function ownership
+index + suppression table), running a rule pipeline over every unit,
+and filtering the suppressed findings out.
+
+Zero dependencies beyond the standard library ``ast`` module — the
+analyzer must be runnable in any environment that can run the code it
+checks, including the scipy-free CI job.
+
+Fail-closed: a file that cannot be read or parsed raises
+:class:`~repro.exceptions.LintError` instead of being skipped, because
+a skipped file is an unchecked privacy invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import LintError
+from .findings import Finding
+from .suppressions import is_suppressed, parse_suppressions
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleUnit",
+    "LintResult",
+    "default_package_root",
+    "iter_source_files",
+    "load_module_unit",
+    "run_lint",
+]
+
+#: Directory names never descended into when scanning a tree.  The
+#: ``tests`` entry is the pre-commit-friendly default: fixtures under a
+#: test tree intentionally violate the rules.
+EXCLUDED_DIR_NAMES: FrozenSet[str] = frozenset(
+    {"tests", "__pycache__", ".git"}
+)
+
+
+def default_package_root() -> Path:
+    """The installed ``repro`` package directory (the default scan
+    root): the analyzer self-hosts on the package it ships inside."""
+    return Path(__file__).resolve().parent.parent
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function definition plus the analysis the rules share.
+
+    ``owned`` holds the AST nodes whose *innermost* enclosing function
+    is this one — a nested function's body belongs to the nested
+    function, not to its parent — so per-function rules never blame an
+    outer function for its inner function's statements.
+    """
+
+    node: ast.AST
+    qualname: str
+    lineno: int
+    #: Parameter names of this function alone.
+    params: FrozenSet[str]
+    #: Parameters visible here including enclosing functions (closures
+    #: legitimately draw from an outer function's threaded ``rng``).
+    params_chain: FrozenSet[str]
+    owned: Tuple[ast.AST, ...]
+
+
+@dataclass(frozen=True)
+class ModuleUnit:
+    """One parsed source file, ready for the rule pipeline."""
+
+    path: Path
+    #: POSIX display path (stable across checkouts; see ``run_lint``).
+    display_path: str
+    #: Dotted-module segments of the display path, ``__init__`` dropped
+    #: (``("repro", "telemetry", "audit")``).
+    segments: Tuple[str, ...]
+    source: str
+    tree: ast.Module
+    #: Local name -> dotted import source (``np`` -> ``numpy``,
+    #: ``default_rng`` -> ``numpy.random.default_rng``).
+    import_aliases: Dict[str, str]
+    functions: Tuple[FunctionInfo, ...]
+    suppressions: Dict[int, FrozenSet[str]]
+
+    def dotted_source(self, node: ast.AST) -> Optional[str]:
+        """Resolve an attribute/name chain to its dotted import origin.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` when ``np`` was imported as
+        numpy.  Returns None when the chain does not bottom out in an
+        imported name — a local variable that merely shadows a module
+        name never matches a banned prefix.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self.import_aliases.get(node.id)
+        if origin is None:
+            return None
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+    def owner_of(self, node: ast.AST) -> Optional[FunctionInfo]:
+        """The innermost function owning ``node`` (None at module
+        scope)."""
+        for info in self.functions:
+            if any(owned is node for owned in info.owned):
+                return info
+        return None
+
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _argument_names(node: ast.AST) -> FrozenSet[str]:
+    args = node.args
+    names = [
+        a.arg
+        for a in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+        )
+    ]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return frozenset(names)
+
+
+def _index_functions(tree: ast.Module) -> Tuple[FunctionInfo, ...]:
+    """Every function in the module with its owned-node set, computed
+    in one DFS that tracks the enclosing class/function stack."""
+    infos: List[FunctionInfo] = []
+
+    def walk(
+        node: ast.AST,
+        qual: Tuple[str, ...],
+        chain: Tuple[FrozenSet[str], ...],
+        owned_sink: Optional[List[ast.AST]],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNCTION_NODES):
+                params = _argument_names(child)
+                owned: List[ast.AST] = [child]
+                child_qual = qual + (child.name,)
+                walk(child, child_qual, chain + (params,), owned)
+                infos.append(
+                    FunctionInfo(
+                        node=child,
+                        qualname=".".join(child_qual),
+                        lineno=child.lineno,
+                        params=params,
+                        params_chain=frozenset().union(
+                            params, *chain
+                        ),
+                        owned=tuple(owned),
+                    )
+                )
+            else:
+                if owned_sink is not None:
+                    owned_sink.append(child)
+                next_qual = (
+                    qual + (child.name,)
+                    if isinstance(child, ast.ClassDef)
+                    else qual
+                )
+                walk(child, next_qual, chain, owned_sink)
+
+    walk(tree, (), (), None)
+    return tuple(infos)
+
+
+def _index_imports(
+    tree: ast.Module, segments: Tuple[str, ...]
+) -> Dict[str, str]:
+    """Local name -> dotted origin for every import in the module.
+
+    Relative imports resolve against the module's own dotted position
+    (``from ..rng import Rng`` inside ``repro.telemetry.audit``
+    resolves to ``repro.rng``), so the purity rule can ban by absolute
+    prefix without caring how the import was spelled.
+    """
+    aliases: Dict[str, str] = {}
+    package = segments[:-1] if segments else ()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                origin = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                aliases[local] = origin
+                if alias.asname:
+                    aliases[local] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = package[: len(package) - (node.level - 1)] if (
+                    node.level - 1
+                ) else package
+                prefix = list(base)
+                if node.module:
+                    prefix += node.module.split(".")
+            else:
+                prefix = (node.module or "").split(".")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = ".".join(
+                    [p for p in prefix if p] + [alias.name]
+                )
+    return aliases
+
+
+def load_module_unit(path: Path, display_path: str) -> ModuleUnit:
+    """Parse one source file into a :class:`ModuleUnit` (fail-closed)."""
+    try:
+        source = path.read_text()
+    except OSError as error:
+        raise LintError(f"cannot read {display_path}: {error}") from None
+    try:
+        tree = ast.parse(source, filename=display_path)
+    except SyntaxError as error:
+        raise LintError(
+            f"cannot parse {display_path}: {error.msg} "
+            f"(line {error.lineno})"
+        ) from None
+    parts = Path(display_path).with_suffix("").parts
+    segments = tuple(p for p in parts if p != "__init__")
+    return ModuleUnit(
+        path=path,
+        display_path=display_path,
+        segments=segments,
+        source=source,
+        tree=tree,
+        import_aliases=_index_imports(tree, segments),
+        functions=_index_functions(tree),
+        suppressions=parse_suppressions(source, display_path),
+    )
+
+
+def iter_source_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files and directory trees into a sorted, de-duplicated
+    list of ``.py`` files, never descending into
+    :data:`EXCLUDED_DIR_NAMES` directories.
+
+    A path that does not exist raises
+    :class:`~repro.exceptions.LintError` — a typoed ``--paths`` entry
+    must not silently lint nothing.
+    """
+    seen: Dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw).resolve()
+        if path.is_file():
+            seen.setdefault(path, None)
+            continue
+        if not path.is_dir():
+            raise LintError(f"lint path does not exist: {raw}")
+        for candidate in sorted(path.rglob("*.py")):
+            relative = candidate.relative_to(path)
+            if any(
+                part in EXCLUDED_DIR_NAMES for part in relative.parts[:-1]
+            ):
+                continue
+            seen.setdefault(candidate, None)
+    return sorted(seen)
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """The outcome of one analyzer run (before baseline diffing)."""
+
+    #: Unsuppressed findings in stable report order.
+    findings: Tuple[Finding, ...]
+    #: Findings silenced by inline privlint ignore comments.
+    suppressed: int
+    #: Display paths of every file scanned.
+    files: Tuple[str, ...]
+    package_root: Path = field(default_factory=default_package_root)
+
+
+def _display_path(path: Path, package_root: Path) -> str:
+    """Report/baseline path for one scanned file: relative to the
+    package root's parent when inside the package (stable across
+    checkouts), else to the current directory, else absolute."""
+    anchor = package_root.resolve().parent
+    try:
+        return path.relative_to(anchor).as_posix()
+    except ValueError:
+        pass
+    try:
+        return path.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Optional[Sequence[Path]] = None,
+    rules: Optional[Sequence[object]] = None,
+    package_root: Optional[Path] = None,
+) -> LintResult:
+    """Run the rule pipeline over a set of paths.
+
+    ``paths`` defaults to the whole installed ``repro`` package (the
+    self-hosting scan CI gates on); directories are walked with the
+    ``tests/`` exclusion default.  ``rules`` defaults to
+    :data:`repro.privlint.rules.DEFAULT_RULES`.
+    """
+    if rules is None:
+        from .rules import DEFAULT_RULES
+
+        rules = DEFAULT_RULES
+    root = (
+        Path(package_root).resolve()
+        if package_root is not None
+        else default_package_root()
+    )
+    scan = [root] if paths is None else [Path(p) for p in paths]
+    findings: List[Finding] = []
+    suppressed = 0
+    files: List[str] = []
+    for path in iter_source_files(scan):
+        display = _display_path(path, root)
+        unit = load_module_unit(path, display)
+        files.append(display)
+        for rule in rules:
+            for finding in rule.check(unit):
+                if is_suppressed(
+                    finding.rule, finding.line, unit.suppressions
+                ):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: f.sort_key)
+    return LintResult(
+        findings=tuple(findings),
+        suppressed=suppressed,
+        files=tuple(files),
+        package_root=root,
+    )

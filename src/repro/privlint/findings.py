@@ -1,0 +1,120 @@
+"""The :class:`Finding` record produced by every privlint rule.
+
+A finding pins one rule violation to one source location.  Findings
+are plain value objects so the rest of the analyzer — suppression
+filtering, baseline diffing, the JSON report — can treat them
+uniformly; rules never print, they only yield findings.
+
+Baselines match findings on :attr:`Finding.key` — ``(rule, path,
+message)``, deliberately *excluding* the line number — so grandfathered
+findings survive unrelated edits that shift code up or down, while any
+change to the offending function's name (messages embed the qualname)
+re-surfaces the finding for a fresh look.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..exceptions import LintError
+
+__all__ = ["Finding", "SEVERITIES", "finding_from_dict"]
+
+#: Recognized severities, strongest first.  Severity is informational —
+#: the lint gate fails on any *new* finding regardless of severity —
+#: but reports sort errors above warnings.
+SEVERITIES: Tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Parameters
+    ----------
+    rule:
+        The rule identifier (``PL1`` .. ``PL4``).
+    path:
+        Display path of the offending file, POSIX-style and relative
+        to the scan root's parent (``repro/serving/service.py``), so
+        reports and baselines are stable across checkouts.
+    line:
+        1-based line of the offending statement (the ``def`` line for
+        function-scoped findings).
+    message:
+        Human-readable description; embeds the function qualname for
+        function-scoped findings so the baseline key is stable.
+    severity:
+        ``error`` or ``warning`` (see :data:`SEVERITIES`).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise LintError(
+                f"unknown finding severity {self.severity!r} "
+                f"(expected one of {', '.join(SEVERITIES)})"
+            )
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """The baseline identity of this finding (line-independent)."""
+        return (self.rule, self.path, self.message)
+
+    @property
+    def sort_key(self) -> Tuple[str, int, str]:
+        """Stable report order: by path, then line, then rule."""
+        return (self.path, self.line, self.rule)
+
+    def as_dict(self) -> Dict[str, object]:
+        """The finding as a JSON-ready mapping."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    def render(self) -> str:
+        """One ``path:line: rule severity: message`` report line."""
+        return (
+            f"{self.path}:{self.line}: {self.rule} "
+            f"[{self.severity}] {self.message}"
+        )
+
+
+def finding_from_dict(entry: object) -> Finding:
+    """Rebuild a :class:`Finding` from a report/baseline mapping.
+
+    Fail-closed: a malformed entry raises
+    :class:`~repro.exceptions.LintError` rather than producing a
+    half-populated finding that would silently never match anything.
+    """
+    if not isinstance(entry, dict):
+        raise LintError(
+            f"finding entry must be an object, got {type(entry).__name__}"
+        )
+    missing = [
+        k for k in ("rule", "path", "line", "message") if k not in entry
+    ]
+    if missing:
+        raise LintError(
+            f"finding entry is missing keys: {', '.join(missing)}"
+        )
+    try:
+        return Finding(
+            rule=str(entry["rule"]),
+            path=str(entry["path"]),
+            line=int(entry["line"]),
+            message=str(entry["message"]),
+            severity=str(entry.get("severity", "error")),
+        )
+    except (TypeError, ValueError) as error:
+        raise LintError(f"malformed finding entry: {error}") from None

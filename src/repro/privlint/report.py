@@ -1,0 +1,238 @@
+"""The versioned ``repro-lint`` report document and the committed
+baseline of grandfathered findings.
+
+The report is the machine-readable half of the lint gate: CI runs
+``python -m repro.cli lint --format json``, uploads the document as an
+artifact, and fails the build when the ``new`` count is non-zero.
+Like every other serialized document in this codebase
+(``repro-profile``, ``repro-flight``, ``repro-telemetry``) it carries
+``format``/``version`` markers and a fail-closed reader,
+:func:`validate_lint_report`, that raises
+:class:`~repro.exceptions.LintError` on anything it does not fully
+understand.
+
+The baseline (``repro-lint-baseline``) grandfathers pre-existing
+findings so the gate can be turned on before the last finding is
+fixed: a finding whose :attr:`~repro.privlint.findings.Finding.key`
+appears in the baseline is reported but does not fail the gate.  The
+committed baseline lives next to this module
+(:data:`DEFAULT_BASELINE_PATH`) and ``lint --update-baseline``
+rewrites it; keeping it near-empty is the house rule — intentional
+violations get inline ``# privlint: ignore[rule]`` justifications
+instead of baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..exceptions import LintError
+from .engine import LintResult
+from .findings import Finding, finding_from_dict
+
+__all__ = [
+    "LINT_FORMAT",
+    "LINT_VERSION",
+    "BASELINE_FORMAT",
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_PATH",
+    "lint_document",
+    "validate_lint_report",
+    "load_baseline",
+    "save_baseline",
+    "render_text",
+]
+
+LINT_FORMAT = "repro-lint"
+LINT_VERSION = 1
+
+BASELINE_FORMAT = "repro-lint-baseline"
+BASELINE_VERSION = 1
+
+#: The committed self-hosting baseline, shipped inside the package so
+#: the default gate works from any checkout or install.
+DEFAULT_BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def lint_document(
+    result: LintResult,
+    baseline: Optional[FrozenSet[BaselineKey]] = None,
+) -> Dict[str, object]:
+    """The versioned JSON report for one analyzer run.
+
+    Every unsuppressed finding is listed with a ``baselined`` marker;
+    the ``summary`` block carries the counts the gate and CI read
+    (``new`` is the number of non-baselined findings — the gate fails
+    when it is non-zero).
+    """
+    grandfathered = baseline or frozenset()
+    findings: List[Dict[str, object]] = []
+    new = 0
+    for finding in result.findings:
+        baselined = finding.key in grandfathered
+        if not baselined:
+            new += 1
+        entry = finding.as_dict()
+        entry["baselined"] = baselined
+        findings.append(entry)
+    return {
+        "format": LINT_FORMAT,
+        "version": LINT_VERSION,
+        "files_scanned": len(result.files),
+        "findings": findings,
+        "summary": {
+            "total": len(findings),
+            "new": new,
+            "baselined": len(findings) - new,
+            "suppressed": result.suppressed,
+        },
+    }
+
+
+def validate_lint_report(doc: object) -> Dict[str, object]:
+    """Check a parsed lint report document; returns it typed as a dict.
+
+    Fail-closed in the house style of ``validate_profile`` /
+    ``validate_flight``: wrong format marker, unsupported version, a
+    missing findings list, a malformed finding entry, or a summary
+    that disagrees with the findings it summarizes all raise
+    :class:`~repro.exceptions.LintError`.
+    """
+    if not isinstance(doc, dict):
+        raise LintError(
+            "lint report must be a JSON object, got "
+            f"{type(doc).__name__}"
+        )
+    if doc.get("format") != LINT_FORMAT:
+        raise LintError(
+            f"not a lint report (format={doc.get('format')!r}, "
+            f"expected {LINT_FORMAT!r})"
+        )
+    if doc.get("version") != LINT_VERSION:
+        raise LintError(
+            f"unsupported lint report version {doc.get('version')!r} "
+            f"(this build reads version {LINT_VERSION})"
+        )
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        raise LintError("lint report has no 'findings' list")
+    new = 0
+    for entry in findings:
+        finding_from_dict(entry)  # raises on malformed entries
+        if not isinstance(entry, dict) or "baselined" not in entry:
+            raise LintError(
+                "lint report finding lacks the 'baselined' marker"
+            )
+        if not entry["baselined"]:
+            new += 1
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        raise LintError("lint report has no 'summary' object")
+    for key in ("total", "new", "baselined", "suppressed"):
+        if not isinstance(summary.get(key), int):
+            raise LintError(
+                f"lint report summary lacks integer {key!r}"
+            )
+    if summary["total"] != len(findings) or summary["new"] != new:
+        raise LintError(
+            "lint report summary disagrees with its findings "
+            f"(summary says total={summary['total']} new="
+            f"{summary['new']}, findings say total={len(findings)} "
+            f"new={new})"
+        )
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> FrozenSet[BaselineKey]:
+    """The grandfathered finding keys from a committed baseline file.
+
+    A missing file is an empty baseline (every finding is new — the
+    fail-closed direction); a file that exists but cannot be parsed or
+    carries the wrong markers raises
+    :class:`~repro.exceptions.LintError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return frozenset()
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise LintError(
+            f"cannot read lint baseline {path}: {error}"
+        ) from None
+    if not isinstance(doc, dict) or doc.get("format") != BASELINE_FORMAT:
+        raise LintError(
+            f"{path} is not a lint baseline (expected format "
+            f"{BASELINE_FORMAT!r})"
+        )
+    if doc.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"unsupported lint baseline version "
+            f"{doc.get('version')!r} (this build reads version "
+            f"{BASELINE_VERSION})"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise LintError(f"{path} has no 'entries' list")
+    keys = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(k), str)
+            for k in ("rule", "path", "message")
+        ):
+            raise LintError(
+                f"{path} has a malformed baseline entry: {entry!r}"
+            )
+        keys.add((entry["rule"], entry["path"], entry["message"]))
+    return frozenset(keys)
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write the baseline document grandfathering ``findings``;
+    returns the number of entries written."""
+    entries = sorted(
+        {f.key for f in findings}
+    )
+    document = {
+        "format": BASELINE_FORMAT,
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"rule": rule, "path": path_, "message": message}
+            for rule, path_, message in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    return len(entries)
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+
+
+def render_text(document: Dict[str, object]) -> str:
+    """Human-readable rendering of a lint report document: one
+    ``path:line: rule [severity] message`` line per finding (baselined
+    findings marked), then the summary line the gate acts on."""
+    lines: List[str] = []
+    for entry in document["findings"]:
+        finding = finding_from_dict(entry)
+        suffix = "  (baselined)" if entry.get("baselined") else ""
+        lines.append(finding.render() + suffix)
+    summary = document["summary"]
+    lines.append(
+        f"privlint: {document['files_scanned']} files, "
+        f"{summary['total']} finding(s) "
+        f"({summary['new']} new, {summary['baselined']} baselined, "
+        f"{summary['suppressed']} suppressed)"
+    )
+    return "\n".join(lines) + "\n"

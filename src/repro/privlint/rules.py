@@ -1,0 +1,571 @@
+"""The PL1-PL4 rule families of the privlint analyzer.
+
+Each rule is a stateless object with a ``name``, a one-line
+``summary``, and a ``check(unit)`` generator yielding
+:class:`~repro.privlint.findings.Finding` records.  The rules encode
+the three cross-cutting invariants of the Sealfon private-edge-weight
+model as machine-checked properties:
+
+* **PL1 — privacy taint.**  Topology is public, weights are private:
+  a function that reads private weight state (``WeightedGraph``
+  weight accessors, ``CSRGraph.weights``, ``with_weights``) and
+  returns or serializes a derived value must pass through a
+  recognized noising sink (``laplace_*`` draws, a registry/synopsis
+  ``build``, a ledger ``spend``) on the way out.  Exact-recomputation
+  kernels that are only ever invoked *under* a release are carried on
+  the maintained :data:`PL1_ALLOWLIST`.
+* **PL2 — RNG discipline.**  All randomness flows through an
+  explicitly threaded :class:`~repro.rng.Rng`: no global-state
+  ``random.*`` / ``numpy.random.*`` calls, no entropy-seeded
+  ``default_rng()``, no wall-clock-seeded generators, and any
+  function that draws noise receives its generator as a parameter
+  (its own or an enclosing function's) or via constructor-threaded
+  attribute state.
+* **PL3 — observational purity.**  Telemetry observes, never acts:
+  no import from ``repro.telemetry.*`` into the modules that draw
+  noise or mutate ledgers, and no ``rng`` parameter in any telemetry
+  signature.
+* **PL4 — concurrency/determinism hygiene.**  Dual-lock acquisitions
+  order by ``id`` so cross-merges cannot deadlock, and wall-clock
+  reads (``time.time``, ``datetime.now``) never feed seeded or
+  deterministic outputs — the monotonic clock is for latencies,
+  wall-clock timestamps are for observational records and carry an
+  inline justification.
+
+The analysis is intentionally single-function (no inter-procedural
+dataflow): precise enough to catch the bug classes above, simple
+enough that a finding is explainable by reading one function.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from .engine import FunctionInfo, ModuleUnit
+from .findings import Finding
+
+__all__ = [
+    "Rule",
+    "PL1WeightTaint",
+    "PL2RngDiscipline",
+    "PL3ObservationalPurity",
+    "PL4DeterminismHygiene",
+    "DEFAULT_RULES",
+    "PL1_ALLOWLIST",
+]
+
+
+class Rule:
+    """Base class for privlint rules (stateless; yields findings)."""
+
+    name: str = "PL0"
+    summary: str = ""
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _call_target(node: ast.Call) -> Optional[str]:
+    """The called name: ``f(...)`` -> ``f``, ``x.m(...)`` -> ``m``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+#: Wall-clock reads (dotted import origins).  ``time.perf_counter`` /
+#: ``time.monotonic`` are deliberately absent: the monotonic clock is
+#: the blessed way to measure latency.
+_WALLCLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _is_wallclock_call(unit: ModuleUnit, node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and (unit.dotted_source(node.func) or "") in _WALLCLOCK
+    )
+
+
+def _contains_wallclock(unit: ModuleUnit, node: ast.AST) -> bool:
+    return any(_is_wallclock_call(unit, n) for n in ast.walk(node))
+
+
+# ----------------------------------------------------------------------
+# PL1 — privacy taint
+# ----------------------------------------------------------------------
+
+#: Attribute names whose access reads private weight state.
+_WEIGHT_READS = frozenset(
+    {
+        "weight",
+        "weights",
+        "weight_vector",
+        "edge_weights",
+        "with_weights",
+        "total_weight",
+        "path_weight",
+    }
+)
+
+#: Call targets recognized as noising/accounting sinks: Laplace draws
+#: and helpers, mechanism release methods, registry/synopsis builds,
+#: ledger spends, and the engine's vectorized perturbation kernels.
+_NOISE_SINK_PREFIXES = ("laplace", "release_", "build_", "perturb_")
+_NOISE_SINK_NAMES = frozenset({"build", "spend"})
+
+#: Call/name targets that move a value out of the process: returns are
+#: detected structurally, these cover serialize/log escapes.
+_OUTPUT_SINKS = frozenset(
+    {"print", "dumps", "dump", "write", "write_text", "writelines"}
+)
+
+#: Maintained allowlist (display-path globs): exact-computation
+#: substrate that reads weights *by design* and is only ever invoked
+#: under a release mechanism or for ground-truth evaluation.  Entries
+#: here are reviewed in PRs like any other code change; new modules
+#: are NOT allowlisted by default.
+PL1_ALLOWLIST: Tuple[str, ...] = (
+    # The graph substrate: these modules *define* the weight state and
+    # its accessors; the release boundary is above them.
+    "repro/graphs/*",
+    # Exact algorithms (Dijkstra, MST, matchings, coverings): the
+    # paper's subroutines, called only under a mechanism's budgeted
+    # release or to compute evaluation ground truth.
+    "repro/algorithms/*",
+    # The vectorized CSR kernels (the ISSUE's canonical example):
+    # exact recomputation invoked under synopsis builds.
+    "repro/engine/*",
+    # Workload generators *construct* the synthetic private input
+    # (road networks, congestion scenarios) and compute ground-truth
+    # error for the replay harness — upstream of any release.
+    "repro/workloads/*",
+    # Error metrics compare released values against exact ground
+    # truth; they never leave the evaluation harness.
+    "repro/analysis/errors.py",
+)
+
+
+class PL1WeightTaint(Rule):
+    """Weight-derived values must leave functions through a noising
+    sink."""
+
+    name = "PL1"
+    summary = (
+        "function reads private weight state and returns/serializes a "
+        "derived value without a recognized noising sink"
+    )
+
+    def __init__(
+        self, allowlist: Optional[Sequence[str]] = None
+    ) -> None:
+        self.allowlist: Tuple[str, ...] = (
+            tuple(allowlist) if allowlist is not None else PL1_ALLOWLIST
+        )
+
+    def _allowlisted(self, unit: ModuleUnit) -> bool:
+        return any(
+            fnmatch(unit.display_path, pattern)
+            for pattern in self.allowlist
+        )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if self._allowlisted(unit):
+            return
+        for info in unit.functions:
+            reads = set()
+            returns_value = False
+            serializes = False
+            noised = False
+            for sub in _owned_walk(info, info.node):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.ctx, ast.Load)
+                    and sub.attr in _WEIGHT_READS
+                ):
+                    reads.add(sub.attr)
+                elif isinstance(sub, ast.Return) and not (
+                    sub.value is None
+                    or (
+                        isinstance(sub.value, ast.Constant)
+                        and sub.value.value is None
+                    )
+                ):
+                    returns_value = True
+                elif isinstance(sub, ast.Call):
+                    target = _call_target(sub)
+                    if target is None:
+                        continue
+                    if target in _NOISE_SINK_NAMES or any(
+                        target.startswith(p)
+                        for p in _NOISE_SINK_PREFIXES
+                    ):
+                        noised = True
+                    elif target in _OUTPUT_SINKS:
+                        serializes = True
+            if reads and (returns_value or serializes) and not noised:
+                escape = (
+                    "returns" if returns_value else "serializes/logs"
+                )
+                yield Finding(
+                    rule=self.name,
+                    path=unit.display_path,
+                    line=info.lineno,
+                    message=(
+                        f"function '{info.qualname}' reads private "
+                        f"weight state ({', '.join(sorted(reads))}) "
+                        f"and {escape} a derived value without a "
+                        "recognized noising sink (laplace_*, registry "
+                        "build, ledger spend)"
+                    ),
+                    severity="error",
+                )
+
+
+def _owned_walk(
+    info: FunctionInfo, node: ast.AST
+) -> Iterable[ast.AST]:
+    """Walk ``node`` without crossing into nested function bodies
+    (those are owned — and checked — separately)."""
+    yield node
+    if isinstance(
+        node, (ast.FunctionDef, ast.AsyncFunctionDef)
+    ) and node is not info.node:
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _owned_walk(info, child)
+
+
+# ----------------------------------------------------------------------
+# PL2 — RNG discipline
+# ----------------------------------------------------------------------
+
+#: numpy.random constructors that carry *explicit* state and are
+#: therefore fine (the library's own Rng wraps default_rng(seed)).
+_EXPLICIT_STATE_CTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: Noise-drawing methods whose receiver must be a threaded generator.
+_NOISE_DRAWS = frozenset(
+    {"laplace", "laplace_vector", "normal", "exponential"}
+)
+
+
+class PL2RngDiscipline(Rule):
+    """All randomness flows through an explicitly threaded ``Rng``."""
+
+    name = "PL2"
+    summary = (
+        "global-state / entropy-seeded / wall-clock-seeded randomness, "
+        "or a noise draw whose rng was not threaded as a parameter"
+    )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = unit.dotted_source(node.func)
+            if dotted is not None:
+                yield from self._check_dotted(unit, node, dotted)
+            yield from self._check_draw(unit, node)
+
+    def _check_dotted(
+        self, unit: ModuleUnit, node: ast.Call, dotted: str
+    ) -> Iterator[Finding]:
+        if dotted.startswith("random."):
+            yield Finding(
+                rule=self.name,
+                path=unit.display_path,
+                line=node.lineno,
+                message=(
+                    f"global-state stdlib randomness '{dotted}': all "
+                    "randomness must flow through a threaded "
+                    "repro.rng.Rng"
+                ),
+            )
+            return
+        if dotted.startswith("numpy.random."):
+            leaf = dotted.rsplit(".", 1)[1]
+            if leaf not in _EXPLICIT_STATE_CTORS:
+                yield Finding(
+                    rule=self.name,
+                    path=unit.display_path,
+                    line=node.lineno,
+                    message=(
+                        f"global-state numpy randomness '{dotted}': "
+                        "draw from a threaded repro.rng.Rng instead"
+                    ),
+                )
+                return
+        seeded_ctor = dotted.endswith(".default_rng") or dotted in (
+            "numpy.random.default_rng",
+        )
+        if seeded_ctor or dotted.rsplit(".", 1)[-1] == "Rng":
+            if not node.args and not node.keywords and seeded_ctor:
+                yield Finding(
+                    rule=self.name,
+                    path=unit.display_path,
+                    line=node.lineno,
+                    message=(
+                        f"bare '{dotted}()' draws OS entropy: seed "
+                        "explicitly (or accept an Rng parameter) so "
+                        "runs are reproducible"
+                    ),
+                )
+            elif any(
+                _contains_wallclock(unit, arg)
+                for arg in list(node.args)
+                + [kw.value for kw in node.keywords]
+            ):
+                yield Finding(
+                    rule=self.name,
+                    path=unit.display_path,
+                    line=node.lineno,
+                    message=(
+                        f"wall-clock-seeded generator '{dotted}(...)': "
+                        "time-derived seeds are unreproducible; thread "
+                        "an explicit seed or Rng"
+                    ),
+                )
+
+    def _check_draw(
+        self, unit: ModuleUnit, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _NOISE_DRAWS
+            and isinstance(func.value, ast.Name)
+        ):
+            # Attribute receivers (self._rng.laplace) are constructor-
+            # threaded state, whose constructor is checked in turn.
+            return
+        receiver = func.value.id
+        owner = unit.owner_of(node)
+        if owner is None:
+            yield Finding(
+                rule=self.name,
+                path=unit.display_path,
+                line=node.lineno,
+                message=(
+                    f"module-level noise draw '{receiver}."
+                    f"{func.attr}(...)': noise may only be drawn "
+                    "inside functions that receive an rng parameter"
+                ),
+            )
+            return
+        if (
+            receiver in owner.params_chain
+            or "rng" in owner.params_chain
+        ):
+            return
+        yield Finding(
+            rule=self.name,
+            path=unit.display_path,
+            line=node.lineno,
+            message=(
+                f"function '{owner.qualname}' draws noise via "
+                f"'{receiver}.{func.attr}(...)' but neither "
+                f"'{receiver}' nor 'rng' arrives as a parameter: "
+                "thread the generator explicitly"
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# PL3 — observational purity
+# ----------------------------------------------------------------------
+
+#: Module segments a telemetry module may never import from: the
+#: modules that draw noise (rng, dp, core, apsp, mechanisms) or mutate
+#: ledgers (serving).
+_PL3_BANNED_SEGMENTS = frozenset(
+    {"rng", "dp", "serving", "core", "apsp", "mechanisms"}
+)
+
+
+class PL3ObservationalPurity(Rule):
+    """Telemetry observes; it never draws noise or spends budget."""
+
+    name = "PL3"
+    summary = (
+        "telemetry module imports a noise/ledger module, or a "
+        "telemetry signature takes an rng"
+    )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        if "telemetry" not in unit.segments:
+            return
+        yield from self._check_imports(unit)
+        for info in unit.functions:
+            if "rng" in info.params:
+                yield Finding(
+                    rule=self.name,
+                    path=unit.display_path,
+                    line=info.lineno,
+                    message=(
+                        f"telemetry function '{info.qualname}' takes "
+                        "an 'rng' parameter: telemetry is purely "
+                        "observational and never touches randomness"
+                    ),
+                )
+
+    def _check_imports(self, unit: ModuleUnit) -> Iterator[Finding]:
+        package = unit.segments[:-1] if unit.segments else ()
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield from self._check_origin(
+                        unit, node.lineno, alias.name.split(".")
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    drop = node.level - 1
+                    base = list(
+                        package[: len(package) - drop]
+                        if drop
+                        else package
+                    )
+                else:
+                    base = []
+                if node.module:
+                    base += node.module.split(".")
+                for alias in node.names:
+                    origin = base + (
+                        [alias.name] if alias.name != "*" else []
+                    )
+                    yield from self._check_origin(
+                        unit, node.lineno, origin
+                    )
+
+    def _check_origin(
+        self, unit: ModuleUnit, lineno: int, origin: Sequence[str]
+    ) -> Iterator[Finding]:
+        segments = [s for s in origin if s]
+        if "telemetry" in segments:
+            return
+        banned = [s for s in segments if s in _PL3_BANNED_SEGMENTS]
+        if banned:
+            yield Finding(
+                rule=self.name,
+                path=unit.display_path,
+                line=lineno,
+                message=(
+                    f"telemetry module imports "
+                    f"'{'.'.join(segments)}' (noise/ledger module "
+                    f"'{banned[0]}'): telemetry must stay purely "
+                    "observational"
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# PL4 — concurrency/determinism hygiene
+# ----------------------------------------------------------------------
+
+
+def _is_lockish(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and "lock" in node.attr.lower()
+
+
+class PL4DeterminismHygiene(Rule):
+    """Id-ordered dual locking; wall clocks never feed deterministic
+    outputs."""
+
+    name = "PL4"
+    summary = (
+        "dual-lock acquisition without id-ordering, or a wall-clock "
+        "read (time.time/datetime.now) outside latency measurement"
+    )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if _is_wallclock_call(unit, node):
+                dotted = unit.dotted_source(node.func)
+                yield Finding(
+                    rule=self.name,
+                    path=unit.display_path,
+                    line=node.lineno,
+                    message=(
+                        f"wall-clock read '{dotted}()': derive "
+                        "latencies from time.perf_counter() and keep "
+                        "wall timestamps out of seeded/deterministic "
+                        "outputs (observational timestamps get an "
+                        "inline justification)"
+                    ),
+                    severity="warning",
+                )
+            elif isinstance(node, ast.With) and len(node.items) >= 2:
+                yield from self._check_dual_lock(unit, node)
+
+    def _check_dual_lock(
+        self, unit: ModuleUnit, node: ast.With
+    ) -> Iterator[Finding]:
+        locks = [
+            item.context_expr
+            for item in node.items
+            if _is_lockish(item.context_expr)
+        ]
+        if len(locks) < 2:
+            return
+        owner = unit.owner_of(node)
+        scope: ast.AST = owner.node if owner is not None else unit.tree
+        # Evidence of deterministic ordering: the function sorts or
+        # compares by id() somewhere before taking both locks.
+        orders_by_id = any(
+            isinstance(sub, ast.Name) and sub.id == "id"
+            for sub in ast.walk(scope)
+        )
+        if orders_by_id:
+            return
+        where = (
+            f"function '{owner.qualname}'"
+            if owner is not None
+            else "module scope"
+        )
+        yield Finding(
+            rule=self.name,
+            path=unit.display_path,
+            line=node.lineno,
+            message=(
+                f"{where} acquires two locks in one with-statement "
+                "without id-ordering: sort the lock holders by id() "
+                "first so concurrent cross-acquisitions cannot "
+                "deadlock"
+            ),
+            severity="error",
+        )
+
+
+#: The shipped rule pipeline, in rule-id order.
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    PL1WeightTaint(),
+    PL2RngDiscipline(),
+    PL3ObservationalPurity(),
+    PL4DeterminismHygiene(),
+)

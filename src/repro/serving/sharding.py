@@ -798,7 +798,7 @@ class ShardedDistanceService:
             )
         self._bind_metrics()
 
-    def _reweighted_shard(
+    def _reweighted_shard(  # privlint: ignore[PL1] feeds the shard tenant's budgeted synopsis build
         self, shard: int, graph: WeightedGraph
     ) -> WeightedGraph:
         """The shard subgraph re-weighted from the full graph — an

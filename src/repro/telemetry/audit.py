@@ -169,7 +169,7 @@ class AuditLog:
             trace_id, span_id = self._tracer.current_ids()
         rec: Dict[str, object] = {
             "seq": self._seq,
-            "ts": time.time(),
+            "ts": time.time(),  # privlint: ignore[PL4] observational record timestamp
             "kind": kind,
             "epoch": epoch,
             "tenant": tenant,

@@ -111,7 +111,7 @@ class EventLog:
             trace_id, span_id = self._tracer.current_ids()
         rec: Dict[str, object] = {
             "seq": self._seq,
-            "ts": time.time(),
+            "ts": time.time(),  # privlint: ignore[PL4] observational record timestamp
             "event": event,
             "tenant": tenant,
             "epoch": epoch,

@@ -583,7 +583,7 @@ class FlightRecorder:
             return False
         record: Dict[str, object] = {
             "seq": self._seq,
-            "ts": time.time(),
+            "ts": time.time(),  # privlint: ignore[PL4] observational record timestamp
             "latency_seconds": float(latency_seconds),
             "threshold_seconds": float(threshold),
             "adaptive": adaptive,

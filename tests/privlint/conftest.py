@@ -1,0 +1,36 @@
+"""Shared helpers for the privlint analyzer tests."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.privlint import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixtures_result():
+    """One analyzer run over the committed golden-file fixtures."""
+    return run_lint([FIXTURES], package_root=FIXTURES)
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write a {relative_path: source} tree and lint it.
+
+    Sources are dedented; the tree root doubles as the package root so
+    display paths are stable relative names.
+    """
+
+    def _lint(files, **kwargs):
+        for name, source in files.items():
+            path = tmp_path / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return run_lint([tmp_path], package_root=tmp_path, **kwargs)
+
+    return _lint

@@ -1,0 +1,36 @@
+"""Negative fixture: disciplined code that every rule must pass.
+
+Exercises the allowed spellings next to each rule's banned ones:
+weight reads released through a Laplace sink (PL1), a threaded rng
+parameter and a seeded generator (PL2), the monotonic clock for
+latency (PL4), and an id-ordered dual-lock acquisition (PL4).
+"""
+
+import time
+
+import numpy as np
+
+
+def release_total(graph, eps, rng):
+    """A weight read that leaves through a noising sink."""
+    return graph.total_weight() + rng.laplace(1.0 / eps)
+
+
+def seeded_stream(seed):
+    """Explicitly seeded generators are reproducible and allowed."""
+    return np.random.default_rng(seed)
+
+
+def timed(fn):
+    """Latency from the monotonic clock, the blessed spelling."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def merge_counters(left, right):
+    """Dual-lock acquisition ordered by id() cannot deadlock."""
+    first, second = sorted((left, right), key=id)
+    with first._lock, second._lock:
+        left.count += right.count
+    return left

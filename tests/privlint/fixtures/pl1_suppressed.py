@@ -1,0 +1,6 @@
+"""PL1 fixture twin: the same violation, inline-suppressed."""
+
+
+def leak_total(graph):  # privlint: ignore[PL1] fixture: suppression round-trip
+    """Same body as pl1_taint.leak_total, silenced on the def line."""
+    return graph.total_weight() * 2.0

@@ -1,0 +1,7 @@
+"""PL1 fixture: returns a weight-derived value without a noising
+sink.  Exactly one finding, on the def line below."""
+
+
+def leak_total(graph):
+    """The sum of private edge weights, released raw — the PL1 bug."""
+    return graph.total_weight() * 2.0

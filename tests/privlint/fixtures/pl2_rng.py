@@ -1,0 +1,9 @@
+"""PL2 fixture: global-state numpy randomness.  Exactly one finding,
+on the np.random call line."""
+
+import numpy as np
+
+
+def unseeded_noise(values):
+    """Draws from numpy's process-global generator — the PL2 bug."""
+    return [v + np.random.normal(0.0, 1.0) for v in values]

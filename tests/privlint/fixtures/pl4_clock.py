@@ -1,0 +1,9 @@
+"""PL4 fixture: a wall-clock read feeding a returned value.  Exactly
+one finding, on the time.time() call line."""
+
+import time
+
+
+def stamp_release(values):
+    """Wall-clock state in a deterministic output — the PL4 bug."""
+    return {"released": list(values), "ts": time.time()}

@@ -1,0 +1,9 @@
+"""PL4 fixture twin: the same violation, inline-suppressed."""
+
+import time
+
+
+def stamp_release(values):
+    """Same read as pl4_clock.stamp_release, silenced on its line."""
+    ts = time.time()  # privlint: ignore[PL4] fixture: observational
+    return {"released": list(values), "ts": ts}

@@ -1,0 +1,9 @@
+"""PL3 fixture: a telemetry module importing a ledger module.
+Exactly one finding, on the import line."""
+
+from repro.serving.ledger import BudgetLedger
+
+
+def watch(ledger: BudgetLedger) -> float:
+    """Telemetry reaching into the serving layer — the PL3 bug."""
+    return ledger.remaining_eps()

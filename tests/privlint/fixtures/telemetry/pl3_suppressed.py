@@ -1,0 +1,8 @@
+"""PL3 fixture twin: the same violation, inline-suppressed."""
+
+from repro.serving.ledger import BudgetLedger  # privlint: ignore[PL3] fixture
+
+
+def watch(ledger: BudgetLedger) -> float:
+    """Same import as pl3_import, silenced on the import line."""
+    return ledger.remaining_eps()

@@ -1,0 +1,239 @@
+"""Framework tests: suppression parsing, baseline round-trips, the
+fail-closed ``repro-lint`` report reader, and the scan-set defaults."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.exceptions import LintError
+from repro.privlint import (
+    DEFAULT_BASELINE_PATH,
+    Finding,
+    default_package_root,
+    finding_from_dict,
+    iter_source_files,
+    lint_document,
+    load_baseline,
+    parse_suppressions,
+    render_text,
+    run_lint,
+    save_baseline,
+    validate_lint_report,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSuppressions:
+    def test_single_rule(self):
+        table = parse_suppressions(
+            "x = 1  # privlint: ignore[PL4] justification\n"
+        )
+        assert table == {1: frozenset({"PL4"})}
+
+    def test_multiple_rules_and_star(self):
+        table = parse_suppressions(
+            "a = 1  # privlint: ignore[PL1, PL2]\n"
+            "b = 2\n"
+            "c = 3  # privlint: ignore[*] everything\n"
+        )
+        assert table[1] == frozenset({"PL1", "PL2"})
+        assert 2 not in table
+        assert table[3] == frozenset({"*"})
+
+    def test_docstring_mention_does_not_suppress(self):
+        table = parse_suppressions(
+            '"""Write # privlint: ignore[PL1] on the line."""\n'
+            "x = 1\n"
+        )
+        assert table == {}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "x = 1  # privlint: ignore[]\n",
+            "x = 1  # privlint: ignore[pl4]\n",
+            "x = 1  # privlint: ignore[PL4; PL1]\n",
+        ],
+    )
+    def test_malformed_lists_fail_closed(self, bad):
+        with pytest.raises(LintError):
+            parse_suppressions(bad, "mod.py")
+
+
+class TestFinding:
+    def test_round_trip(self):
+        finding = Finding("PL1", "repro/x.py", 3, "message", "warning")
+        assert finding_from_dict(finding.as_dict()) == finding
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(LintError):
+            Finding("PL1", "x.py", 1, "m", severity="fatal")
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            "not a dict",
+            {"rule": "PL1", "path": "x.py"},
+            {"rule": "PL1", "path": "x.py", "line": "NaN..", "message": ""},
+        ],
+    )
+    def test_malformed_entries_fail_closed(self, entry):
+        with pytest.raises(LintError):
+            finding_from_dict(entry)
+
+
+class TestBaseline:
+    def test_round_trip_silences_grandfathered(self, tmp_path):
+        result = run_lint([FIXTURES], package_root=FIXTURES)
+        assert result.findings
+        baseline_path = tmp_path / "baseline.json"
+        count = save_baseline(baseline_path, result.findings)
+        assert count == len(result.findings)
+        baseline = load_baseline(baseline_path)
+        document = lint_document(result, baseline)
+        assert document["summary"]["new"] == 0
+        assert document["summary"]["baselined"] == count
+        # Every finding is still listed, marked baselined.
+        assert all(e["baselined"] for e in document["findings"])
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == frozenset()
+
+    def test_baseline_matching_ignores_line_drift(self, tmp_path):
+        finding = Finding("PL1", "repro/x.py", 10, "message")
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, [finding])
+        moved = Finding("PL1", "repro/x.py", 99, "message")
+        assert moved.key in load_baseline(baseline_path)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json{",
+            json.dumps({"format": "wrong", "version": 1, "entries": []}),
+            json.dumps(
+                {"format": "repro-lint-baseline", "version": 99,
+                 "entries": []}
+            ),
+            json.dumps(
+                {"format": "repro-lint-baseline", "version": 1}
+            ),
+            json.dumps(
+                {"format": "repro-lint-baseline", "version": 1,
+                 "entries": [{"rule": "PL1"}]}
+            ),
+        ],
+    )
+    def test_malformed_baselines_fail_closed(self, tmp_path, text):
+        path = tmp_path / "baseline.json"
+        path.write_text(text)
+        with pytest.raises(LintError):
+            load_baseline(path)
+
+    def test_committed_baseline_is_empty(self):
+        # The ISSUE's bar: every self-host finding was fixed or
+        # inline-justified, so the shipped baseline grandfathers
+        # nothing.  If this fails, a finding was baselined instead of
+        # fixed — look at the diff of baseline.json.
+        assert load_baseline(DEFAULT_BASELINE_PATH) == frozenset()
+
+
+class TestLintReport:
+    def _document(self):
+        result = run_lint([FIXTURES], package_root=FIXTURES)
+        return lint_document(result)
+
+    def test_document_validates(self):
+        document = self._document()
+        assert validate_lint_report(document) is document
+
+    def test_json_round_trip_validates(self):
+        document = json.loads(json.dumps(self._document()))
+        validate_lint_report(document)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("format"),
+            lambda d: d.__setitem__("format", "repro-profile"),
+            lambda d: d.__setitem__("version", 99),
+            lambda d: d.pop("findings"),
+            lambda d: d["findings"][0].pop("baselined"),
+            lambda d: d["findings"][0].pop("rule"),
+            lambda d: d.pop("summary"),
+            lambda d: d["summary"].__setitem__("new", 0xBAD),
+            lambda d: d["summary"].pop("suppressed"),
+        ],
+    )
+    def test_fail_closed(self, mutate):
+        document = self._document()
+        mutate(document)
+        with pytest.raises(LintError):
+            validate_lint_report(document)
+
+    def test_not_a_dict_fails(self):
+        with pytest.raises(LintError):
+            validate_lint_report([1, 2, 3])
+
+    def test_render_text_summary_line(self):
+        document = self._document()
+        text = render_text(document)
+        assert "pl1_taint.py:5: PL1 [error]" in text
+        assert text.rstrip().endswith(
+            "4 finding(s) (4 new, 0 baselined, 4 suppressed)"
+        )
+
+
+class TestScanSet:
+    def test_default_scan_matches_src_repro_exactly(self):
+        """Regression: the default scan set is precisely the installed
+        package's source files — nothing skipped, nothing extra."""
+        package_root = default_package_root()
+        expected = {
+            p
+            for p in package_root.rglob("*.py")
+            if "tests" not in p.relative_to(package_root).parts[:-1]
+            and "__pycache__" not in p.parts
+        }
+        assert set(iter_source_files([package_root])) == expected
+        # And the default package root is the imported repro package.
+        assert package_root == Path(repro.__file__).resolve().parent
+
+    def test_scanned_files_cover_every_module(self):
+        result = run_lint()
+        assert len(result.files) == len(
+            set(iter_source_files([default_package_root()]))
+        )
+        assert "repro/privlint/rules.py" in result.files
+
+    def test_tests_directories_are_excluded(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "tests").mkdir()
+        (tmp_path / "pkg" / "tests" / "test_mod.py").write_text(
+            "import random\nrandom.seed(0)\n"
+        )
+        files = iter_source_files([tmp_path])
+        assert [p.name for p in files] == ["mod.py"]
+
+    def test_explicit_file_paths_are_honoured(self, tmp_path):
+        target = tmp_path / "tests" / "fixture.py"
+        target.parent.mkdir()
+        target.write_text("x = 1\n")
+        # A directly named file is linted even under a tests/ dir.
+        assert iter_source_files([target]) == [target.resolve()]
+
+    def test_missing_path_fails_closed(self, tmp_path):
+        with pytest.raises(LintError):
+            iter_source_files([tmp_path / "nope"])
+
+    def test_unparseable_file_fails_closed(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        with pytest.raises(LintError):
+            run_lint([tmp_path], package_root=tmp_path)

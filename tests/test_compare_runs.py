@@ -17,6 +17,7 @@ from benchmarks.compare_runs import (
     load_p99,
     load_seconds,
     main,
+    missing_experiments,
 )
 
 
@@ -233,6 +234,70 @@ class TestP99Gate:
         captured = capsys.readouterr()
         assert "(warn-only)" in captured.out
 
+class TestRequireExperiments:
+    def test_reports_which_side_is_missing(self):
+        lines = missing_experiments(
+            ["E1", "E2", "E3", "E4"],
+            {"E1": 1.0, "E3": 1.0},
+            {"E1": 1.0, "E2": 1.0},
+        )
+        assert lines == [
+            "E2 missing from base run",
+            "E3 missing from new run",
+            "E4 missing from base and new run",
+        ]
+
+    def test_all_present_is_empty(self):
+        assert missing_experiments(
+            ["E1"], {"E1": 1.0}, {"E1": 2.0}
+        ) == []
+
+    def test_missing_tag_fails_the_check(self, tmp_path, capsys):
+        base = _run_file(tmp_path, "base.json", {"E1": 1.0, "E16": 1.0})
+        new = _run_file(tmp_path, "new.json", {"E1": 1.0})
+        code = main(
+            [str(base), str(new), "--require-experiments", "E1", "E16"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "E16 missing from new run" in err
+        assert "1 required experiment(s) missing" in err
+
+    def test_present_tags_exit_zero(self, tmp_path, capsys):
+        base = _run_file(tmp_path, "base.json", {"E1": 1.0, "E16": 1.0})
+        new = _run_file(tmp_path, "new.json", {"E1": 1.0, "E16": 1.1})
+        assert main(
+            [str(base), str(new), "--require-experiments", "E1", "E16"]
+        ) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_without_flag_missing_tag_stays_informational(
+        self, tmp_path, capsys
+    ):
+        # The pre-flag behaviour is unchanged: a dropped experiment is
+        # reported as "removed" but never fails the check.
+        base = _run_file(tmp_path, "base.json", {"E1": 1.0, "E16": 1.0})
+        new = _run_file(tmp_path, "new.json", {"E1": 1.0})
+        assert main([str(base), str(new)]) == 0
+        assert "removed" in capsys.readouterr().out
+
+    def test_regression_message_still_printed_alongside(
+        self, tmp_path, capsys
+    ):
+        # A wall-clock regression and a missing requirement both
+        # surface; exit code is 1 either way.
+        base = _run_file(tmp_path, "base.json", {"E1": 1.0, "E16": 1.0})
+        new = _run_file(tmp_path, "new.json", {"E1": 2.0})
+        code = main(
+            [str(base), str(new), "--require-experiments", "E16"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "E16 missing from new run" in err
+        assert "regressed" in err
+
+
+class TestP99GatePrecedence:
     def test_wall_clock_failure_takes_precedence(self, tmp_path, capsys):
         # Both gates trip: the exit code is still 1 and both messages
         # are printed.

@@ -76,6 +76,12 @@ class TestExports:
             "repro.analysis.errors",
             "repro.analysis.experiments",
             "repro.analysis.tables",
+            "repro.privlint",
+            "repro.privlint.engine",
+            "repro.privlint.findings",
+            "repro.privlint.report",
+            "repro.privlint.rules",
+            "repro.privlint.suppressions",
         ],
     )
     def test_submodules_import_and_are_documented(self, module_name):
