@@ -100,6 +100,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -502,9 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="run the privlint static privacy/determinism analyzer "
-        "(PL1 privacy taint, PL2 rng discipline, PL3 observational "
-        "purity, PL4 determinism hygiene); exits 1 on findings not "
-        "covered by the committed baseline",
+        "(PL1 privacy taint — inter-procedural, PL2 rng discipline, "
+        "PL3 observational purity, PL4 determinism hygiene, PL5 "
+        "budget hygiene); exits 1 on findings not covered by the "
+        "committed baseline",
     )
     p.add_argument(
         "--paths",
@@ -539,6 +541,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the rendering here (CI uploads the JSON "
         "report as an artifact)",
+    )
+    p.add_argument(
+        "--callgraph-out",
+        default=None,
+        metavar="PATH",
+        help="write the project call graph the inter-procedural "
+        "rules ran over as a versioned repro-callgraph JSON "
+        "document (debugging aid; CI uploads it as an artifact)",
+    )
+    p.add_argument(
+        "--report-unused-ignores",
+        action="store_true",
+        help="also list inline 'privlint: ignore' comments that "
+        "suppressed no finding this run (warn-only; see "
+        "--strict-ignores)",
+    )
+    p.add_argument(
+        "--strict-ignores",
+        action="store_true",
+        help="exit 1 when any inline ignore suppressed no finding "
+        "(implies --report-unused-ignores)",
     )
 
     return parser
@@ -835,7 +858,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args, telemetry
     )
 
-    def run():
+    def run():  # privlint: ignore[PL1] prints released estimates served from the budget-accounted noised synopsis
         service = serve(graph, config, rng, telemetry=telemetry)
         print(
             f"# mechanism: {service.mechanism}  "
@@ -869,7 +892,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _cmd_simulate(args: argparse.Namespace) -> int:  # privlint: ignore[PL1] prints released estimates and analyst-side error metrics from the replay harness
     from .exceptions import GraphError
     from .serving import ServingConfig, replay_rush_hour
     from .telemetry import Telemetry
@@ -1254,6 +1277,7 @@ def _tenant_budget(document: dict, tenant: str) -> dict:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .privlint import (
         DEFAULT_BASELINE_PATH,
+        callgraph_document,
         lint_document,
         load_baseline,
         render_text,
@@ -1262,7 +1286,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
     paths = [Path(p) for p in args.paths] if args.paths else None
+    start = time.perf_counter()
     result = run_lint(paths=paths)
+    elapsed = time.perf_counter() - start
+    # Wall time to stderr so CI logs make analyzer slowdowns visible
+    # without disturbing the parseable stdout rendering.
+    print(
+        f"privlint: analyzed {len(result.files)} files in "
+        f"{elapsed:.2f}s",
+        file=sys.stderr,
+    )
+    if args.callgraph_out is not None and result.context is not None:
+        Path(args.callgraph_out).write_text(
+            json.dumps(
+                callgraph_document(result.context.callgraph), indent=2
+            )
+            + "\n"
+        )
     baseline_path = (
         Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
     )
@@ -1274,10 +1314,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
         return 0
     document = lint_document(result, load_baseline(baseline_path))
+    show_unused = args.report_unused_ignores or args.strict_ignores
     rendered = (
         json.dumps(document, indent=2) + "\n"
         if args.format == "json"
-        else render_text(document)
+        else render_text(document, show_unused_ignores=show_unused)
     )
     if args.out is not None:
         Path(args.out).write_text(rendered)
@@ -1285,6 +1326,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             sys.stdout.write(rendered)
     else:
         sys.stdout.write(rendered)
+    status = 0
     new = document["summary"]["new"]
     if new:
         print(
@@ -1293,8 +1335,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             "grandfather with --update-baseline",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+    unused = document["summary"]["unused_ignores"]
+    if unused and show_unused:
+        strictness = (
+            "failing the gate (--strict-ignores)"
+            if args.strict_ignores
+            else "warn-only; --strict-ignores fails the gate"
+        )
+        print(
+            f"privlint: {unused} unused ignore comment(s) — delete "
+            f"them or tighten their rule list ({strictness})",
+            file=sys.stderr,
+        )
+        if args.strict_ignores:
+            status = 1
+    return status
 
 
 _COMMANDS = {

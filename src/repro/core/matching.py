@@ -81,7 +81,7 @@ class MatchingRelease:
         """The noised graph the matching was computed on."""
         return self._noisy_graph
 
-    def true_weight(self, graph: WeightedGraph) -> float:
+    def true_weight(self, graph: WeightedGraph) -> float:  # privlint: ignore[PL1] analyst-side evaluation of the released matching against a caller-supplied graph; not part of the release
         """Evaluate the released matching under a weight function (pass
         the original graph to measure the Theorem B.6 error)."""
         return matching_weight(graph, self._matching)

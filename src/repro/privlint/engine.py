@@ -20,7 +20,16 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..exceptions import LintError
 from .findings import Finding
@@ -29,6 +38,8 @@ from .suppressions import is_suppressed, parse_suppressions
 __all__ = [
     "FunctionInfo",
     "ModuleUnit",
+    "ProjectContext",
+    "UnusedIgnore",
     "LintResult",
     "default_package_root",
     "iter_source_files",
@@ -81,6 +92,12 @@ class ModuleUnit:
     #: Dotted-module segments of the display path, ``__init__`` dropped
     #: (``("repro", "telemetry", "audit")``).
     segments: Tuple[str, ...]
+    #: The *containing package's* segments — for an ``__init__.py``
+    #: this is ``segments`` itself (the module IS the package), for an
+    #: ordinary module it drops the last segment.  Relative imports
+    #: resolve against this, not against ``segments[:-1]``, which is
+    #: one level too shallow inside package ``__init__`` modules.
+    package: Tuple[str, ...]
     source: str
     tree: ast.Module
     #: Local name -> dotted import source (``np`` -> ``numpy``,
@@ -183,17 +200,17 @@ def _index_functions(tree: ast.Module) -> Tuple[FunctionInfo, ...]:
 
 
 def _index_imports(
-    tree: ast.Module, segments: Tuple[str, ...]
+    tree: ast.Module, package: Tuple[str, ...]
 ) -> Dict[str, str]:
     """Local name -> dotted origin for every import in the module.
 
-    Relative imports resolve against the module's own dotted position
+    Relative imports resolve against the module's containing package
     (``from ..rng import Rng`` inside ``repro.telemetry.audit``
     resolves to ``repro.rng``), so the purity rule can ban by absolute
-    prefix without caring how the import was spelled.
+    prefix — and the call-graph builder can chase re-exports — without
+    caring how the import was spelled.
     """
     aliases: Dict[str, str] = {}
-    package = segments[:-1] if segments else ()
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
@@ -238,13 +255,19 @@ def load_module_unit(path: Path, display_path: str) -> ModuleUnit:
         ) from None
     parts = Path(display_path).with_suffix("").parts
     segments = tuple(p for p in parts if p != "__init__")
+    package = (
+        segments
+        if parts and parts[-1] == "__init__"
+        else segments[:-1]
+    )
     return ModuleUnit(
         path=path,
         display_path=display_path,
         segments=segments,
+        package=package,
         source=source,
         tree=tree,
-        import_aliases=_index_imports(tree, segments),
+        import_aliases=_index_imports(tree, package),
         functions=_index_functions(tree),
         suppressions=parse_suppressions(source, display_path),
     )
@@ -277,6 +300,72 @@ def iter_source_files(paths: Iterable[Path]) -> List[Path]:
     return sorted(seen)
 
 
+@dataclass
+class ProjectContext:
+    """Project-wide state shared by cross-module rules.
+
+    Per-unit rules see one :class:`ModuleUnit` at a time; rules that
+    reason across call boundaries (PL1's taint propagation, PL5's
+    budget hygiene) declare ``project = True`` and receive this
+    context instead — every parsed unit, the lazily built call graph
+    (built at most once per run, shared by all project rules), and the
+    suppression-usage ledger behind ``lint --report-unused-ignores``.
+    """
+
+    units: Tuple[ModuleUnit, ...]
+    package_root: Path
+    _callgraph: Optional[object] = None
+    _units_by_path: Optional[Dict[str, ModuleUnit]] = None
+    _used_suppressions: Set[Tuple[str, int]] = field(
+        default_factory=set
+    )
+
+    @property
+    def callgraph(self):
+        if self._callgraph is None:
+            from .callgraph import build_call_graph
+
+            self._callgraph = build_call_graph(self.units)
+        return self._callgraph
+
+    def unit_for(self, display_path: str) -> Optional[ModuleUnit]:
+        if self._units_by_path is None:
+            self._units_by_path = {
+                unit.display_path: unit for unit in self.units
+            }
+        return self._units_by_path.get(display_path)
+
+    def mark_suppression_used(self, path: str, line: int) -> None:
+        """Record that the ignore comment on ``path:line`` silenced a
+        (would-be) finding; unmarked comments surface as unused."""
+        self._used_suppressions.add((path, line))
+
+    def suppression_used(self, path: str, line: int) -> bool:
+        return (path, line) in self._used_suppressions
+
+
+@dataclass(frozen=True)
+class UnusedIgnore:
+    """One inline ignore comment that silenced nothing this run."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: unused privlint "
+            f"ignore[{','.join(self.rules)}] (suppressed no finding)"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rules": list(self.rules),
+        }
+
+
 @dataclass(frozen=True)
 class LintResult:
     """The outcome of one analyzer run (before baseline diffing)."""
@@ -288,6 +377,10 @@ class LintResult:
     #: Display paths of every file scanned.
     files: Tuple[str, ...]
     package_root: Path = field(default_factory=default_package_root)
+    #: Ignore comments that silenced nothing (dead suppressions).
+    unused_ignores: Tuple[UnusedIgnore, ...] = ()
+    #: The project context of the run (callgraph access for the CLI).
+    context: Optional[ProjectContext] = None
 
 
 def _display_path(path: Path, package_root: Path) -> str:
@@ -327,25 +420,52 @@ def run_lint(
         else default_package_root()
     )
     scan = [root] if paths is None else [Path(p) for p in paths]
+    units: List[ModuleUnit] = []
+    for path in iter_source_files(scan):
+        units.append(load_module_unit(path, _display_path(path, root)))
+    context = ProjectContext(
+        units=tuple(units), package_root=root
+    )
     findings: List[Finding] = []
     suppressed = 0
-    files: List[str] = []
-    for path in iter_source_files(scan):
-        display = _display_path(path, root)
-        unit = load_module_unit(path, display)
-        files.append(display)
-        for rule in rules:
-            for finding in rule.check(unit):
-                if is_suppressed(
-                    finding.rule, finding.line, unit.suppressions
-                ):
-                    suppressed += 1
-                else:
-                    findings.append(finding)
+    for rule in rules:
+        if getattr(rule, "project", False):
+            produced = rule.check_project(context)
+        else:
+            produced = (
+                finding
+                for unit in units
+                for finding in rule.check(unit)
+            )
+        for finding in produced:
+            unit = context.unit_for(finding.path)
+            if unit is not None and is_suppressed(
+                finding.rule, finding.line, unit.suppressions
+            ):
+                suppressed += 1
+                context.mark_suppression_used(
+                    finding.path, finding.line
+                )
+            else:
+                findings.append(finding)
+    unused: List[UnusedIgnore] = []
+    for unit in units:
+        for line, names in unit.suppressions.items():
+            if not context.suppression_used(unit.display_path, line):
+                unused.append(
+                    UnusedIgnore(
+                        path=unit.display_path,
+                        line=line,
+                        rules=tuple(sorted(names)),
+                    )
+                )
+    unused.sort(key=lambda u: (u.path, u.line))
     findings.sort(key=lambda f: f.sort_key)
     return LintResult(
         findings=tuple(findings),
         suppressed=suppressed,
-        files=tuple(files),
+        files=tuple(unit.display_path for unit in units),
         package_root=root,
+        unused_ignores=tuple(unused),
+        context=context,
     )

@@ -25,8 +25,18 @@ instead of baseline entries.
 from __future__ import annotations
 
 import json
+from collections import Counter
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..exceptions import LintError
 from .engine import LintResult
@@ -45,11 +55,17 @@ __all__ = [
     "render_text",
 ]
 
+# Version 2 adds the ``unused_ignores`` section (dead-suppression
+# detection) and its summary count.
 LINT_FORMAT = "repro-lint"
-LINT_VERSION = 1
+LINT_VERSION = 2
 
+# Version 2 makes entries count-aware: two identical findings in one
+# file used to collapse into a single ``(rule, path, message)`` slot,
+# letting the second ride in for free.  Entries now carry ``count``
+# and the gate fails when the occurrence count *grows* past it.
 BASELINE_FORMAT = "repro-lint-baseline"
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
 
 #: The committed self-hosting baseline, shipped inside the package so
 #: the default gate works from any checkout or install.
@@ -60,7 +76,9 @@ BaselineKey = Tuple[str, str, str]
 
 def lint_document(
     result: LintResult,
-    baseline: Optional[FrozenSet[BaselineKey]] = None,
+    baseline: Optional[
+        Union[Mapping[BaselineKey, int], FrozenSet[BaselineKey]]
+    ] = None,
 ) -> Dict[str, object]:
     """The versioned JSON report for one analyzer run.
 
@@ -68,13 +86,27 @@ def lint_document(
     the ``summary`` block carries the counts the gate and CI read
     (``new`` is the number of non-baselined findings — the gate fails
     when it is non-zero).
+
+    The baseline is count-aware: a key grandfathers at most ``count``
+    occurrences, so a second identical finding in the same file no
+    longer rides in for free.  Occurrences are consumed in report
+    order.  A plain key set is accepted for convenience and means
+    count 1 per key.
     """
-    grandfathered = baseline or frozenset()
+    if baseline is None:
+        allowance: Dict[BaselineKey, int] = {}
+    elif isinstance(baseline, Mapping):
+        allowance = dict(baseline)
+    else:
+        allowance = {key: 1 for key in baseline}
     findings: List[Dict[str, object]] = []
     new = 0
     for finding in result.findings:
-        baselined = finding.key in grandfathered
-        if not baselined:
+        remaining = allowance.get(finding.key, 0)
+        baselined = remaining > 0
+        if baselined:
+            allowance[finding.key] = remaining - 1
+        else:
             new += 1
         entry = finding.as_dict()
         entry["baselined"] = baselined
@@ -84,11 +116,15 @@ def lint_document(
         "version": LINT_VERSION,
         "files_scanned": len(result.files),
         "findings": findings,
+        "unused_ignores": [
+            ignore.as_dict() for ignore in result.unused_ignores
+        ],
         "summary": {
             "total": len(findings),
             "new": new,
             "baselined": len(findings) - new,
             "suppressed": result.suppressed,
+            "unused_ignores": len(result.unused_ignores),
         },
     }
 
@@ -129,10 +165,29 @@ def validate_lint_report(doc: object) -> Dict[str, object]:
             )
         if not entry["baselined"]:
             new += 1
+    unused = doc.get("unused_ignores")
+    if not isinstance(unused, list):
+        raise LintError("lint report has no 'unused_ignores' list")
+    for entry in unused:
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("path"), str)
+            or not isinstance(entry.get("line"), int)
+            or not isinstance(entry.get("rules"), list)
+        ):
+            raise LintError(
+                f"malformed unused-ignore entry: {entry!r}"
+            )
     summary = doc.get("summary")
     if not isinstance(summary, dict):
         raise LintError("lint report has no 'summary' object")
-    for key in ("total", "new", "baselined", "suppressed"):
+    for key in (
+        "total",
+        "new",
+        "baselined",
+        "suppressed",
+        "unused_ignores",
+    ):
         if not isinstance(summary.get(key), int):
             raise LintError(
                 f"lint report summary lacks integer {key!r}"
@@ -144,6 +199,12 @@ def validate_lint_report(doc: object) -> Dict[str, object]:
             f"{summary['new']}, findings say total={len(findings)} "
             f"new={new})"
         )
+    if summary["unused_ignores"] != len(unused):
+        raise LintError(
+            "lint report summary disagrees with its unused_ignores "
+            f"(summary says {summary['unused_ignores']}, document "
+            f"lists {len(unused)})"
+        )
     return doc
 
 
@@ -152,17 +213,20 @@ def validate_lint_report(doc: object) -> Dict[str, object]:
 # ----------------------------------------------------------------------
 
 
-def load_baseline(path: Path) -> FrozenSet[BaselineKey]:
-    """The grandfathered finding keys from a committed baseline file.
+def load_baseline(path: Path) -> Dict[BaselineKey, int]:
+    """Grandfathered finding keys -> allowed occurrence counts.
 
     A missing file is an empty baseline (every finding is new — the
     fail-closed direction); a file that exists but cannot be parsed or
     carries the wrong markers raises
-    :class:`~repro.exceptions.LintError`.
+    :class:`~repro.exceptions.LintError`.  Version 1 baselines (no
+    ``count`` field) are still readable and mean one occurrence per
+    entry — exactly the v1 semantics for the common case, stricter
+    for the duplicate-collapse hole v2 closes.
     """
     path = Path(path)
     if not path.exists():
-        return frozenset()
+        return {}
     try:
         doc = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
@@ -174,16 +238,17 @@ def load_baseline(path: Path) -> FrozenSet[BaselineKey]:
             f"{path} is not a lint baseline (expected format "
             f"{BASELINE_FORMAT!r})"
         )
-    if doc.get("version") != BASELINE_VERSION:
+    version = doc.get("version")
+    if version not in (1, BASELINE_VERSION):
         raise LintError(
             f"unsupported lint baseline version "
-            f"{doc.get('version')!r} (this build reads version "
+            f"{version!r} (this build reads versions 1 and "
             f"{BASELINE_VERSION})"
         )
     entries = doc.get("entries")
     if not isinstance(entries, list):
         raise LintError(f"{path} has no 'entries' list")
-    keys = set()
+    keys: Dict[BaselineKey, int] = {}
     for entry in entries:
         if not isinstance(entry, dict) or not all(
             isinstance(entry.get(k), str)
@@ -192,26 +257,40 @@ def load_baseline(path: Path) -> FrozenSet[BaselineKey]:
             raise LintError(
                 f"{path} has a malformed baseline entry: {entry!r}"
             )
-        keys.add((entry["rule"], entry["path"], entry["message"]))
-    return frozenset(keys)
+        count = entry.get("count", 1)
+        if (
+            not isinstance(count, int)
+            or isinstance(count, bool)
+            or count < 1
+        ):
+            raise LintError(
+                f"{path} has a baseline entry with invalid count "
+                f"{count!r} (must be a positive integer)"
+            )
+        key = (entry["rule"], entry["path"], entry["message"])
+        keys[key] = keys.get(key, 0) + count
+    return keys
 
 
 def save_baseline(path: Path, findings: Iterable[Finding]) -> int:
-    """Write the baseline document grandfathering ``findings``;
-    returns the number of entries written."""
-    entries = sorted(
-        {f.key for f in findings}
-    )
+    """Write the baseline document grandfathering ``findings`` with
+    their occurrence counts; returns the number of entries written."""
+    counts = Counter(f.key for f in findings)
     document = {
         "format": BASELINE_FORMAT,
         "version": BASELINE_VERSION,
         "entries": [
-            {"rule": rule, "path": path_, "message": message}
-            for rule, path_, message in entries
+            {
+                "rule": rule,
+                "path": path_,
+                "message": message,
+                "count": counts[(rule, path_, message)],
+            }
+            for rule, path_, message in sorted(counts)
         ],
     }
     Path(path).write_text(json.dumps(document, indent=2) + "\n")
-    return len(entries)
+    return len(counts)
 
 
 # ----------------------------------------------------------------------
@@ -219,20 +298,31 @@ def save_baseline(path: Path, findings: Iterable[Finding]) -> int:
 # ----------------------------------------------------------------------
 
 
-def render_text(document: Dict[str, object]) -> str:
+def render_text(
+    document: Dict[str, object], show_unused_ignores: bool = False
+) -> str:
     """Human-readable rendering of a lint report document: one
     ``path:line: rule [severity] message`` line per finding (baselined
-    findings marked), then the summary line the gate acts on."""
+    findings marked), optionally the unused-ignore warnings, then the
+    summary line the gate acts on."""
     lines: List[str] = []
     for entry in document["findings"]:
         finding = finding_from_dict(entry)
         suffix = "  (baselined)" if entry.get("baselined") else ""
         lines.append(finding.render() + suffix)
+    if show_unused_ignores:
+        for entry in document.get("unused_ignores", []):
+            rules = ",".join(entry["rules"])
+            lines.append(
+                f"{entry['path']}:{entry['line']}: unused privlint "
+                f"ignore[{rules}] (suppressed no finding)"
+            )
     summary = document["summary"]
     lines.append(
         f"privlint: {document['files_scanned']} files, "
         f"{summary['total']} finding(s) "
         f"({summary['new']} new, {summary['baselined']} baselined, "
-        f"{summary['suppressed']} suppressed)"
+        f"{summary['suppressed']} suppressed, "
+        f"{summary['unused_ignores']} unused ignore(s))"
     )
     return "\n".join(lines) + "\n"

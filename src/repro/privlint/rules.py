@@ -31,20 +31,50 @@ model as machine-checked properties:
   deterministic outputs — the monotonic clock is for latencies,
   wall-clock timestamps are for observational records and carry an
   inline justification.
+* **PL5 — budget hygiene.**  Inside the serving layer, every path
+  from an epoch entry point (``refresh``, ``fresh_batch``, a
+  ``build*`` builder) to a raw noise draw (``laplace_*`` /
+  ``perturb_*``) must traverse a :class:`~repro.serving.ledger.
+  BudgetLedger` ``spend`` first — "spend first, release second" as a
+  machine-checked property instead of a comment.
 
-The analysis is intentionally single-function (no inter-procedural
-dataflow): precise enough to catch the bug classes above, simple
-enough that a finding is explainable by reading one function.
+PL2-PL4 are single-function (a finding is explainable by reading one
+function).  PL1 and PL5 are *inter-procedural*: they propagate
+per-function summaries over the project call graph
+(:mod:`repro.privlint.callgraph`) to a bounded, cycle-safe fixpoint,
+so a helper that returns a raw weight-derived value is exonerated
+when every caller noises it — and flagged when one leaks it.
 """
 
 from __future__ import annotations
 
 import ast
 from fnmatch import fnmatch
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from .engine import FunctionInfo, ModuleUnit
+from .callgraph import (
+    NOISE_SINK_NAMES,
+    NOISE_SINK_PREFIXES,
+    OUTPUT_SINKS,
+    SPEND_NAMES,
+    WEIGHT_READS,
+    CallGraph,
+    FunctionNode,
+    is_draw_name,
+)
+from .engine import FunctionInfo, ModuleUnit, ProjectContext
 from .findings import Finding
+from .suppressions import is_suppressed
 
 __all__ = [
     "Rule",
@@ -52,18 +82,41 @@ __all__ = [
     "PL2RngDiscipline",
     "PL3ObservationalPurity",
     "PL4DeterminismHygiene",
+    "PL5BudgetHygiene",
     "DEFAULT_RULES",
     "PL1_ALLOWLIST",
+    "PL5_SERVING_GLOBS",
+    "PL5_RELEASE_PRIMITIVES",
 ]
+
+# Backward-compatible aliases: the taint vocabulary moved to
+# repro.privlint.callgraph where the summary extractor lives.
+_WEIGHT_READS = WEIGHT_READS
+_NOISE_SINK_PREFIXES = NOISE_SINK_PREFIXES
+_NOISE_SINK_NAMES = NOISE_SINK_NAMES
+_OUTPUT_SINKS = OUTPUT_SINKS
 
 
 class Rule:
-    """Base class for privlint rules (stateless; yields findings)."""
+    """Base class for privlint rules (stateless; yields findings).
+
+    Per-unit rules implement ``check(unit)``.  Rules that reason
+    across call boundaries set ``project = True`` and implement
+    ``check_project(context)`` instead — the engine hands them the
+    shared :class:`~repro.privlint.engine.ProjectContext` once per
+    run.
+    """
 
     name: str = "PL0"
     summary: str = ""
+    project: bool = False
 
     def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check_project(
+        self, context: ProjectContext
+    ) -> Iterator[Finding]:
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -107,50 +160,20 @@ def _contains_wallclock(unit: ModuleUnit, node: ast.AST) -> bool:
 
 
 # ----------------------------------------------------------------------
-# PL1 — privacy taint
+# PL1 — privacy taint (inter-procedural)
 # ----------------------------------------------------------------------
 
-#: Attribute names whose access reads private weight state.
-_WEIGHT_READS = frozenset(
-    {
-        "weight",
-        "weights",
-        "weight_vector",
-        "edge_weights",
-        "with_weights",
-        "total_weight",
-        "path_weight",
-    }
-)
-
-#: Call targets recognized as noising/accounting sinks: Laplace draws
-#: and helpers, mechanism release methods, registry/synopsis builds,
-#: ledger spends, and the engine's vectorized perturbation kernels.
-_NOISE_SINK_PREFIXES = ("laplace", "release_", "build_", "perturb_")
-_NOISE_SINK_NAMES = frozenset({"build", "spend"})
-
-#: Call/name targets that move a value out of the process: returns are
-#: detected structurally, these cover serialize/log escapes.
-_OUTPUT_SINKS = frozenset(
-    {"print", "dumps", "dump", "write", "write_text", "writelines"}
-)
-
-#: Maintained allowlist (display-path globs): exact-computation
-#: substrate that reads weights *by design* and is only ever invoked
-#: under a release mechanism or for ground-truth evaluation.  Entries
-#: here are reviewed in PRs like any other code change; new modules
-#: are NOT allowlisted by default.
+#: Maintained allowlist (display-path globs): modules that read and
+#: hand out weight state *by design*, where the release boundary is
+#: structurally above them.  Since the call-graph pass the
+#: ``engine``/``algorithms`` layers are no longer here — the analyzer
+#: now *proves* their exact kernels flow into noising callers instead
+#: of trusting a glob.  Entries are reviewed in PRs like any other
+#: code change; new modules are NOT allowlisted by default.
 PL1_ALLOWLIST: Tuple[str, ...] = (
     # The graph substrate: these modules *define* the weight state and
-    # its accessors; the release boundary is above them.
+    # its accessors; every consumer sits above them.
     "repro/graphs/*",
-    # Exact algorithms (Dijkstra, MST, matchings, coverings): the
-    # paper's subroutines, called only under a mechanism's budgeted
-    # release or to compute evaluation ground truth.
-    "repro/algorithms/*",
-    # The vectorized CSR kernels (the ISSUE's canonical example):
-    # exact recomputation invoked under synopsis builds.
-    "repro/engine/*",
     # Workload generators *construct* the synthetic private input
     # (road networks, congestion scenarios) and compute ground-truth
     # error for the replay harness — upstream of any release.
@@ -162,14 +185,43 @@ PL1_ALLOWLIST: Tuple[str, ...] = (
 
 
 class PL1WeightTaint(Rule):
-    """Weight-derived values must leave functions through a noising
-    sink."""
+    """Weight-derived values must leave the program through a noising
+    sink — checked across call boundaries.
+
+    The analysis runs over the project call graph in three bounded
+    fixpoints (each pass flips only monotone bits, so recursion and
+    mutual recursion terminate):
+
+    1. **Taint.**  A function is tainted if it reads weight state
+       directly, or calls a tainted function that *forwards* its
+       taint (returns a value, does not noise it, and is not a
+       trusted boundary — an allowlisted module or a def-line
+       ``ignore[PL1]``).
+    2. **Candidates.**  A tainted function that escapes (returns or
+       serializes) without noising and is not trusted is a candidate
+       leak — its raw value is in *someone's* hands.
+    3. **Leaks.**  A candidate actually leaks if its value reaches
+       the outside raw: it serializes, it has no caller (the raw
+       return IS the API surface), or some caller re-exposes it and
+       leaks in turn.  Candidates whose every caller noises, is
+       trusted, or keeps the value internal are exonerated — this is
+       what lets the exact ``engine``/``algorithms`` kernels come off
+       the allowlist.
+
+    Only *direct readers* are flagged (one finding per chain root);
+    multi-hop leaks carry a witness call chain in the message.
+    """
 
     name = "PL1"
+    project = True
     summary = (
-        "function reads private weight state and returns/serializes a "
-        "derived value without a recognized noising sink"
+        "function reads private weight state and the derived value "
+        "escapes, across all call paths, without a recognized "
+        "noising sink"
     )
+
+    #: Witness chains longer than this render with an ellipsis.
+    _CHAIN_DISPLAY_CAP = 4
 
     def __init__(
         self, allowlist: Optional[Sequence[str]] = None
@@ -178,63 +230,192 @@ class PL1WeightTaint(Rule):
             tuple(allowlist) if allowlist is not None else PL1_ALLOWLIST
         )
 
-    def _allowlisted(self, unit: ModuleUnit) -> bool:
+    def _allowlisted(self, display_path: str) -> bool:
         return any(
-            fnmatch(unit.display_path, pattern)
+            fnmatch(display_path, pattern)
             for pattern in self.allowlist
         )
 
-    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
-        if self._allowlisted(unit):
-            return
-        for info in unit.functions:
-            reads = set()
-            returns_value = False
-            serializes = False
-            noised = False
-            for sub in _owned_walk(info, info.node):
-                if (
-                    isinstance(sub, ast.Attribute)
-                    and isinstance(sub.ctx, ast.Load)
-                    and sub.attr in _WEIGHT_READS
-                ):
-                    reads.add(sub.attr)
-                elif isinstance(sub, ast.Return) and not (
-                    sub.value is None
-                    or (
-                        isinstance(sub.value, ast.Constant)
-                        and sub.value.value is None
-                    )
-                ):
-                    returns_value = True
-                elif isinstance(sub, ast.Call):
-                    target = _call_target(sub)
-                    if target is None:
-                        continue
-                    if target in _NOISE_SINK_NAMES or any(
-                        target.startswith(p)
-                        for p in _NOISE_SINK_PREFIXES
+    # -- the three fixpoints --------------------------------------
+
+    def _trusted(
+        self, context: ProjectContext, with_suppressions: bool
+    ) -> FrozenSet[str]:
+        graph: CallGraph = context.callgraph
+        trusted: Set[str] = set()
+        for node in graph.nodes.values():
+            if self._allowlisted(node.path):
+                trusted.add(node.node_id)
+                continue
+            if not with_suppressions:
+                continue
+            unit = context.unit_for(node.path)
+            if unit is not None and is_suppressed(
+                self.name, node.lineno, unit.suppressions
+            ):
+                trusted.add(node.node_id)
+        return frozenset(trusted)
+
+    def _analyze(
+        self, graph: CallGraph, trusted: FrozenSet[str]
+    ) -> Tuple[Set[str], Set[str]]:
+        """(candidates, leaking) under one trust assignment."""
+        nodes = graph.nodes
+        # 1. Taint: seeded by direct readers, propagated caller-ward
+        # through functions that forward raw derived values.
+        tainted: Set[str] = {
+            nid for nid, node in nodes.items() if node.reads_weights
+        }
+        changed = True
+        while changed:
+            changed = False
+            for nid, node in nodes.items():
+                if nid in tainted:
+                    continue
+                for site in node.calls:
+                    if any(
+                        t in tainted and self._forwards(nodes[t], trusted)
+                        for t in site.targets
                     ):
-                        noised = True
-                    elif target in _OUTPUT_SINKS:
-                        serializes = True
-            if reads and (returns_value or serializes) and not noised:
-                escape = (
-                    "returns" if returns_value else "serializes/logs"
-                )
-                yield Finding(
-                    rule=self.name,
-                    path=unit.display_path,
-                    line=info.lineno,
-                    message=(
-                        f"function '{info.qualname}' reads private "
-                        f"weight state ({', '.join(sorted(reads))}) "
-                        f"and {escape} a derived value without a "
-                        "recognized noising sink (laplace_*, registry "
-                        "build, ledger spend)"
-                    ),
-                    severity="error",
-                )
+                        tainted.add(nid)
+                        changed = True
+                        break
+        # 2. Candidates: tainted escapers with no noising sink.
+        candidates: Set[str] = {
+            nid
+            for nid in tainted
+            if nid not in trusted
+            and nodes[nid].escapes
+            and not nodes[nid].noises
+        }
+        # 3. Leaks: seeded by candidates whose value reaches the
+        # outside unconditionally (serializers, caller-less roots),
+        # propagated callee-ward — a candidate leaks when a caller
+        # that re-exposes its value leaks.
+        leaking: Set[str] = {
+            nid
+            for nid in candidates
+            if nodes[nid].serializes or not graph.callers_of(nid)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for nid in candidates:
+                if nid in leaking:
+                    continue
+                if any(
+                    caller in leaking
+                    for caller in graph.callers_of(nid)
+                ):
+                    leaking.add(nid)
+                    changed = True
+        return candidates, leaking
+
+    @staticmethod
+    def _forwards(node: FunctionNode, trusted: FrozenSet[str]) -> bool:
+        """Does a tainted ``node`` pass raw taint to its callers?"""
+        return (
+            node.returns_value
+            and not node.noises
+            and node.node_id not in trusted
+        )
+
+    def _witness_chain(
+        self, graph: CallGraph, root: str, leaking: Set[str]
+    ) -> List[str]:
+        """A leak path from ``root`` caller-ward: greedy, min-id at
+        each hop, cycle-safe via the visited set."""
+        chain = [root]
+        visited = {root}
+        current = root
+        while True:
+            node = graph.nodes[current]
+            if node.serializes or not graph.callers_of(current):
+                break
+            upstream = sorted(
+                c
+                for c in graph.callers_of(current)
+                if c in leaking and c not in visited
+            )
+            if not upstream:
+                break
+            current = upstream[0]
+            visited.add(current)
+            chain.append(current)
+        return chain
+
+    def _render_chain(
+        self, graph: CallGraph, chain: List[str]
+    ) -> str:
+        shown = chain[: self._CHAIN_DISPLAY_CAP]
+        parts = [graph.nodes[nid].qualname for nid in shown]
+        if len(chain) > len(shown):
+            parts.append("...")
+        return " -> ".join(parts)
+
+    def _finding(
+        self,
+        graph: CallGraph,
+        nid: str,
+        leaking: Set[str],
+    ) -> Finding:
+        node = graph.nodes[nid]
+        escape = "returns" if node.returns_value else "serializes/logs"
+        message = (
+            f"function '{node.qualname}' reads private "
+            f"weight state ({', '.join(node.reads)}) "
+            f"and {escape} a derived value without a "
+            "recognized noising sink (laplace_*, registry "
+            "build, ledger spend)"
+        )
+        chain = self._witness_chain(graph, nid, leaking)
+        if len(chain) > 1:
+            message += (
+                "; the raw value leaks through call chain "
+                f"{self._render_chain(graph, chain)}"
+            )
+        return Finding(
+            rule=self.name,
+            path=node.path,
+            line=node.lineno,
+            message=message,
+            severity="error",
+        )
+
+    def check_project(
+        self, context: ProjectContext
+    ) -> Iterator[Finding]:
+        graph: CallGraph = context.callgraph
+        trusted = self._trusted(context, with_suppressions=True)
+        _, leaking = self._analyze(graph, trusted)
+        for nid in sorted(leaking):
+            if graph.nodes[nid].reads_weights:
+                yield self._finding(graph, nid, leaking)
+        # Trust-blind pass: decide which def-line ignore[PL1]
+        # comments actually changed the outcome.  Suppressed roots
+        # are re-yielded (the engine counts and marks them);
+        # suppressed mid-chain boundaries are marked used directly.
+        blind_trusted = self._trusted(context, with_suppressions=False)
+        suppressed_boundaries = trusted - blind_trusted
+        if not suppressed_boundaries:
+            return
+        blind_candidates, blind_leaking = self._analyze(
+            graph, blind_trusted
+        )
+        for nid in sorted(blind_leaking):
+            node = graph.nodes[nid]
+            if nid not in suppressed_boundaries:
+                continue
+            if node.reads_weights:
+                yield self._finding(graph, nid, blind_leaking)
+            else:
+                context.mark_suppression_used(node.path, node.lineno)
+        # A suppressed boundary that never leaks itself can still be
+        # load-bearing: it absorbs a chain that would otherwise leak.
+        for nid in sorted(suppressed_boundaries - blind_leaking):
+            if nid in blind_candidates:
+                node = graph.nodes[nid]
+                context.mark_suppression_used(node.path, node.lineno)
 
 
 def _owned_walk(
@@ -436,7 +617,7 @@ class PL3ObservationalPurity(Rule):
                 )
 
     def _check_imports(self, unit: ModuleUnit) -> Iterator[Finding]:
-        package = unit.segments[:-1] if unit.segments else ()
+        package = unit.package
         for node in ast.walk(unit.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -562,10 +743,184 @@ class PL4DeterminismHygiene(Rule):
         )
 
 
+# ----------------------------------------------------------------------
+# PL5 — budget hygiene (inter-procedural)
+# ----------------------------------------------------------------------
+
+#: Display-path globs selecting the serving layer, where the ledger
+#: discipline applies.  Test fixtures under ``*/serving/`` match too,
+#: by design.
+PL5_SERVING_GLOBS: Tuple[str, ...] = ("*serving/*",)
+
+#: Serving modules that ARE the release primitives: their ``build*``
+#: functions draw the noise a caller has already paid for, so they are
+#: not epoch entry points themselves — the budget obligation sits with
+#: every caller, which the ``unguarded`` summary propagates.
+PL5_RELEASE_PRIMITIVES: Tuple[str, ...] = (
+    "repro/serving/synopsis.py",
+)
+
+#: Bare names / prefixes that make a serving function an epoch entry
+#: point: synopsis refreshes, batch construction, builders.
+PL5_ENTRY_NAMES: FrozenSet[str] = frozenset(
+    {"refresh", "refresh_shard", "fresh_batch"}
+)
+PL5_ENTRY_PREFIXES: Tuple[str, ...] = ("build_", "_build")
+
+
+class PL5BudgetHygiene(Rule):
+    """Spend first, release second — every serving-epoch path to a
+    noise draw must traverse a budget ledger ``spend``.
+
+    Two bounded fixpoints over the call graph:
+
+    * ``spends(F)``: F calls a ledger ``spend``, directly or
+      transitively.
+    * ``unguarded(F)``: entered with no prior spend, F can reach a
+      raw ``laplace_*``/``perturb_*`` draw before any spend.
+      Computed by walking F's call sites in program order with a
+      ``spent`` flag: a site is a violation when the flag is clear
+      and the site is itself a draw or any resolved target is
+      unguarded; the flag sets once a site spends (draw risk is
+      evaluated *before* the same site's spend, so a callee that
+      internally spends-then-draws is safe and a draw-then-spend one
+      is not).
+
+    An entry point (``refresh``/``fresh_batch``/``build*`` in a
+    serving module that is not a release primitive) is flagged iff it
+    is unguarded.  Fail-closed: an unresolved draw-named call still
+    counts as a draw.
+    """
+
+    name = "PL5"
+    project = True
+    summary = (
+        "serving-epoch entry point reaches a raw noise draw "
+        "(laplace_*/perturb_*) without a preceding budget ledger "
+        "spend"
+    )
+
+    def __init__(
+        self,
+        serving_globs: Optional[Sequence[str]] = None,
+        primitive_globs: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.serving_globs: Tuple[str, ...] = (
+            tuple(serving_globs)
+            if serving_globs is not None
+            else PL5_SERVING_GLOBS
+        )
+        self.primitive_globs: Tuple[str, ...] = (
+            tuple(primitive_globs)
+            if primitive_globs is not None
+            else PL5_RELEASE_PRIMITIVES
+        )
+
+    def _is_entry(self, node: FunctionNode) -> bool:
+        if not any(
+            fnmatch(node.path, g) for g in self.serving_globs
+        ):
+            return False
+        if any(fnmatch(node.path, g) for g in self.primitive_globs):
+            return False
+        return node.name in PL5_ENTRY_NAMES or any(
+            node.name.startswith(p) for p in PL5_ENTRY_PREFIXES
+        )
+
+    @staticmethod
+    def _spends_fixpoint(graph: CallGraph) -> Set[str]:
+        spends = {
+            nid
+            for nid, node in graph.nodes.items()
+            if node.spends
+        }
+        changed = True
+        while changed:
+            changed = False
+            for nid, node in graph.nodes.items():
+                if nid in spends:
+                    continue
+                if any(
+                    t in spends
+                    for site in node.calls
+                    for t in site.targets
+                ):
+                    spends.add(nid)
+                    changed = True
+        return spends
+
+    @staticmethod
+    def _unguarded_fixpoint(
+        graph: CallGraph, spends: Set[str]
+    ) -> Dict[str, Optional[Tuple[int, str]]]:
+        """node id -> first offending (line, call name), or None when
+        the function is guarded."""
+        unguarded: Dict[str, Optional[Tuple[int, str]]] = {
+            nid: None for nid in graph.nodes
+        }
+
+        def first_violation(
+            node: FunctionNode,
+        ) -> Optional[Tuple[int, str]]:
+            spent = False
+            for site in node.calls:  # already in program order
+                if not spent:
+                    if is_draw_name(site.name):
+                        return (site.lineno, site.name)
+                    for target in site.targets:
+                        if unguarded[target] is not None:
+                            return (site.lineno, site.name)
+                if site.name in SPEND_NAMES or any(
+                    t in spends for t in site.targets
+                ):
+                    spent = True
+            return None
+
+        changed = True
+        while changed:
+            changed = False
+            for nid, node in graph.nodes.items():
+                if unguarded[nid] is not None:
+                    continue
+                violation = first_violation(node)
+                if violation is not None:
+                    unguarded[nid] = violation
+                    changed = True
+        return unguarded
+
+    def check_project(
+        self, context: ProjectContext
+    ) -> Iterator[Finding]:
+        graph: CallGraph = context.callgraph
+        spends = self._spends_fixpoint(graph)
+        unguarded = self._unguarded_fixpoint(graph, spends)
+        for nid in sorted(graph.nodes):
+            node = graph.nodes[nid]
+            if not self._is_entry(node):
+                continue
+            violation = unguarded[nid]
+            if violation is None:
+                continue
+            _, call_name = violation
+            yield Finding(
+                rule=self.name,
+                path=node.path,
+                line=node.lineno,
+                message=(
+                    f"serving-epoch entry point '{node.qualname}' "
+                    f"reaches a raw noise draw via '{call_name}' "
+                    "without a preceding budget ledger spend: spend "
+                    "first, release second"
+                ),
+                severity="error",
+            )
+
+
 #: The shipped rule pipeline, in rule-id order.
 DEFAULT_RULES: Tuple[Rule, ...] = (
     PL1WeightTaint(),
     PL2RngDiscipline(),
     PL3ObservationalPurity(),
     PL4DeterminismHygiene(),
+    PL5BudgetHygiene(),
 )

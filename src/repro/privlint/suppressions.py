@@ -29,7 +29,8 @@ from ..exceptions import LintError
 
 __all__ = ["parse_suppressions", "is_suppressed"]
 
-#: ``# privlint: ignore[PL1]`` / ``ignore[PL1, PL2]`` / ``ignore[*]``.
+#: Matches the ignore[PL1] / ignore[PL1, PL2] / ignore[*] bracket
+#: list after the comment marker (see module docstring for examples).
 _SUPPRESSION_RE = re.compile(
     r"#\s*privlint:\s*ignore\[([^\]]*)\]"
 )

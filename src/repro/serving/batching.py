@@ -26,10 +26,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, MutableMapping, Sequence, Tuple
 
+from ..dp.params import PrivacyParams
 from ..exceptions import GraphError
 from ..graphs.graph import Vertex, WeightedGraph
 from ..rng import Rng
 from ..telemetry import Telemetry, get_telemetry
+from .ledger import BudgetLedger
 from .synopsis import (
     DistanceSynopsis,
     SinglePairSynopsis,
@@ -242,6 +244,7 @@ def fresh_batch(
     pairs: Sequence[Pair],
     eps: float,
     rng: Rng,
+    ledger: BudgetLedger | None = None,
 ) -> Tuple[SinglePairSynopsis, BatchReport]:
     """Release and serve a batch with no standing synopsis.
 
@@ -249,12 +252,25 @@ def fresh_batch(
     vectorized ``Lap(Q/eps)`` draw (eps-DP total), and serves every
     query from the resulting synopsis.  Returns the synopsis too, so
     follow-up batches over the same pairs are free.
+
+    Spend first, release second: the whole-batch ``eps`` is recorded
+    against ``ledger`` *before* any noise is drawn (a fresh
+    single-epoch ledger when none is passed), so even a standalone
+    batch release is budget-accounted — the fail-closed
+    :class:`~repro.serving.ledger.BudgetLedger` refuses the spend, and
+    therefore the draw, when a shared ledger cannot cover it.
     """
     telemetry = get_telemetry()
+    if ledger is None:
+        ledger = BudgetLedger(PrivacyParams(eps))
     start = time.perf_counter()
     with telemetry.span(
         "fresh_batch.release", queries=len(pairs), eps=eps
     ):
+        ledger.spend(
+            PrivacyParams(eps),
+            label=f"fresh batch ({len(pairs)} queries)",
+        )
         synopsis = build_single_pair_synopsis(graph, pairs, eps, rng)
     build_seconds = time.perf_counter() - start
     telemetry.registry.histogram(

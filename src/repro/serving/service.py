@@ -560,7 +560,7 @@ class DistanceService:
             epoch=self._ledger.epoch,
         )
 
-    def estimate_batch(
+    def estimate_batch(  # privlint: ignore[PL1] serves values post-processed from the budget-accounted noised synopsis
         self, pairs: Sequence[Tuple[Vertex, Vertex]]
     ) -> List[Estimate]:
         """A batch of rich estimates, aligned with the input order.

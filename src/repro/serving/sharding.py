@@ -1061,7 +1061,7 @@ class ShardedDistanceService:
             epoch=self._ledger.epoch,
         )
 
-    def estimate_batch(
+    def estimate_batch(  # privlint: ignore[PL1] serves values post-processed from the budget-accounted noised shard synopses
         self, pairs: Sequence[Tuple[Vertex, Vertex]]
     ) -> List[Estimate]:
         """A batch of rich estimates, aligned with the input order

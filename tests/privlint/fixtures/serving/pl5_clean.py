@@ -1,0 +1,6 @@
+"""Spend-before-draw: the guarded twin of pl5_epoch.py (no finding)."""
+
+
+def fresh_batch(graph, pairs, ledger, eps, rng):
+    ledger.spend(eps)
+    return rng.laplace_vector(1.0 / eps, len(pairs))

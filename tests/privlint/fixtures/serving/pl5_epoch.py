@@ -1,0 +1,7 @@
+"""PL5 violation: an epoch entry point draws noise before spending."""
+
+
+def refresh(graph, ledger, eps, rng):
+    noisy = rng.laplace_vector(1.0 / eps, 4)
+    ledger.spend(eps)
+    return noisy

@@ -10,7 +10,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main
-from repro.privlint import validate_lint_report
+from repro.privlint import validate_callgraph, validate_lint_report
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -91,6 +91,99 @@ class TestFormats:
         validate_lint_report(document)
         # JSON artifacts are not duplicated onto stdout.
         assert capsys.readouterr().out == ""
+
+
+@pytest.fixture
+def stale_tree(tmp_path):
+    """A clean package whose only ignore comment suppresses nothing."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(
+        textwrap.dedent(
+            '''
+            def fine(x):  # privlint: ignore[PL2] stale excuse
+                return x
+            '''
+        )
+    )
+    return pkg
+
+
+class TestUnusedIgnoreFlags:
+    def test_silent_without_the_flag(self, stale_tree, capsys):
+        assert main(["lint", "--paths", str(stale_tree)]) == 0
+        captured = capsys.readouterr()
+        assert "unused ignore comment" not in captured.err
+        assert "ignore[PL2]" not in captured.out
+
+    def test_report_flag_warns_but_passes(self, stale_tree, capsys):
+        assert main(
+            [
+                "lint",
+                "--paths",
+                str(stale_tree),
+                "--report-unused-ignores",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "1 unused ignore comment(s)" in captured.err
+        assert "warn-only" in captured.err
+        assert "ignore[PL2]" in captured.out
+
+    def test_strict_flag_fails_the_gate(self, stale_tree, capsys):
+        assert main(
+            [
+                "lint",
+                "--paths",
+                str(stale_tree),
+                "--strict-ignores",
+            ]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "failing the gate" in captured.err
+        assert "ignore[PL2]" in captured.out
+
+    def test_working_ignores_pass_strict(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text(
+            textwrap.dedent(
+                '''
+                import random
+
+
+                def draw():
+                    return random.random()  # privlint: ignore[PL2] fixture
+                '''
+            )
+        )
+        assert main(
+            ["lint", "--paths", str(pkg), "--strict-ignores"]
+        ) == 0
+        assert "unused" not in capsys.readouterr().err
+
+
+class TestCallgraphArtifact:
+    def test_artifact_validates(self, dirty_tree, tmp_path, capsys):
+        artifact = tmp_path / "callgraph.json"
+        main(
+            [
+                "lint",
+                "--paths",
+                str(dirty_tree),
+                "--callgraph-out",
+                str(artifact),
+            ]
+        )
+        capsys.readouterr()
+        document = json.loads(artifact.read_text())
+        validate_callgraph(document)
+        assert document["stats"]["functions"] == 1
+
+    def test_timing_line_on_stderr(self, dirty_tree, capsys):
+        main(["lint", "--paths", str(dirty_tree)])
+        err = capsys.readouterr().err
+        assert "privlint: analyzed 1 files in" in err
 
 
 class TestBaselineWorkflow:

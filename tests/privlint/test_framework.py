@@ -13,6 +13,7 @@ from repro.exceptions import LintError
 from repro.privlint import (
     DEFAULT_BASELINE_PATH,
     Finding,
+    LintResult,
     default_package_root,
     finding_from_dict,
     iter_source_files,
@@ -102,7 +103,7 @@ class TestBaseline:
         assert all(e["baselined"] for e in document["findings"])
 
     def test_missing_file_is_empty_baseline(self, tmp_path):
-        assert load_baseline(tmp_path / "absent.json") == frozenset()
+        assert load_baseline(tmp_path / "absent.json") == {}
 
     def test_baseline_matching_ignores_line_drift(self, tmp_path):
         finding = Finding("PL1", "repro/x.py", 10, "message")
@@ -135,12 +136,83 @@ class TestBaseline:
         with pytest.raises(LintError):
             load_baseline(path)
 
+    def test_duplicate_findings_each_get_a_slot(self, tmp_path):
+        # Two occurrences of the same (rule, path, message) no longer
+        # collapse into one baseline slot.
+        first = Finding("PL2", "repro/x.py", 3, "same message")
+        second = Finding("PL2", "repro/x.py", 9, "same message")
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [first, second])
+        assert load_baseline(path) == {first.key: 2}
+
+    def test_count_growth_fails_the_gate(self):
+        # A baseline allowing one occurrence does not silence two.
+        first = Finding("PL2", "repro/x.py", 3, "same message")
+        moved = Finding("PL2", "repro/x.py", 43, "same message")
+        document = lint_document(
+            LintResult(
+                findings=(first, moved),
+                suppressed=0,
+                files=("repro/x.py",),
+            ),
+            {first.key: 1},
+        )
+        assert document["summary"]["baselined"] == 1
+        assert document["summary"]["new"] == 1
+        assert [e["baselined"] for e in document["findings"]] == [
+            True,
+            False,
+        ]
+
+    def test_version_one_baseline_reads_with_count_one(
+        self, tmp_path
+    ):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-lint-baseline",
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "PL2",
+                            "path": "repro/x.py",
+                            "message": "m",
+                        }
+                    ],
+                }
+            )
+        )
+        assert load_baseline(path) == {("PL2", "repro/x.py", "m"): 1}
+
+    @pytest.mark.parametrize("count", [0, -1, True, "2", 1.5])
+    def test_bad_counts_fail_closed(self, tmp_path, count):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-lint-baseline",
+                    "version": 2,
+                    "entries": [
+                        {
+                            "rule": "PL2",
+                            "path": "repro/x.py",
+                            "message": "m",
+                            "count": count,
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(LintError):
+            load_baseline(path)
+
     def test_committed_baseline_is_empty(self):
         # The ISSUE's bar: every self-host finding was fixed or
         # inline-justified, so the shipped baseline grandfathers
         # nothing.  If this fails, a finding was baselined instead of
         # fixed — look at the diff of baseline.json.
-        assert load_baseline(DEFAULT_BASELINE_PATH) == frozenset()
+        assert load_baseline(DEFAULT_BASELINE_PATH) == {}
 
 
 class TestLintReport:
@@ -185,8 +257,70 @@ class TestLintReport:
         text = render_text(document)
         assert "pl1_taint.py:5: PL1 [error]" in text
         assert text.rstrip().endswith(
-            "4 finding(s) (4 new, 0 baselined, 4 suppressed)"
+            "(s) (5 new, 0 baselined, 5 suppressed, "
+            "0 unused ignore(s))"
         )
+
+
+class TestUnusedIgnores:
+    def test_dead_suppression_is_reported(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": '''
+                def fine(x):  # privlint: ignore[PL2] stale excuse
+                    return x
+                '''
+            }
+        )
+        assert not result.findings
+        assert len(result.unused_ignores) == 1
+        unused = result.unused_ignores[0]
+        assert unused.line == 2
+        assert unused.rules == ("PL2",)
+        assert "mod.py" in unused.path
+        assert "PL2" in unused.render()
+
+    def test_working_suppression_is_not_reported(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": '''
+                import random
+
+
+                def draw():
+                    return random.random()  # privlint: ignore[PL2] fixture
+                '''
+            }
+        )
+        assert not result.findings
+        assert result.suppressed == 1
+        assert result.unused_ignores == ()
+
+    def test_document_carries_unused_ignores(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": '''
+                def fine(x):  # privlint: ignore[PL4] stale
+                    return x
+                '''
+            }
+        )
+        document = lint_document(result)
+        assert document["summary"]["unused_ignores"] == 1
+        [entry] = document["unused_ignores"]
+        assert entry["rules"] == ["PL4"]
+        validate_lint_report(document)
+        # The rendering only surfaces them when asked.
+        assert "unused" in render_text(document)
+        assert "stale" not in render_text(document)
+        assert "ignore[PL4]" in render_text(
+            document, show_unused_ignores=True
+        )
+
+    def test_self_host_has_no_dead_ignores(self):
+        # Every inline ignore in the shipped package must still be
+        # doing work; delete them when the code moves on.
+        assert run_lint().unused_ignores == ()
 
 
 class TestScanSet:
